@@ -1,0 +1,44 @@
+//! Criterion bench backing Figure 7: simulation cost of a low-traffic bursty
+//! workload with and without fast-forwarding of idle periods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hornet_core::sim::{SimulationBuilder, TrafficKind};
+use hornet_net::geometry::Geometry;
+use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
+
+fn run(fast_forward: bool, bursty: bool) -> u64 {
+    let process = if bursty {
+        InjectionProcess::Burst { burst_len: 4, gap: 600 }
+    } else {
+        InjectionProcess::Periodic { period: 150, offset: 0 }
+    };
+    SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(8, 8))
+        .traffic(TrafficKind::Synthetic {
+            pattern: SyntheticPattern::BitComplement,
+            process,
+            packet_len: 8,
+        })
+        .measured_cycles(10_000)
+        .fast_forward(fast_forward)
+        .seed(7)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .network
+        .delivered_packets
+}
+
+fn fast_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_forward_fig7");
+    group.sample_size(10);
+    group.bench_function("bursty_without_ff", |b| b.iter(|| run(false, true)));
+    group.bench_function("bursty_with_ff", |b| b.iter(|| run(true, true)));
+    group.bench_function("steady_without_ff", |b| b.iter(|| run(false, false)));
+    group.bench_function("steady_with_ff", |b| b.iter(|| run(true, false)));
+    group.finish();
+}
+
+criterion_group!(benches, fast_forward);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench backing Figure 6a: wall-clock cost of simulating a fixed
+//! number of cycles of a 16×16 system with 1, 2 and 4 host threads, in
+//! cycle-accurate and 5-cycle-loose synchronization modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hornet_core::engine::SyncMode;
+use hornet_core::sim::{SimulationBuilder, TrafficKind};
+use hornet_net::geometry::Geometry;
+use hornet_traffic::pattern::SyntheticPattern;
+
+fn run(threads: usize, sync: SyncMode) -> u64 {
+    SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(16, 16))
+        .traffic(TrafficKind::pattern(SyntheticPattern::Shuffle, 0.02))
+        .measured_cycles(500)
+        .threads(threads)
+        .sync(sync)
+        .seed(3)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .network
+        .delivered_packets
+}
+
+fn parallel_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_speedup_fig6a");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("cycle_accurate_{threads}t"), |b| {
+            b.iter(|| run(threads, SyncMode::CycleAccurate))
+        });
+        group.bench_function(format!("sync5_{threads}t"), |b| {
+            b.iter(|| run(threads, SyncMode::Periodic(5)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_speedup);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark: raw router-pipeline throughput — how fast the
+//! sequential engine pushes simulated cycles for an 8×8 mesh under moderate
+//! synthetic load (the per-tile cost every other result builds on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hornet_core::sim::{SimulationBuilder, TrafficKind};
+use hornet_net::geometry::Geometry;
+use hornet_traffic::pattern::SyntheticPattern;
+
+fn router_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_pipeline");
+    group.sample_size(10);
+    for rate in [0.01f64, 0.05] {
+        group.bench_function(format!("mesh8x8_rate{rate}"), |b| {
+            b.iter(|| {
+                SimulationBuilder::new()
+                    .geometry(Geometry::mesh2d(8, 8))
+                    .traffic(TrafficKind::pattern(SyntheticPattern::Transpose, rate))
+                    .measured_cycles(1_000)
+                    .seed(1)
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap()
+                    .network
+                    .delivered_packets
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, router_pipeline);
+criterion_main!(benches);

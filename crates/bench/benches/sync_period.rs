@@ -1,0 +1,41 @@
+//! Criterion bench backing Figure 6b: simulation cost as a function of the
+//! synchronization period (4 threads, transpose traffic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hornet_core::engine::SyncMode;
+use hornet_core::sim::{SimulationBuilder, TrafficKind};
+use hornet_net::geometry::Geometry;
+use hornet_traffic::pattern::SyntheticPattern;
+
+fn sync_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_period_fig6b");
+    group.sample_size(10);
+    for period in [1u64, 5, 10, 100] {
+        let sync = if period == 1 {
+            SyncMode::CycleAccurate
+        } else {
+            SyncMode::Periodic(period)
+        };
+        group.bench_function(format!("period_{period}"), |b| {
+            b.iter(|| {
+                SimulationBuilder::new()
+                    .geometry(Geometry::mesh2d(8, 8))
+                    .traffic(TrafficKind::pattern(SyntheticPattern::Transpose, 0.02))
+                    .measured_cycles(1_000)
+                    .threads(4)
+                    .sync(sync)
+                    .seed(5)
+                    .build()
+                    .unwrap()
+                    .run()
+                    .unwrap()
+                    .network
+                    .delivered_packets
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sync_period);
+criterion_main!(benches);

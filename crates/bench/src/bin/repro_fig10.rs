@@ -1,0 +1,46 @@
+//! Figure 10 — routing × VC-allocation on the WATER-like workload in a
+//! congested network, at 2 and 4 VCs per port: O1TURN and ROMM outperform XY,
+//! but not by as much as their extra path diversity might suggest.
+
+use hornet_bench::{emit_table, full_scale, splash_network_latency};
+use hornet_net::ids::NodeId;
+use hornet_net::routing::RoutingKind;
+use hornet_net::vca::VcAllocKind;
+use hornet_traffic::splash::SplashBenchmark;
+
+fn main() {
+    let cycles = if full_scale() { 200_000 } else { 8_000 };
+    let mcs = vec![NodeId::new(0)];
+    // Scale the WATER-like load up so the network is "relatively congested".
+    let load = 1.6;
+    let mut rows = Vec::new();
+    for vcs in [2usize, 4] {
+        for routing in [RoutingKind::Xy, RoutingKind::O1Turn, RoutingKind::Romm] {
+            for vca in [VcAllocKind::Dynamic, VcAllocKind::Edvca] {
+                let run = splash_network_latency(
+                    SplashBenchmark::Water,
+                    8,
+                    routing,
+                    vca,
+                    vcs,
+                    8,
+                    mcs.clone(),
+                    load,
+                    cycles,
+                    13,
+                );
+                rows.push(format!(
+                    "{vcs}VCs,{},{},{:.2}",
+                    routing.label(),
+                    vca.label(),
+                    run.avg_packet_latency
+                ));
+            }
+        }
+    }
+    emit_table(
+        "fig10_routing_vca_water",
+        "vc_count,routing,vca,avg_packet_latency",
+        &rows,
+    );
+}

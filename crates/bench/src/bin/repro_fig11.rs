@@ -1,0 +1,45 @@
+//! Figure 11 — the effect of the number of memory controllers (1 vs 5) on
+//! in-network latency for the RADIX-like workload, across routing × VCA
+//! choices. Five controllers reduce congestion substantially but nowhere near
+//! five-fold, and they flatten the differences between routing/VCA schemes.
+
+use hornet_bench::{emit_table, full_scale, splash_network_latency};
+use hornet_mem::controller::default_mc_placement;
+use hornet_net::routing::RoutingKind;
+use hornet_net::vca::VcAllocKind;
+use hornet_traffic::splash::SplashBenchmark;
+
+fn main() {
+    let cycles = if full_scale() { 200_000 } else { 8_000 };
+    let mut rows = Vec::new();
+    for mc_count in [1usize, 5] {
+        let mcs = default_mc_placement(8, 8, mc_count);
+        for routing in [RoutingKind::Xy, RoutingKind::O1Turn, RoutingKind::Romm] {
+            for vca in [VcAllocKind::Dynamic, VcAllocKind::Edvca] {
+                let run = splash_network_latency(
+                    SplashBenchmark::Radix,
+                    8,
+                    routing,
+                    vca,
+                    4,
+                    4,
+                    mcs.clone(),
+                    1.0,
+                    cycles,
+                    17,
+                );
+                rows.push(format!(
+                    "{mc_count}MC,{},{},{:.2}",
+                    routing.label(),
+                    vca.label(),
+                    run.avg_packet_latency
+                ));
+            }
+        }
+    }
+    emit_table(
+        "fig11_memory_controllers",
+        "memory_controllers,routing,vca,avg_packet_latency",
+        &rows,
+    );
+}

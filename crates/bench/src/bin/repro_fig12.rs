@@ -1,0 +1,44 @@
+//! Figure 12 — trace-driven vs integrated core+network simulation of Cannon's
+//! matrix multiplication (64 cores, 128×128 matrix, message passing, randomly
+//! mapped cores).
+//!
+//! The trace-based run assumes an ideal single-cycle network, so cores inject
+//! unrealistically fast and the application appears to finish much earlier
+//! than the closed-loop run, in which cores stall on network backpressure and
+//! on blocked receives.
+
+use hornet_bench::{cannon_comparison, emit_table, full_scale};
+use hornet_cpu::programs::CannonConfig;
+
+fn main() {
+    let config = if full_scale() {
+        CannonConfig::default().with_random_mapping(64, 42).validated()
+    } else {
+        CannonConfig {
+            matrix_n: 64,
+            grid_p: 8,
+            ..CannonConfig::default()
+        }
+        .with_random_mapping(64, 42)
+        .validated()
+    };
+    let cmp = cannon_comparison(&config, 42);
+    let rows = vec![
+        format!(
+            "trace-based,{},{:.4},1.00,1.00",
+            cmp.trace_execution_cycles, cmp.trace_injection_rate
+        ),
+        format!(
+            "core+network,{},{:.4},{:.2},{:.2}",
+            cmp.closed_loop_execution_cycles,
+            cmp.closed_loop_injection_rate,
+            cmp.closed_loop_injection_rate / cmp.trace_injection_rate,
+            cmp.closed_loop_execution_cycles as f64 / cmp.trace_execution_cycles as f64
+        ),
+    ];
+    emit_table(
+        "fig12_trace_vs_closed_loop",
+        "mode,total_execution_cycles,avg_injection_rate,normalized_injection_rate,normalized_execution_time",
+        &rows,
+    );
+}

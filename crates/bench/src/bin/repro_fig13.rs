@@ -1,0 +1,28 @@
+//! Figure 13 — temperature traces over the runtime of the OCEAN-like (slowly
+//! varying) and RADIX-like (strongly phase-dependent) workloads on an 8×8
+//! mesh with XY routing and one corner memory controller.
+
+use hornet_bench::{emit_table, full_scale, splash_thermal};
+use hornet_traffic::splash::SplashBenchmark;
+
+fn main() {
+    let cycles = if full_scale() { 400_000 } else { 40_000 };
+    let interval = cycles / 40;
+    for benchmark in [SplashBenchmark::Ocean, SplashBenchmark::Radix] {
+        let thermal = splash_thermal(benchmark, 8, cycles, interval, 31);
+        let rows: Vec<String> = thermal
+            .time_series
+            .iter()
+            .map(|(cycle, temps)| {
+                let max = temps.iter().copied().fold(f64::MIN, f64::max);
+                let mean = temps.iter().sum::<f64>() / temps.len() as f64;
+                format!("{cycle},{mean:.2},{max:.2}")
+            })
+            .collect();
+        emit_table(
+            &format!("fig13_temperature_trace_{}", benchmark.label()),
+            "cycle,mean_temp_c,max_temp_c",
+            &rows,
+        );
+    }
+}

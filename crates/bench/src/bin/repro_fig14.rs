@@ -1,0 +1,45 @@
+//! Figure 14 — steady-state temperature distribution over the 8×8 mesh for
+//! the RADIX- and WATER-like workloads. The overall magnitude differs between
+//! the benchmarks, but the hotspot sits in the central region of the die in
+//! both cases (XY routing concentrates traffic there), even though the memory
+//! controller lives in the lower-left corner — which is why a single centre
+//! sensor tracks the hotspot well.
+
+use hornet_bench::{emit_table, full_scale, splash_thermal};
+use hornet_power::thermal::SensorPlacement;
+use hornet_power::thermal::{ThermalConfig, ThermalGrid};
+use hornet_traffic::splash::SplashBenchmark;
+
+fn main() {
+    let cycles = if full_scale() { 400_000 } else { 40_000 };
+    for benchmark in [SplashBenchmark::Radix, SplashBenchmark::Water] {
+        let thermal = splash_thermal(benchmark, 8, cycles, cycles / 10, 37);
+        let temps = &thermal.final_temperatures;
+        let rows: Vec<String> = (0..8)
+            .map(|y| {
+                let row: Vec<String> = (0..8)
+                    .map(|x| format!("{:.2}", temps[y * 8 + x]))
+                    .collect();
+                format!("{y},{}", row.join(","))
+            })
+            .collect();
+        emit_table(
+            &format!("fig14_steady_state_map_{}", benchmark.label()),
+            "row,x0,x1,x2,x3,x4,x5,x6,x7",
+            &rows,
+        );
+        let (hx, hy) = (thermal.hotspot_tile % 8, thermal.hotspot_tile / 8);
+        // Rebuild a grid purely to compare sensor placements on the final map.
+        let mut grid = ThermalGrid::new(8, 8, ThermalConfig::default());
+        let powers = vec![0.0; 64];
+        grid.run(&powers, 1);
+        println!(
+            "# {}: hotspot at ({hx},{hy}); centre sensor reads {:.2} C, corner (MC) sensor reads {:.2} C, true max {:.2} C",
+            benchmark.label(),
+            temps[SensorPlacement::center(8, 8).positions[0]],
+            temps[SensorPlacement::at_memory_controller().positions[0]],
+            temps.iter().copied().fold(f64::MIN, f64::max),
+        );
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 6a — parallel speedup vs number of host threads, for cycle-accurate
+//! and 5-cycle-loose synchronization, on synthetic SHUFFLE traffic and the
+//! blackscholes-like native workload.
+//!
+//! The paper runs 1024 tiles on a 24-hyperthread host; the quick scale uses a
+//! 16×16 (256-tile) system and thread counts up to the host's parallelism so
+//! the run completes quickly. Set `HORNET_REPRO_SCALE=full` for 32×32.
+
+use hornet_bench::{emit_table, full_scale, parallel_speed, parallel_speed_blackscholes};
+use hornet_core::engine::SyncMode;
+
+fn main() {
+    let mesh = if full_scale() { 32 } else { 16 };
+    let cycles = if full_scale() { 20_000 } else { 2_000 };
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut thread_counts = vec![1usize, 2, 4, 6, 8, 12, 16, 24];
+    thread_counts.retain(|&t| t <= host_threads.max(1) * 2);
+
+    let mut rows = Vec::new();
+    let mut baselines: [Option<f64>; 4] = [None, None, None, None];
+    for &threads in &thread_counts {
+        let configs = [
+            ("shuffle,cycle-accurate", 0),
+            ("shuffle,5-cycle-sync", 1),
+            ("blackscholes,cycle-accurate", 2),
+            ("blackscholes,5-cycle-sync", 3),
+        ];
+        for (label, idx) in configs {
+            let sync = if idx % 2 == 0 {
+                SyncMode::CycleAccurate
+            } else {
+                SyncMode::Periodic(5)
+            };
+            let speed = if idx < 2 {
+                parallel_speed(mesh, threads, sync, 0.02, cycles, 11)
+            } else {
+                parallel_speed_blackscholes(mesh, threads, sync, cycles, 11)
+            };
+            if baselines[idx].is_none() {
+                baselines[idx] = Some(speed);
+            }
+            let speedup = speed / baselines[idx].unwrap();
+            rows.push(format!("{label},{threads},{speed:.0},{speedup:.2}"));
+        }
+    }
+    emit_table(
+        "fig6a_parallel_speedup",
+        "workload,sync,threads,cycles_per_second,speedup_vs_1_thread",
+        &rows,
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 6b — speedup and accuracy vs synchronization period (transpose
+//! traffic, 4 hyperthreaded cores in the paper).
+
+use hornet_bench::{emit_table, full_scale, sync_period_tradeoff};
+
+fn main() {
+    let mesh = if full_scale() { 32 } else { 8 };
+    let cycles = if full_scale() { 100_000 } else { 5_000 };
+    let periods: &[u64] = &[1, 5, 10, 50, 100, 500, 1000];
+    let mut rows = Vec::new();
+    for &period in periods {
+        let (speedup, accuracy) = sync_period_tradeoff(mesh, 4, period, 0.02, cycles, 21);
+        rows.push(format!("{period},{speedup:.2},{:.1}", accuracy * 100.0));
+    }
+    emit_table(
+        "fig6b_sync_period",
+        "sync_period_cycles,speedup_vs_cycle_accurate,latency_accuracy_percent",
+        &rows,
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 7 — the benefit of fast-forwarding idle periods.
+//!
+//! Low-traffic bit-complement sends coordinated bursts separated by long idle
+//! gaps, so fast-forwarding helps a lot; the H.264-profile-like workload
+//! spreads the same light load evenly over time, the network rarely drains,
+//! and fast-forwarding helps little.
+
+use hornet_bench::{emit_table, fast_forward_benefit, full_scale};
+use hornet_traffic::pattern::SyntheticPattern;
+
+fn main() {
+    let mesh = if full_scale() { 16 } else { 8 };
+    let cycles = if full_scale() { 200_000 } else { 20_000 };
+    let threads: &[usize] = &[1, 2, 4, 6, 8];
+    let mut rows = Vec::new();
+    for &t in threads {
+        let (no_ff, ff) =
+            fast_forward_benefit(mesh, t, SyntheticPattern::BitComplement, true, cycles, 3);
+        rows.push(format!(
+            "bit-complement,{t},{no_ff:.3},{ff:.3},{:.2}",
+            no_ff / ff.max(1e-9)
+        ));
+        let (no_ff, ff) =
+            fast_forward_benefit(mesh, t, SyntheticPattern::UniformRandom, false, cycles, 3);
+        rows.push(format!(
+            "h264-profile,{t},{no_ff:.3},{ff:.3},{:.2}",
+            no_ff / ff.max(1e-9)
+        ));
+    }
+    emit_table(
+        "fig7_fast_forward",
+        "workload,threads,seconds_without_ff,seconds_with_ff,ff_speedup",
+        &rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Figure 8 — the effect of congestion modeling on reported flit latency.
+//!
+//! For the heavy RADIX-like workload, ignoring congestion (hop-count latency)
+//! underestimates flit latency by roughly 2×; for the light SWAPTIONS-like
+//! workload the difference is small. 64-core (8×8) system, 4 VCs.
+
+use hornet_bench::{emit_table, full_scale, splash_ideal_latency, splash_network_latency};
+use hornet_net::ids::NodeId;
+use hornet_net::routing::RoutingKind;
+use hornet_net::vca::VcAllocKind;
+use hornet_traffic::splash::SplashBenchmark;
+
+fn main() {
+    let cycles = if full_scale() { 200_000 } else { 8_000 };
+    let mcs = vec![NodeId::new(0)];
+    let mut rows = Vec::new();
+    for benchmark in [SplashBenchmark::Radix, SplashBenchmark::Swaptions] {
+        let with = splash_network_latency(
+            benchmark,
+            8,
+            RoutingKind::Xy,
+            VcAllocKind::Dynamic,
+            4,
+            4,
+            mcs.clone(),
+            1.0,
+            cycles,
+            5,
+        );
+        let without = splash_ideal_latency(benchmark, 8, mcs.clone(), 1.0, cycles, 5);
+        rows.push(format!(
+            "{},{:.2},{:.2},{:.2}",
+            benchmark.label(),
+            with.avg_flit_latency,
+            without,
+            with.avg_flit_latency / without.max(1.0)
+        ));
+    }
+    emit_table(
+        "fig8_congestion_effect",
+        "benchmark,avg_flit_latency_with_congestion,without_congestion,ratio",
+        &rows,
+    );
+}

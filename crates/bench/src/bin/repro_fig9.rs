@@ -1,0 +1,49 @@
+//! Figure 9 — in-network latency for different VC buffer configurations
+//! (2VC×8, 4VC×8, 4VC×4; dynamic vs EDVCA) on the SWAPTIONS- and RADIX-like
+//! workloads.
+//!
+//! The counter-intuitive result: doubling the VCs while keeping their depth
+//! (2VC×8 → 4VC×8) *increases* latency in a congested network because total
+//! buffering doubles; holding total buffer space constant (4VC×4) recovers the
+//! expected improvement.
+
+use hornet_bench::{emit_table, full_scale, splash_network_latency};
+use hornet_net::ids::NodeId;
+use hornet_net::routing::RoutingKind;
+use hornet_net::vca::VcAllocKind;
+use hornet_traffic::splash::SplashBenchmark;
+
+fn main() {
+    let cycles = if full_scale() { 200_000 } else { 8_000 };
+    let mcs = vec![NodeId::new(0)];
+    let mut rows = Vec::new();
+    for benchmark in [SplashBenchmark::Swaptions, SplashBenchmark::Radix] {
+        for (vcs, depth) in [(2usize, 8usize), (4, 8), (4, 4)] {
+            for vca in [VcAllocKind::Dynamic, VcAllocKind::Edvca] {
+                let run = splash_network_latency(
+                    benchmark,
+                    8,
+                    RoutingKind::Xy,
+                    vca,
+                    vcs,
+                    depth,
+                    mcs.clone(),
+                    1.0,
+                    cycles,
+                    9,
+                );
+                rows.push(format!(
+                    "{},{vcs}VCx{depth},{},{:.2}",
+                    benchmark.label(),
+                    vca.label(),
+                    run.avg_packet_latency
+                ));
+            }
+        }
+    }
+    emit_table(
+        "fig9_vc_configurations",
+        "benchmark,vc_config,vca,avg_packet_latency",
+        &rows,
+    );
+}

@@ -1,0 +1,51 @@
+//! §IV-A / Figure 5 — why small-scale NoC results do not extrapolate.
+//!
+//! Reports (a) the worst-link flow count under DOR with all-to-all traffic for
+//! 8×8 vs 32×32 meshes (128 vs 8192 flows, footnote 1), and (b) the latency of
+//! long-path flows relative to short-path flows under heavy load, showing the
+//! super-linear penalty long flows suffer on larger meshes.
+
+use hornet_bench::{emit_table, full_scale, worst_link_flows};
+use hornet_core::sim::{SimulationBuilder, TrafficKind};
+use hornet_net::geometry::Geometry;
+use hornet_net::routing::RoutingKind;
+use hornet_traffic::pattern::SyntheticPattern;
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in [8usize, 16, 32] {
+        rows.push(format!("{n}x{n},{}", worst_link_flows(n)));
+    }
+    emit_table("fig5_worst_link_flows", "mesh,worst_link_flows_dor", &rows);
+
+    // Long-flow penalty under load: compare average latency per hop for short
+    // and long flows on meshes of increasing size.
+    let sizes: &[usize] = if full_scale() { &[8, 16, 32] } else { &[8, 16] };
+    let cycles = if full_scale() { 200_000 } else { 6_000 };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let report = SimulationBuilder::new()
+            .geometry(Geometry::mesh2d(n, n))
+            .routing(RoutingKind::Xy)
+            .traffic(TrafficKind::pattern(SyntheticPattern::UniformRandom, 0.03))
+            .warmup_cycles(cycles / 10)
+            .measured_cycles(cycles)
+            .seed(7)
+            .build()
+            .expect("valid")
+            .run()
+            .expect("runs");
+        let per_hop = report.network.avg_packet_latency() / report.network.avg_hops().max(1.0);
+        rows.push(format!(
+            "{n}x{n},{:.2},{:.2},{:.3}",
+            report.network.avg_packet_latency(),
+            report.network.avg_hops(),
+            per_hop
+        ));
+    }
+    emit_table(
+        "fig5_latency_growth",
+        "mesh,avg_packet_latency,avg_hops,latency_per_hop",
+        &rows,
+    );
+}

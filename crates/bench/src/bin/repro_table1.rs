@@ -1,0 +1,50 @@
+//! Table I — the configuration space used in the paper's evaluation.
+//!
+//! Instantiates every configuration combination the table lists (meshes,
+//! routing, VC allocation, VC counts/depths) and verifies each one builds and
+//! moves traffic, printing the resulting matrix.
+
+use hornet_bench::{emit_table, full_scale};
+use hornet_core::sim::{SimulationBuilder, TrafficKind};
+use hornet_net::geometry::Geometry;
+use hornet_net::routing::RoutingKind;
+use hornet_net::vca::VcAllocKind;
+use hornet_traffic::pattern::SyntheticPattern;
+
+fn main() {
+    let mesh_sizes: &[usize] = if full_scale() { &[8, 32] } else { &[8] };
+    let cycles = if full_scale() { 50_000 } else { 3_000 };
+    let mut rows = Vec::new();
+    for &mesh in mesh_sizes {
+        for routing in [RoutingKind::Xy, RoutingKind::O1Turn, RoutingKind::Romm] {
+            for vca in [VcAllocKind::Dynamic, VcAllocKind::Edvca] {
+                for (vcs, depth) in [(4usize, 4usize), (4, 8), (8, 4), (8, 8)] {
+                    let report = SimulationBuilder::new()
+                        .geometry(Geometry::mesh2d(mesh, mesh))
+                        .routing(routing)
+                        .vc_allocation(vca)
+                        .vcs_per_port(vcs)
+                        .vc_buffer_depth(depth)
+                        .traffic(TrafficKind::pattern(SyntheticPattern::Transpose, 0.01))
+                        .warmup_cycles(cycles / 10)
+                        .measured_cycles(cycles)
+                        .seed(1)
+                        .build()
+                        .expect("valid configuration")
+                        .run()
+                        .expect("runs");
+                    rows.push(format!(
+                        "{mesh}x{mesh},{routing},{vca},{vcs},{depth},{},{:.2}",
+                        report.network.delivered_packets,
+                        report.network.avg_packet_latency()
+                    ));
+                }
+            }
+        }
+    }
+    emit_table(
+        "table1_configurations",
+        "mesh,routing,vca,vcs_per_port,vc_depth,delivered_packets,avg_packet_latency",
+        &rows,
+    );
+}

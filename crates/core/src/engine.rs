@@ -1,0 +1,530 @@
+//! The parallel simulation engine — the paper's primary contribution.
+//!
+//! The simulated system is divided into tiles (router + traffic generators +
+//! private PRNG + private statistics). Tiles are partitioned across worker
+//! threads; a tile is never split between threads, so the only inter-thread
+//! communication is (a) flits crossing tile-to-tile VC buffers (protected by
+//! their head/tail locks) and (b) the synchronization barrier.
+//!
+//! Two synchronization modes are offered:
+//!
+//! * [`SyncMode::CycleAccurate`] — all threads synchronize on a barrier twice
+//!   per simulated cycle (once after the positive edge, once after the
+//!   negative edge). Results are bit-identical to single-threaded simulation
+//!   with the same seed.
+//! * [`SyncMode::Periodic(n)`] — threads synchronize only every `n` cycles.
+//!   Functional correctness is preserved (flits still arrive in order,
+//!   subject to the original ordering constraints), and because measurements
+//!   ride inside the flits, reported latencies retain near-100 % fidelity;
+//!   only small timing skews are introduced. This trades a little accuracy
+//!   for substantially better scaling across hyperthreads and sockets.
+//!
+//! When fast-forwarding is enabled, the engine skips idle periods: if, at a
+//! synchronization boundary, no flit is buffered anywhere and no injector has
+//! pending work, all tile clocks jump to the next injection event.
+
+use hornet_net::ids::Cycle;
+use hornet_net::network::{Network, NetworkNode};
+use hornet_net::stats::NetworkStats;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// How often simulation threads synchronize.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Barrier twice per cycle; parallel results are identical to sequential
+    /// simulation.
+    CycleAccurate,
+    /// Barrier once every `n` cycles; faster, slightly lossy timing.
+    Periodic(u64),
+}
+
+impl SyncMode {
+    /// The number of cycles between barriers.
+    pub fn period(self) -> u64 {
+        match self {
+            SyncMode::CycleAccurate => 1,
+            SyncMode::Periodic(n) => n.max(1),
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(self) -> String {
+        match self {
+            SyncMode::CycleAccurate => "cycle-accurate".to_string(),
+            SyncMode::Periodic(n) => format!("sync-every-{n}"),
+        }
+    }
+}
+
+/// Configuration of the parallel engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of worker threads (tiles are divided equally among them).
+    /// `1` selects the purely sequential path.
+    pub threads: usize,
+    /// Synchronization mode.
+    pub sync: SyncMode,
+    /// Skip idle periods (no buffered flits, no pending injections) by
+    /// advancing all clocks to the next injection event.
+    pub fast_forward: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            sync: SyncMode::CycleAccurate,
+            fast_forward: false,
+        }
+    }
+}
+
+/// Shared coordination state between worker threads.
+struct Shared {
+    barrier: Barrier,
+    /// Per-worker: buffered flits + pending injections in its shard.
+    busy: Vec<AtomicU64>,
+    /// Per-worker: earliest next event in its shard (`u64::MAX` = none).
+    next_event: Vec<AtomicU64>,
+    /// Per-worker: all agents in the shard report completion.
+    finished: Vec<AtomicBool>,
+    /// Cycle to jump to (fast-forward), or 0 for "no jump".
+    skip_to: AtomicU64,
+    /// Set when the simulation should stop (completion detected).
+    stop: AtomicBool,
+}
+
+/// The parallel cycle-level simulation engine.
+pub struct ParallelEngine {
+    nodes: Vec<NetworkNode>,
+    config: EngineConfig,
+    cycle: Cycle,
+}
+
+impl std::fmt::Debug for ParallelEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelEngine")
+            .field("tiles", &self.nodes.len())
+            .field("config", &self.config)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl ParallelEngine {
+    /// Creates an engine over an assembled network.
+    pub fn from_network(network: Network, config: EngineConfig) -> Self {
+        let (nodes, _store) = network.into_nodes();
+        Self::new(nodes, config)
+    }
+
+    /// Creates an engine over a set of tiles.
+    pub fn new(nodes: Vec<NetworkNode>, config: EngineConfig) -> Self {
+        Self {
+            nodes,
+            config,
+            cycle: 0,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Changes the engine configuration (takes effect on the next `run`).
+    pub fn set_config(&mut self, config: EngineConfig) {
+        self.config = config;
+    }
+
+    /// The current simulated cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The simulated tiles.
+    pub fn nodes(&self) -> &[NetworkNode] {
+        &self.nodes
+    }
+
+    /// Mutable access to the simulated tiles (e.g. to attach agents).
+    pub fn nodes_mut(&mut self) -> &mut [NetworkNode] {
+        &mut self.nodes
+    }
+
+    /// Merged statistics across all tiles.
+    pub fn stats(&self) -> NetworkStats {
+        let mut merged = NetworkStats::new();
+        for n in &self.nodes {
+            merged.merge(n.stats());
+        }
+        merged
+    }
+
+    /// Per-tile statistics (for thermal maps and per-tile power).
+    pub fn per_node_stats(&self) -> Vec<NetworkStats> {
+        self.nodes.iter().map(|n| n.stats().clone()).collect()
+    }
+
+    /// Clears every tile's statistics (used to discard the warm-up window).
+    pub fn reset_stats(&mut self) {
+        for n in &mut self.nodes {
+            n.reset_stats();
+        }
+    }
+
+    /// True if no flit is buffered anywhere and no injector has pending work.
+    pub fn is_idle(&self) -> bool {
+        self.nodes.iter().all(NetworkNode::is_idle)
+    }
+
+    /// True once every agent has reported completion.
+    pub fn finished(&self) -> bool {
+        self.nodes.iter().all(NetworkNode::finished)
+    }
+
+    /// Runs for `cycles` simulated cycles.
+    pub fn run(&mut self, cycles: Cycle) {
+        self.run_inner(cycles, false);
+    }
+
+    /// Runs until every agent reports completion and the network drains, or
+    /// until `max_cycles` elapse. Returns `true` on completion.
+    pub fn run_to_completion(&mut self, max_cycles: Cycle) -> bool {
+        self.run_inner(max_cycles, true);
+        self.finished() && self.is_idle()
+    }
+
+    fn run_inner(&mut self, cycles: Cycle, detect_completion: bool) {
+        if cycles == 0 {
+            return;
+        }
+        let threads = self.config.threads.clamp(1, self.nodes.len().max(1));
+        if threads == 1 {
+            self.run_sequential(cycles, detect_completion);
+        } else {
+            self.run_parallel(cycles, detect_completion, threads);
+        }
+    }
+
+    fn run_sequential(&mut self, cycles: Cycle, detect_completion: bool) {
+        let end = self.cycle + cycles;
+        while self.cycle < end {
+            if detect_completion && self.finished() && self.is_idle() {
+                return;
+            }
+            if self.config.fast_forward && self.is_idle() {
+                let next = self
+                    .nodes
+                    .iter()
+                    .filter_map(|n| n.next_event(self.cycle))
+                    .min();
+                match next {
+                    Some(next) if next > self.cycle + 1 => {
+                        let target = next.min(end) - 1;
+                        let skipped = target - self.cycle;
+                        for n in &mut self.nodes {
+                            n.set_cycle(target);
+                            n.router_mut().stats_mut().fast_forwarded_cycles += skipped;
+                        }
+                        self.cycle = target;
+                    }
+                    Some(_) => {}
+                    None => {
+                        for n in &mut self.nodes {
+                            n.set_cycle(end);
+                            n.router_mut().stats_mut().fast_forwarded_cycles += end - self.cycle;
+                        }
+                        self.cycle = end;
+                        return;
+                    }
+                }
+            }
+            let now = self.cycle + 1;
+            for n in &mut self.nodes {
+                n.posedge(now);
+            }
+            for n in &mut self.nodes {
+                n.negedge(now);
+            }
+            self.cycle = now;
+        }
+    }
+
+    fn run_parallel(&mut self, cycles: Cycle, detect_completion: bool, threads: usize) {
+        let start = self.cycle;
+        let end = start + cycles;
+        let period = self.config.sync.period();
+        let cycle_accurate = matches!(self.config.sync, SyncMode::CycleAccurate);
+        let fast_forward = self.config.fast_forward;
+        let check_at_boundary = fast_forward || detect_completion;
+
+        // The number of spawned workers is the number of chunks, which may be
+        // smaller than the requested thread count when tiles do not divide
+        // evenly; the barrier must match the worker count exactly.
+        let chunk_size = self.nodes.len().div_ceil(threads);
+        let workers = self.nodes.len().div_ceil(chunk_size);
+
+        let shared = Shared {
+            barrier: Barrier::new(workers),
+            busy: (0..workers).map(|_| AtomicU64::new(1)).collect(),
+            next_event: (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            finished: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            skip_to: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        };
+        let final_cycle = AtomicU64::new(end);
+        std::thread::scope(|scope| {
+            for (tid, chunk) in self.nodes.chunks_mut(chunk_size).enumerate() {
+                let shared = &shared;
+                let final_cycle = &final_cycle;
+                scope.spawn(move || {
+                    let mut now = start;
+                    loop {
+                        if now >= end || shared.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let batch_end = (now + period).min(end);
+                        if cycle_accurate {
+                            // Two barriers per cycle: posedge | barrier | negedge | barrier.
+                            while now < batch_end {
+                                now += 1;
+                                for tile in chunk.iter_mut() {
+                                    tile.posedge(now);
+                                }
+                                shared.barrier.wait();
+                                for tile in chunk.iter_mut() {
+                                    tile.negedge(now);
+                                }
+                                shared.barrier.wait();
+                            }
+                        } else {
+                            // Loose synchronization: run the whole batch
+                            // locally, then meet the other threads.
+                            while now < batch_end {
+                                now += 1;
+                                for tile in chunk.iter_mut() {
+                                    tile.posedge(now);
+                                }
+                                for tile in chunk.iter_mut() {
+                                    tile.negedge(now);
+                                }
+                            }
+                            shared.barrier.wait();
+                        }
+
+                        if check_at_boundary {
+                            // Publish this shard's idle / completion state.
+                            let busy: u64 = chunk
+                                .iter()
+                                .map(|t| t.buffered_flits() as u64 + u64::from(!t.is_idle()))
+                                .sum();
+                            let next = chunk
+                                .iter()
+                                .filter_map(|t| t.next_event(now))
+                                .min()
+                                .unwrap_or(u64::MAX);
+                            let fin = chunk.iter().all(NetworkNode::finished);
+                            shared.busy[tid].store(busy, Ordering::Release);
+                            shared.next_event[tid].store(next, Ordering::Release);
+                            shared.finished[tid].store(fin, Ordering::Release);
+                            shared.barrier.wait();
+                            if tid == 0 {
+                                let all_idle = shared
+                                    .busy
+                                    .iter()
+                                    .all(|b| b.load(Ordering::Acquire) == 0);
+                                let all_finished = shared
+                                    .finished
+                                    .iter()
+                                    .all(|f| f.load(Ordering::Acquire));
+                                if detect_completion && all_idle && all_finished {
+                                    shared.stop.store(true, Ordering::Release);
+                                    final_cycle.store(now, Ordering::Release);
+                                }
+                                let mut skip = 0;
+                                if fast_forward && all_idle {
+                                    let next = shared
+                                        .next_event
+                                        .iter()
+                                        .map(|e| e.load(Ordering::Acquire))
+                                        .min()
+                                        .unwrap_or(u64::MAX);
+                                    if next == u64::MAX {
+                                        skip = end;
+                                    } else if next > now + 1 {
+                                        skip = next.min(end) - 1;
+                                    }
+                                }
+                                shared.skip_to.store(skip, Ordering::Release);
+                            }
+                            shared.barrier.wait();
+                            let skip = shared.skip_to.load(Ordering::Acquire);
+                            if skip > now {
+                                let skipped = skip - now;
+                                for tile in chunk.iter_mut() {
+                                    tile.set_cycle(skip);
+                                    tile.router_mut().stats_mut().fast_forwarded_cycles += skipped;
+                                }
+                                now = skip;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        self.cycle = if shared.stop.load(Ordering::Acquire) {
+            final_cycle.load(Ordering::Acquire)
+        } else {
+            end
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hornet_net::config::NetworkConfig;
+    use hornet_net::geometry::Geometry;
+    use hornet_net::routing::RoutingKind;
+    use hornet_net::vca::VcAllocKind;
+    use hornet_traffic::injector::{flows_for_pattern, SyntheticConfig, SyntheticInjector};
+    use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
+    use std::sync::Arc;
+
+    fn build_engine(threads: usize, sync: SyncMode, seed: u64, rate: f64) -> ParallelEngine {
+        let geometry = Arc::new(Geometry::mesh2d(4, 4));
+        let pattern = SyntheticPattern::Transpose;
+        let flows = flows_for_pattern(&pattern, &geometry);
+        let cfg = NetworkConfig::new((*geometry).clone())
+            .with_routing(RoutingKind::Xy)
+            .with_vca(VcAllocKind::Dynamic)
+            .with_flows(flows);
+        let mut network = Network::new(&cfg, seed).unwrap();
+        for node in geometry.nodes() {
+            network.attach_agent(
+                node,
+                Box::new(SyntheticInjector::new(
+                    Arc::clone(&geometry),
+                    SyntheticConfig {
+                        pattern: pattern.clone(),
+                        process: InjectionProcess::Bernoulli { rate },
+                        packet_len: 4,
+                        stop_after: None,
+                        max_packets: Some(50),
+                    },
+                )),
+            );
+        }
+        ParallelEngine::from_network(
+            network,
+            EngineConfig {
+                threads,
+                sync,
+                fast_forward: false,
+            },
+        )
+    }
+
+    #[test]
+    fn cycle_accurate_parallel_matches_sequential_exactly() {
+        let mut seq = build_engine(1, SyncMode::CycleAccurate, 99, 0.05);
+        seq.run(3_000);
+        let s = seq.stats();
+
+        for threads in [2, 4] {
+            let mut par = build_engine(threads, SyncMode::CycleAccurate, 99, 0.05);
+            par.run(3_000);
+            let p = par.stats();
+            assert_eq!(p.delivered_packets, s.delivered_packets, "{threads} threads");
+            assert_eq!(p.total_packet_latency, s.total_packet_latency, "{threads} threads");
+            assert_eq!(p.injected_flits, s.injected_flits, "{threads} threads");
+            assert_eq!(p.total_hops, s.total_hops, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn loose_sync_preserves_functional_correctness() {
+        let mut seq = build_engine(1, SyncMode::CycleAccurate, 7, 0.05);
+        seq.run_to_completion(100_000);
+        let s = seq.stats();
+
+        // The paper's headline loose-sync configuration synchronizes every 5
+        // cycles (Table I).
+        let mut par = build_engine(4, SyncMode::Periodic(5), 7, 0.05);
+        assert!(par.run_to_completion(100_000));
+        let p = par.stats();
+        // Every offered packet is still delivered exactly once.
+        assert_eq!(p.delivered_packets, s.delivered_packets);
+        assert_eq!(p.delivered_flits, s.delivered_flits);
+        assert_eq!(p.routing_failures, 0);
+        // Timing may deviate slightly, but not wildly. (On this deliberately
+        // tiny 16-tile network the relative skew is much larger than on the
+        // paper's 1024-tile systems, and it grows when the host is busy with
+        // other test binaries, so the bound is deliberately loose; the
+        // fidelity-vs-period curve itself is measured by `repro_fig6b`.)
+        let accuracy = p.latency_accuracy_vs(&s);
+        assert!(accuracy > 0.6, "loose-sync accuracy {accuracy} too low");
+    }
+
+    #[test]
+    fn run_to_completion_stops_early() {
+        let mut engine = build_engine(2, SyncMode::CycleAccurate, 3, 0.05);
+        assert!(engine.run_to_completion(200_000));
+        assert!(engine.cycle() < 200_000, "must stop well before the limit");
+        assert!(engine.finished() && engine.is_idle());
+        // 16 nodes x 50 packets each.
+        assert_eq!(engine.stats().delivered_packets, 16 * 50);
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_time_in_parallel_mode() {
+        let build = |ff: bool| {
+            let geometry = Arc::new(Geometry::mesh2d(2, 2));
+            let pattern = SyntheticPattern::NearestNeighbor;
+            let flows = flows_for_pattern(&pattern, &geometry);
+            let cfg = NetworkConfig::new((*geometry).clone()).with_flows(flows);
+            let mut network = Network::new(&cfg, 5).unwrap();
+            // Only node 0 injects, one packet every 400 cycles.
+            network.attach_agent(
+                hornet_net::ids::NodeId::new(0),
+                Box::new(SyntheticInjector::new(
+                    Arc::clone(&geometry),
+                    SyntheticConfig {
+                        pattern: pattern.clone(),
+                        process: InjectionProcess::Periodic { period: 400, offset: 0 },
+                        packet_len: 2,
+                        stop_after: Some(1_600),
+                        max_packets: Some(4),
+                    },
+                )),
+            );
+            let mut engine = ParallelEngine::from_network(
+                network,
+                EngineConfig {
+                    threads: 2,
+                    sync: SyncMode::CycleAccurate,
+                    fast_forward: ff,
+                },
+            );
+            engine.run(2_000);
+            engine.stats()
+        };
+        let without = build(false);
+        let with = build(true);
+        assert_eq!(without.delivered_packets, with.delivered_packets);
+        assert_eq!(without.total_packet_latency, with.total_packet_latency);
+        assert!(with.fast_forwarded_cycles > 0);
+        assert!(with.simulated_cycles < without.simulated_cycles);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_tile_count() {
+        let mut engine = build_engine(64, SyncMode::CycleAccurate, 1, 0.02);
+        engine.run(200); // 16 tiles, 64 requested threads: must not panic
+        assert_eq!(engine.cycle(), 200);
+    }
+}

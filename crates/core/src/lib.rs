@@ -1,0 +1,37 @@
+//! # hornet-core
+//!
+//! The parallel cycle-level simulation engine of HORNET-RS — the paper's
+//! primary contribution — plus the top-level simulation façade.
+//!
+//! * [`engine`] — tiles are distributed over worker threads; barriers run
+//!   twice per cycle (cycle-accurate, bit-identical to sequential simulation)
+//!   or once every *N* cycles (loose synchronization: faster, near-100 %
+//!   timing fidelity because measurements ride inside the flits); idle
+//!   periods can be fast-forwarded.
+//! * [`sim`] — [`sim::SimulationBuilder`] assembles geometry, routing, VC
+//!   allocation, a traffic frontend (synthetic / trace / SPLASH-like / custom
+//!   agents), engine configuration and optional power + thermal modeling.
+//! * [`report`] — the resulting statistics, power and thermal traces.
+//!
+//! ```
+//! use hornet_core::sim::{SimulationBuilder, TrafficKind};
+//! use hornet_net::geometry::Geometry;
+//!
+//! let report = SimulationBuilder::new()
+//!     .geometry(Geometry::mesh2d(4, 4))
+//!     .traffic(TrafficKind::uniform(0.01))
+//!     .measured_cycles(1_000)
+//!     .seed(1)
+//!     .build()?
+//!     .run()?;
+//! assert!(report.network.delivered_packets > 0);
+//! # Ok::<(), hornet_core::sim::SimError>(())
+//! ```
+
+pub mod engine;
+pub mod report;
+pub mod sim;
+
+pub use engine::{EngineConfig, ParallelEngine, SyncMode};
+pub use report::{PowerReport, SimReport, ThermalReport};
+pub use sim::{SimError, Simulation, SimulationBuilder, TrafficKind};

@@ -1,0 +1,140 @@
+//! Simulation reports: network statistics, per-tile breakdowns, and optional
+//! power / thermal traces.
+
+use hornet_net::ids::Cycle;
+use hornet_net::stats::NetworkStats;
+use hornet_power::energy::PowerSample;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Power results of a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Average total (dynamic + leakage) power per tile over the measured
+    /// window, in watts.
+    pub per_tile_avg_w: Vec<f64>,
+    /// Chip-wide average network power, in watts.
+    pub total_avg_w: f64,
+    /// Time series of per-tile power samples: one entry per sample interval.
+    pub samples: Vec<(Cycle, Vec<PowerSample>)>,
+}
+
+impl PowerReport {
+    /// Peak chip-wide power over the sample intervals, in watts.
+    pub fn peak_total_w(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|(_, s)| s.iter().map(PowerSample::total_w).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Thermal results of a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThermalReport {
+    /// Per-interval (cycle, per-tile temperature) trace, in °C.
+    pub time_series: Vec<(Cycle, Vec<f64>)>,
+    /// Final (end-of-run) per-tile temperatures, in °C.
+    pub final_temperatures: Vec<f64>,
+    /// Index of the hottest tile at the end of the run.
+    pub hotspot_tile: usize,
+}
+
+impl ThermalReport {
+    /// Maximum temperature observed anywhere over the whole run.
+    pub fn peak_temp(&self) -> f64 {
+        self.time_series
+            .iter()
+            .flat_map(|(_, t)| t.iter().copied())
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// Mean final temperature.
+    pub fn mean_final_temp(&self) -> f64 {
+        if self.final_temperatures.is_empty() {
+            return 0.0;
+        }
+        self.final_temperatures.iter().sum::<f64>() / self.final_temperatures.len() as f64
+    }
+
+    /// The per-tile temperature trace of one tile.
+    pub fn tile_trace(&self, tile: usize) -> Vec<(Cycle, f64)> {
+        self.time_series
+            .iter()
+            .map(|(c, t)| (*c, t[tile]))
+            .collect()
+    }
+}
+
+/// The complete result of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Merged network statistics over the measured window.
+    pub network: NetworkStats,
+    /// Per-tile network statistics.
+    pub per_node: Vec<NetworkStats>,
+    /// Simulated cycles in the measured window.
+    pub measured_cycles: Cycle,
+    /// Wall-clock time spent simulating the measured window.
+    pub wall_time: Duration,
+    /// Host threads used.
+    pub threads: usize,
+    /// Synchronization mode label.
+    pub sync_label: String,
+    /// Power results, if power modeling was enabled.
+    pub power: Option<PowerReport>,
+    /// Thermal results, if thermal modeling was enabled.
+    pub thermal: Option<ThermalReport>,
+}
+
+impl SimReport {
+    /// Simulated cycles per wall-clock second — the simulator-performance
+    /// metric behind the speedup curves of Figure 6.
+    pub fn simulation_speed(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.measured_cycles as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_report_peak() {
+        let sample = |w: f64| PowerSample {
+            dynamic_w: w,
+            leakage_w: 0.0,
+            energy_j: 0.0,
+            cycles: 1,
+        };
+        let r = PowerReport {
+            per_tile_avg_w: vec![1.0, 2.0],
+            total_avg_w: 3.0,
+            samples: vec![(10, vec![sample(1.0), sample(1.0)]), (20, vec![sample(3.0), sample(2.0)])],
+        };
+        assert_eq!(r.peak_total_w(), 5.0);
+    }
+
+    #[test]
+    fn thermal_report_accessors() {
+        let r = ThermalReport {
+            time_series: vec![(10, vec![50.0, 60.0]), (20, vec![55.0, 70.0])],
+            final_temperatures: vec![55.0, 70.0],
+            hotspot_tile: 1,
+        };
+        assert_eq!(r.peak_temp(), 70.0);
+        assert_eq!(r.mean_final_temp(), 62.5);
+        assert_eq!(r.tile_trace(0), vec![(10, 50.0), (20, 55.0)]);
+    }
+
+    #[test]
+    fn simulation_speed_handles_zero_time() {
+        let r = SimReport::default();
+        assert_eq!(r.simulation_speed(), 0.0);
+    }
+}

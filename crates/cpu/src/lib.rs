@@ -1,0 +1,38 @@
+//! # hornet-cpu
+//!
+//! Processor frontends for HORNET-RS (paper §II-D):
+//!
+//! * [`isa`] / [`core`] — a single-cycle, in-order MIPS-like core with an
+//!   embedded assembler and the MPI-style network syscall interface (send,
+//!   poll, receive with DMA semantics);
+//! * [`agent`] — the tile agent coupling a core to its memory hierarchy and
+//!   the simulated network;
+//! * [`pinlike`] — the Pin-like native frontend: instrumented threads produce
+//!   a stream of compute / load / store / send / receive events that are
+//!   executed against the simulated memory hierarchy;
+//! * [`programs`] — ready-made workloads: Cannon's matrix multiplication
+//!   (message passing), a token ring, a vector-sum kernel, and the
+//!   blackscholes-like synthetic thread configuration.
+//!
+//! ```
+//! use hornet_cpu::isa::{Inst, ProgramBuilder, regs::*};
+//! use hornet_cpu::core::Core;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.inst(Inst::Li(T0, 2)).inst(Inst::Addi(T0, T0, 3)).inst(Inst::Halt);
+//! let core = Core::new(b.assemble()?);
+//! assert!(!core.halted());
+//! # Ok::<(), hornet_cpu::isa::AssembleError>(())
+//! ```
+
+pub mod agent;
+pub mod core;
+pub mod isa;
+pub mod pinlike;
+pub mod programs;
+
+pub use agent::{CoreAgent, CoreConfig};
+pub use core::{Core, CoreContext, CoreStats};
+pub use isa::{Inst, Program, ProgramBuilder, Syscall};
+pub use pinlike::{NativeFrontendAgent, NativeOp, NativeThread, SyntheticThread, SyntheticThreadConfig};
+pub use programs::{token_ring_program, vector_sum_program, CannonConfig, CannonThread};

@@ -1,0 +1,448 @@
+//! The per-tile memory system: private L1, directory slice, NUCA home, and
+//! the glue that turns protocol messages into network packets.
+//!
+//! A [`MemoryNode`] is owned by the tile's core agent (or by the Pin-like
+//! native frontend). The core presents loads and stores; hits complete
+//! immediately, misses stall the core until the coherence protocol delivers
+//! the line over the simulated network. Memory coherence is ensured either by
+//! the directory-based MSI protocol or by NUCA-style remote accesses
+//! (paper §II-D2).
+
+use crate::cache::CacheConfig;
+use crate::directory::DirectorySlice;
+use crate::l1::{AccessOutcome, CoreMemOp, L1Controller, L1Out, L1Stats};
+use crate::msg::{LineAddr, MemMessage, MsgClass};
+use hornet_net::agent::NodeIo;
+use hornet_net::ids::{Cycle, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How memory coherence is maintained.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoherenceMode {
+    /// Directory-based MSI protocol over private L1 caches.
+    MsiDirectory,
+    /// NUCA-style distributed shared memory with remote-access reads and
+    /// stores (no private caching of remote lines).
+    Nuca,
+}
+
+/// Where directory slices (and their backing memory) live.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirectoryPlacement {
+    /// Every tile owns the slice for `line % node_count == tile`.
+    Interleaved,
+    /// Only the listed tiles (e.g. the memory controllers) own slices;
+    /// lines are interleaved among them.
+    AtNodes(Vec<NodeId>),
+}
+
+impl DirectoryPlacement {
+    /// The home node for a line.
+    pub fn home_of(&self, line: LineAddr, node_count: usize) -> NodeId {
+        match self {
+            DirectoryPlacement::Interleaved => NodeId::from((line as usize) % node_count),
+            DirectoryPlacement::AtNodes(nodes) => {
+                assert!(!nodes.is_empty(), "directory placement needs at least one node");
+                nodes[(line as usize) % nodes.len()]
+            }
+        }
+    }
+
+    /// True if `node` hosts a directory slice.
+    pub fn hosts_directory(&self, node: NodeId, _node_count: usize) -> bool {
+        match self {
+            DirectoryPlacement::Interleaved => true,
+            DirectoryPlacement::AtNodes(nodes) => nodes.contains(&node),
+        }
+    }
+}
+
+/// Configuration of the per-tile memory system.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Coherence mechanism.
+    pub mode: CoherenceMode,
+    /// Directory / home placement.
+    pub placement: DirectoryPlacement,
+    /// Private L1 geometry.
+    pub l1: CacheConfig,
+    /// Latency of an off-chip memory (DRAM) access, in network cycles.
+    pub dram_latency: Cycle,
+    /// Processing latency of a directory slice, in network cycles.
+    pub directory_latency: Cycle,
+    /// Latency of a local (same-tile) memory access, in cycles.
+    pub local_latency: Cycle,
+    /// Flits in a control packet.
+    pub control_packet_len: u32,
+    /// Flits in a data-bearing packet.
+    pub data_packet_len: u32,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self {
+            mode: CoherenceMode::MsiDirectory,
+            placement: DirectoryPlacement::Interleaved,
+            l1: CacheConfig::default(),
+            dram_latency: 50,
+            directory_latency: 2,
+            local_latency: 1,
+            control_packet_len: 2,
+            data_packet_len: 8,
+        }
+    }
+}
+
+/// Aggregate statistics of a tile's memory system.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemNodeStats {
+    /// Protocol messages sent over the network.
+    pub messages_sent: u64,
+    /// Protocol messages handled locally (same tile, no network).
+    pub local_messages: u64,
+    /// NUCA remote accesses issued.
+    pub remote_accesses: u64,
+    /// NUCA accesses that were local.
+    pub local_accesses: u64,
+}
+
+/// A message waiting to be delivered (local latency or DRAM latency).
+#[derive(Clone, Debug)]
+struct Scheduled {
+    ready_at: Cycle,
+    dst: NodeId,
+    msg: MemMessage,
+}
+
+/// The per-tile memory system.
+#[derive(Clone, Debug)]
+pub struct MemoryNode {
+    node: NodeId,
+    node_count: usize,
+    config: MemoryConfig,
+    l1: L1Controller,
+    directory: DirectorySlice,
+    hosts_directory: bool,
+    scheduled: VecDeque<Scheduled>,
+    stats: MemNodeStats,
+}
+
+impl MemoryNode {
+    /// Creates the memory system for one tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero.
+    pub fn new(node: NodeId, node_count: usize, config: MemoryConfig) -> Self {
+        assert!(node_count > 0, "a memory system needs at least one node");
+        let hosts_directory = config.placement.hosts_directory(node, node_count);
+        Self {
+            node,
+            node_count,
+            l1: L1Controller::new(node, config.l1),
+            directory: DirectorySlice::new(),
+            hosts_directory,
+            scheduled: VecDeque::new(),
+            stats: MemNodeStats::default(),
+            config,
+        }
+    }
+
+    /// The tile this memory system belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> &L1Stats {
+        self.l1.stats()
+    }
+
+    /// Directory statistics (meaningful only on tiles that host a slice).
+    pub fn directory_stats(&self) -> &crate::directory::DirectoryStats {
+        self.directory.stats()
+    }
+
+    /// Tile-level statistics.
+    pub fn stats(&self) -> &MemNodeStats {
+        &self.stats
+    }
+
+    /// True if this tile hosts a directory slice / NUCA home.
+    pub fn hosts_directory(&self) -> bool {
+        self.hosts_directory
+    }
+
+    /// The home node of a line under the configured placement.
+    pub fn home_of(&self, line: LineAddr) -> NodeId {
+        self.config.placement.home_of(line, self.node_count)
+    }
+
+    /// True if a core memory access is still outstanding.
+    pub fn has_outstanding(&self) -> bool {
+        self.l1.has_outstanding()
+    }
+
+    /// Takes the completion value of the last finished access, if any.
+    pub fn take_completion(&mut self) -> Option<u64> {
+        self.l1.take_completion()
+    }
+
+    /// Presents a core load or store. Returns `Some(value)` if it completed
+    /// immediately (an L1 or local hit); otherwise the access is outstanding
+    /// and the core must stall until [`take_completion`](Self::take_completion)
+    /// yields a value.
+    pub fn core_access(&mut self, op: CoreMemOp, now: Cycle) -> Option<u64> {
+        match self.config.mode {
+            CoherenceMode::MsiDirectory => match self.l1.access(op, now) {
+                AccessOutcome::Hit(v) => Some(v),
+                AccessOutcome::Busy => None,
+                AccessOutcome::Miss(msg) => {
+                    let line = self.l1.cache().config().line_of(op.addr());
+                    let home = self.home_of(line);
+                    self.route(home, msg, now, false);
+                    None
+                }
+            },
+            CoherenceMode::Nuca => {
+                let line = op.addr() / 8; // word-granularity homes
+                let home = self.home_of(line);
+                if home == self.node {
+                    self.stats.local_accesses += 1;
+                    // Local access: read/write the home memory directly.
+                    return Some(match op {
+                        CoreMemOp::Load { .. } => {
+                            let out = self.directory.handle(MemMessage::RemoteRead {
+                                addr: op.addr(),
+                                requester: self.node,
+                            });
+                            match out.first().map(|o| o.msg) {
+                                Some(MemMessage::RemoteReadResp { value, .. }) => value,
+                                _ => 0,
+                            }
+                        }
+                        CoreMemOp::Store { addr, value } => {
+                            self.directory.handle(MemMessage::RemoteWrite {
+                                addr,
+                                value,
+                                requester: self.node,
+                            });
+                            value
+                        }
+                    });
+                }
+                self.stats.remote_accesses += 1;
+                // Mark the L1 as having an outstanding access so completions
+                // flow through the same path as MSI misses.
+                let msg = match self.l1.access(op, now) {
+                    AccessOutcome::Miss(_) => match op {
+                        CoreMemOp::Load { addr } => MemMessage::RemoteRead {
+                            addr,
+                            requester: self.node,
+                        },
+                        CoreMemOp::Store { addr, value } => MemMessage::RemoteWrite {
+                            addr,
+                            value,
+                            requester: self.node,
+                        },
+                    },
+                    AccessOutcome::Hit(v) => return Some(v),
+                    AccessOutcome::Busy => return None,
+                };
+                self.route(home, msg, now, false);
+                None
+            }
+        }
+    }
+
+    /// Handles a memory-protocol message delivered to this tile by the
+    /// network (the core agent demultiplexes packets by [`MsgClass`]).
+    pub fn handle_message(&mut self, msg: MemMessage, now: Cycle) {
+        match msg.class() {
+            MsgClass::L1 => {
+                let outs = self.l1.handle(msg, now);
+                self.dispatch_l1_outputs(outs, now);
+            }
+            MsgClass::Directory | MsgClass::MemoryController => {
+                if !self.hosts_directory {
+                    // Misdirected message: treat this tile as hosting anyway so
+                    // the protocol cannot wedge (counts as a local message).
+                    self.stats.local_messages += 1;
+                }
+                let outs = self.directory.handle(msg);
+                for o in outs {
+                    let delay = self.config.directory_latency
+                        + if o.from_memory { self.config.dram_latency } else { 0 };
+                    self.route_delayed(o.dst, o.msg, now + delay);
+                }
+            }
+            MsgClass::User => {}
+        }
+    }
+
+    fn dispatch_l1_outputs(&mut self, outs: Vec<L1Out>, now: Cycle) {
+        for out in outs {
+            match out {
+                L1Out::ToHome { line, msg } => {
+                    let home = self.home_of(line);
+                    self.route(home, msg, now, false);
+                }
+                L1Out::ToNode { dst, msg } => self.route(dst, msg, now, false),
+            }
+        }
+    }
+
+    fn route(&mut self, dst: NodeId, msg: MemMessage, now: Cycle, _from_memory: bool) {
+        if dst == self.node {
+            self.stats.local_messages += 1;
+            self.route_delayed(dst, msg, now + self.config.local_latency);
+        } else {
+            self.scheduled.push_back(Scheduled {
+                ready_at: now,
+                dst,
+                msg,
+            });
+        }
+    }
+
+    fn route_delayed(&mut self, dst: NodeId, msg: MemMessage, ready_at: Cycle) {
+        self.scheduled.push_back(Scheduled { ready_at, dst, msg });
+    }
+
+    /// Per-cycle processing: releases delayed messages — local ones are
+    /// handled in place, remote ones are packetised and sent through `io`.
+    pub fn tick(&mut self, io: &mut dyn NodeIo, now: Cycle) {
+        let mut still_waiting = VecDeque::new();
+        while let Some(s) = self.scheduled.pop_front() {
+            if s.ready_at > now {
+                still_waiting.push_back(s);
+                continue;
+            }
+            if s.dst == self.node {
+                self.handle_message(s.msg, now);
+            } else {
+                let id = io.alloc_packet_id();
+                let packet = s.msg.to_packet(
+                    id,
+                    self.node,
+                    s.dst,
+                    self.node_count,
+                    now,
+                    self.config.control_packet_len,
+                    self.config.data_packet_len,
+                );
+                io.send(packet);
+                self.stats.messages_sent += 1;
+            }
+        }
+        self.scheduled = still_waiting;
+    }
+
+    /// True if no protocol message is waiting inside this tile.
+    pub fn is_quiescent(&self) -> bool {
+        self.scheduled.is_empty() && !self.l1.has_outstanding()
+    }
+
+    /// Writes a value directly into the functional backing store of this
+    /// tile's directory slice (used to preload program data before a
+    /// simulation starts; bypasses the coherence protocol entirely).
+    pub fn poke(&mut self, line: LineAddr, value: u64) {
+        self.directory.handle(MemMessage::RemoteWrite {
+            addr: line,
+            value,
+            requester: self.node,
+        });
+    }
+
+    /// Reads a value directly from the functional backing store (testing /
+    /// result extraction; bypasses the coherence protocol).
+    pub fn peek(&self, line: LineAddr) -> u64 {
+        self.directory.value_of(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_homes_are_stable() {
+        let p = DirectoryPlacement::Interleaved;
+        assert_eq!(p.home_of(5, 4), NodeId::new(1));
+        assert!(p.hosts_directory(NodeId::new(3), 4));
+        let mc = DirectoryPlacement::AtNodes(vec![NodeId::new(0), NodeId::new(7)]);
+        assert_eq!(mc.home_of(2, 16), NodeId::new(0));
+        assert_eq!(mc.home_of(3, 16), NodeId::new(7));
+        assert!(mc.hosts_directory(NodeId::new(7), 16));
+        assert!(!mc.hosts_directory(NodeId::new(3), 16));
+    }
+
+    #[test]
+    fn local_msi_access_round_trips_without_network() {
+        // One node: every line is homed locally, so a miss resolves through
+        // the scheduled queue without any packets.
+        let mut m = MemoryNode::new(NodeId::new(0), 1, MemoryConfig::default());
+        assert_eq!(m.core_access(CoreMemOp::Store { addr: 0x40, value: 9 }, 0), None);
+        // Drive ticks with a mock IO; nothing should be sent.
+        struct NoIo;
+        impl NodeIo for NoIo {
+            fn node(&self) -> NodeId {
+                NodeId::new(0)
+            }
+            fn cycle(&self) -> Cycle {
+                0
+            }
+            fn alloc_packet_id(&mut self) -> hornet_net::ids::PacketId {
+                hornet_net::ids::PacketId::new(0)
+            }
+            fn send(&mut self, _packet: hornet_net::flit::Packet) {
+                panic!("local access must not use the network");
+            }
+            fn try_recv(&mut self) -> Option<hornet_net::flit::DeliveredPacket> {
+                None
+            }
+            fn peek_recv(&self) -> Option<&hornet_net::flit::DeliveredPacket> {
+                None
+            }
+            fn injection_backlog(&self) -> usize {
+                0
+            }
+            fn recv_backlog(&self) -> usize {
+                0
+            }
+        }
+        let mut io = NoIo;
+        let mut done = None;
+        for cycle in 1..200 {
+            m.tick(&mut io, cycle);
+            if let Some(v) = m.take_completion() {
+                done = Some((cycle, v));
+                break;
+            }
+        }
+        let (cycle, value) = done.expect("store completes");
+        assert_eq!(value, 9);
+        // Completion must include the DRAM latency for the cold miss.
+        assert!(cycle >= MemoryConfig::default().dram_latency);
+        // Subsequent store to the same line is an L1 hit.
+        assert_eq!(
+            m.core_access(CoreMemOp::Store { addr: 0x48, value: 10 }, cycle + 1),
+            Some(10)
+        );
+        assert_eq!(m.l1_stats().hits, 1);
+    }
+
+    #[test]
+    fn nuca_local_accesses_bypass_the_protocol() {
+        let cfg = MemoryConfig {
+            mode: CoherenceMode::Nuca,
+            ..MemoryConfig::default()
+        };
+        let mut m = MemoryNode::new(NodeId::new(0), 1, cfg);
+        assert_eq!(m.core_access(CoreMemOp::Store { addr: 0x10, value: 3 }, 0), Some(3));
+        assert_eq!(m.core_access(CoreMemOp::Load { addr: 0x10 }, 1), Some(3));
+        assert_eq!(m.stats().local_accesses, 2);
+        assert_eq!(m.stats().remote_accesses, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hornet-mem
+//!
+//! The memory hierarchy of HORNET-RS: set-associative caches, a
+//! directory-based MSI coherence protocol, NUCA-style distributed shared
+//! memory with remote accesses, and memory-controller agents — all
+//! communicating over the simulated network, so that memory traffic shapes
+//! (and is shaped by) on-chip congestion exactly as in the paper.
+//!
+//! The main entry point is [`hierarchy::MemoryNode`], the per-tile memory
+//! system owned by a core model or native frontend.
+//!
+//! ```
+//! use hornet_mem::hierarchy::{MemoryConfig, MemoryNode};
+//! use hornet_mem::l1::CoreMemOp;
+//! use hornet_net::ids::NodeId;
+//!
+//! let mut mem = MemoryNode::new(NodeId::new(0), 1, MemoryConfig::default());
+//! // A cold store misses and will complete after the (local) DRAM latency.
+//! assert_eq!(mem.core_access(CoreMemOp::Store { addr: 0x40, value: 1 }, 0), None);
+//! ```
+
+pub mod cache;
+pub mod controller;
+pub mod directory;
+pub mod hierarchy;
+pub mod l1;
+pub mod msg;
+
+pub use cache::{Cache, CacheConfig, CacheStats, LineState};
+pub use controller::{MemoryControllerAgent, MemoryControllerConfig};
+pub use directory::{DirState, DirectorySlice};
+pub use hierarchy::{CoherenceMode, DirectoryPlacement, MemoryConfig, MemoryNode};
+pub use l1::{AccessOutcome, CoreMemOp, L1Controller};
+pub use msg::{MemMessage, MsgClass};

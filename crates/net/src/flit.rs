@@ -1,0 +1,322 @@
+//! Packets and flits.
+//!
+//! A packet is the unit of end-to-end communication; it is split into flits
+//! (flow-control digits) for transmission through the wormhole network. The
+//! head flit carries the routing state; body and tail flits simply follow the
+//! path the head established.
+//!
+//! Per the paper, measurement state (injection time, per-hop accumulated
+//! latency) rides *inside* each flit so that loosely-synchronized parallel
+//! simulation never compares clock values from two different tiles.
+
+use crate::ids::{Cycle, FlowId, NodeId, PacketId};
+use serde::{Deserialize, Serialize};
+
+/// Position of a flit within its packet.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit; carries routing information.
+    Head,
+    /// Intermediate flit.
+    Body,
+    /// Last flit; frees the virtual channel behind it.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for `Head` and `HeadTail`.
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for `Tail` and `HeadTail`.
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// Measurement state carried inside a flit.
+///
+/// Latency is accumulated *incrementally at each node* so that the reported
+/// number never depends on the relative clock skew between two tiles — this is
+/// what lets loose synchronization keep near-100 % timing fidelity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlitStats {
+    /// Cycle (source-tile clock) at which the flit entered the source router's
+    /// ingress port.
+    pub injected_at: Cycle,
+    /// Local-clock cycle at which the flit arrived at the router currently
+    /// holding it (used to compute the per-hop residence time).
+    pub arrived_at_current: Cycle,
+    /// Total in-network latency accumulated so far, in cycles.
+    pub accumulated_latency: u64,
+    /// Number of router-to-router hops traversed so far.
+    pub hops: u32,
+}
+
+/// A flow-control digit: the unit of buffering and link transmission.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Packet this flit belongs to.
+    pub packet: PacketId,
+    /// Current flow identifier (may be a renamed phase of the original flow).
+    pub flow: FlowId,
+    /// Original (phase-0) flow identifier, restored at the destination.
+    pub original_flow: FlowId,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Sequence number within the packet (head = 0).
+    pub seq: u32,
+    /// Total number of flits in the packet.
+    pub packet_len: u32,
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Source node.
+    pub src: NodeId,
+    /// Cycle (sender's local clock) after which the flit may be observed by
+    /// the downstream router; models the one-cycle link traversal and keeps
+    /// cycle-accurate parallel simulation deterministic.
+    pub visible_at: Cycle,
+    /// Embedded measurement state.
+    pub stats: FlitStats,
+}
+
+impl Flit {
+    /// True if this flit is the head of its packet.
+    pub fn is_head(&self) -> bool {
+        self.kind.is_head()
+    }
+
+    /// True if this flit is the tail of its packet.
+    pub fn is_tail(&self) -> bool {
+        self.kind.is_tail()
+    }
+}
+
+/// Payload attached to a packet.
+///
+/// Synthetic traffic carries no payload; the memory hierarchy and the core
+/// model encode their protocol messages as a short sequence of words.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Payload(pub Vec<u64>);
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Payload from a slice of words.
+    pub fn from_words(words: &[u64]) -> Self {
+        Self(words.to_vec())
+    }
+
+    /// The payload words.
+    pub fn words(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload carries no words.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u64>> for Payload {
+    fn from(v: Vec<u64>) -> Self {
+        Self(v)
+    }
+}
+
+/// A packet: the unit of end-to-end communication offered to the network by a
+/// traffic generator, core, or memory controller.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique identifier.
+    pub id: PacketId,
+    /// Flow this packet belongs to (phase 0).
+    pub flow: FlowId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Packet length in flits (>= 1).
+    pub len_flits: u32,
+    /// Cycle at which the generator offered the packet to the network.
+    pub created_at: Cycle,
+    /// Cycle at which the first flit entered a router ingress buffer
+    /// (filled in by the bridge at injection time).
+    pub injected_at: Cycle,
+    /// Optional protocol payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Creates a packet with the given identity and length and an empty payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_flits == 0`.
+    pub fn new(
+        id: PacketId,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        len_flits: u32,
+        created_at: Cycle,
+    ) -> Self {
+        assert!(len_flits >= 1, "a packet must contain at least one flit");
+        Self {
+            id,
+            flow,
+            src,
+            dst,
+            len_flits,
+            created_at,
+            injected_at: created_at,
+            payload: Payload::empty(),
+        }
+    }
+
+    /// Attaches a payload, growing `len_flits` if needed so the payload fits.
+    ///
+    /// A flit is assumed to carry four 64-bit payload words beyond the header
+    /// information (a 256-bit-ish flit, typical for on-chip networks), so the
+    /// packet needs at least `1 + ceil(words / 4)` flits.
+    pub fn with_payload(mut self, payload: Payload) -> Self {
+        let needed = 1 + (payload.len() as u32).div_ceil(4);
+        if self.len_flits < needed {
+            self.len_flits = needed;
+        }
+        self.payload = payload;
+        self
+    }
+
+    /// Splits this packet into its flits, stamping the given injection cycle.
+    pub fn to_flits(&self, injected_at: Cycle) -> Vec<Flit> {
+        let n = self.len_flits;
+        (0..n)
+            .map(|seq| {
+                let kind = match (seq, n) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (s, n) if s == n - 1 => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                Flit {
+                    packet: self.id,
+                    flow: self.flow,
+                    original_flow: self.flow,
+                    kind,
+                    seq,
+                    packet_len: n,
+                    dst: self.dst,
+                    src: self.src,
+                    visible_at: injected_at,
+                    stats: FlitStats {
+                        injected_at,
+                        arrived_at_current: injected_at,
+                        accumulated_latency: 0,
+                        hops: 0,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// A packet that has been fully reassembled at its destination, together with
+/// the measurement data accumulated by its flits.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveredPacket {
+    /// The original packet (payload preserved by the bridge).
+    pub packet: Packet,
+    /// Cycle (destination-tile clock) at which the tail flit left the network.
+    pub delivered_at: Cycle,
+    /// In-network latency of the head flit (accumulated per hop).
+    pub head_latency: u64,
+    /// In-network latency of the tail flit (accumulated per hop); this is the
+    /// packet latency the paper reports.
+    pub tail_latency: u64,
+    /// Number of hops the packet traversed.
+    pub hops: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(len: u32) -> Packet {
+        Packet::new(
+            PacketId::new(1),
+            FlowId::new(3),
+            NodeId::new(0),
+            NodeId::new(5),
+            len,
+            10,
+        )
+    }
+
+    #[test]
+    fn single_flit_packet_is_headtail() {
+        let flits = packet(1).to_flits(10);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert!(flits[0].is_head() && flits[0].is_tail());
+    }
+
+    #[test]
+    fn multi_flit_packet_framing() {
+        let flits = packet(4).to_flits(12);
+        assert_eq!(flits.len(), 4);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Tail);
+        assert!(flits.iter().enumerate().all(|(i, f)| f.seq == i as u32));
+        assert!(flits.iter().all(|f| f.stats.injected_at == 12));
+        assert!(flits.iter().all(|f| f.packet_len == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_packet_panics() {
+        let _ = packet(0);
+    }
+
+    #[test]
+    fn payload_grows_packet_length() {
+        let p = packet(1).with_payload(Payload::from_words(&[1, 2, 3, 4, 5]));
+        assert_eq!(p.len_flits, 3); // head + ceil(5/4) payload flits
+        assert_eq!(p.payload.len(), 5);
+        // A payload that already fits does not shrink the packet.
+        let q = packet(8).with_payload(Payload::from_words(&[1]));
+        assert_eq!(q.len_flits, 8);
+    }
+
+    #[test]
+    fn flit_kind_predicates() {
+        assert!(FlitKind::Head.is_head());
+        assert!(!FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(!FlitKind::Tail.is_head());
+        assert!(FlitKind::HeadTail.is_head() && FlitKind::HeadTail.is_tail());
+        assert!(!FlitKind::Body.is_head() && !FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let p = Payload::from_words(&[7, 8]);
+        assert_eq!(p.words(), &[7, 8]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(Payload::empty().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Inter-router links, including bandwidth-adaptive bidirectional links.
+//!
+//! A plain link is a pair of unidirectional channels, each carrying
+//! `link_bandwidth` flits per cycle. When bidirectional links are enabled
+//! (paper §II-A4), the two directions share a combined budget of
+//! `2 × link_bandwidth` flits per cycle; a modeled hardware arbiter observes
+//! the demand published by the two facing ports each cycle and re-divides the
+//! budget accordingly, trading bandwidth in one direction for bandwidth in the
+//! other.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Shared state of one physical link operating in bandwidth-adaptive
+/// bidirectional mode.
+///
+/// Both endpoint routers hold an `Arc<BidirLink>`; each publishes its demand
+/// (flits ready to cross in its direction) during its negative clock edge, and
+/// reads back its granted bandwidth during the next positive edge. The grant
+/// is a pure function of the two published demands, so both sides compute a
+/// consistent allocation without further synchronization.
+#[derive(Debug)]
+pub struct BidirLink {
+    /// Combined budget shared by the two directions, in flits per cycle.
+    total_bandwidth: u32,
+    /// Demand published by each direction (0 and 1).
+    demand: [AtomicU32; 2],
+}
+
+impl BidirLink {
+    /// Creates a bidirectional link with a combined budget of
+    /// `2 × per_direction_bandwidth` flits per cycle.
+    pub fn new(per_direction_bandwidth: u32) -> Self {
+        Self {
+            total_bandwidth: per_direction_bandwidth.max(1) * 2,
+            demand: [AtomicU32::new(0), AtomicU32::new(0)],
+        }
+    }
+
+    /// Total flits per cycle shared by the two directions.
+    pub fn total_bandwidth(&self) -> u32 {
+        self.total_bandwidth
+    }
+
+    /// Publishes the number of flits direction `dir` (0 or 1) would like to
+    /// send next cycle.
+    pub fn publish_demand(&self, dir: usize, flits_ready: u32) {
+        self.demand[dir].store(flits_ready, Ordering::Release);
+    }
+
+    /// Returns the bandwidth granted to direction `dir` for the current cycle,
+    /// based on the demands both sides published last cycle.
+    ///
+    /// The arbitration rule divides the budget proportionally to demand, but
+    /// never starves a direction with non-zero demand and never grants more
+    /// than the total budget.
+    pub fn bandwidth_for(&self, dir: usize) -> u32 {
+        let d0 = self.demand[0].load(Ordering::Acquire);
+        let d1 = self.demand[1].load(Ordering::Acquire);
+        let (mine, theirs) = if dir == 0 { (d0, d1) } else { (d1, d0) };
+        let total = self.total_bandwidth;
+        if mine == 0 && theirs == 0 {
+            return total / 2;
+        }
+        if mine == 0 {
+            // Nothing to send: reserve a single slot so a flit arriving this
+            // cycle is not starved, give the rest away.
+            return 1.min(total);
+        }
+        if theirs == 0 {
+            return total.saturating_sub(1).max(1);
+        }
+        let share = (total as u64 * mine as u64) / (mine as u64 + theirs as u64);
+        (share as u32).clamp(1, total - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_link_splits_evenly() {
+        let l = BidirLink::new(1);
+        assert_eq!(l.total_bandwidth(), 2);
+        assert_eq!(l.bandwidth_for(0), 1);
+        assert_eq!(l.bandwidth_for(1), 1);
+    }
+
+    #[test]
+    fn one_sided_demand_gets_most_of_the_budget() {
+        let l = BidirLink::new(2); // total 4
+        l.publish_demand(0, 10);
+        l.publish_demand(1, 0);
+        assert_eq!(l.bandwidth_for(0), 3);
+        assert_eq!(l.bandwidth_for(1), 1);
+    }
+
+    #[test]
+    fn proportional_split_under_asymmetric_demand() {
+        let l = BidirLink::new(2); // total 4
+        l.publish_demand(0, 3);
+        l.publish_demand(1, 1);
+        assert_eq!(l.bandwidth_for(0), 3);
+        assert_eq!(l.bandwidth_for(1), 1);
+        // Grants never exceed the total budget.
+        assert!(l.bandwidth_for(0) + l.bandwidth_for(1) <= l.total_bandwidth());
+    }
+
+    #[test]
+    fn symmetric_demand_splits_evenly() {
+        let l = BidirLink::new(1);
+        l.publish_demand(0, 5);
+        l.publish_demand(1, 5);
+        assert_eq!(l.bandwidth_for(0), 1);
+        assert_eq!(l.bandwidth_for(1), 1);
+    }
+
+    #[test]
+    fn no_direction_with_demand_is_starved() {
+        let l = BidirLink::new(1); // total 2
+        l.publish_demand(0, 1000);
+        l.publish_demand(1, 1);
+        assert!(l.bandwidth_for(1) >= 1);
+        assert!(l.bandwidth_for(0) >= 1);
+    }
+}

@@ -1,0 +1,626 @@
+//! Network assembly and the single-threaded reference simulator.
+//!
+//! [`Network::new`] builds one router + bridge per node from a
+//! [`NetworkConfig`], wires all inter-router buffers (and bandwidth-adaptive
+//! links when enabled), and exposes a simple sequential `step`/`run` loop.
+//! The parallel engine in `hornet-core` consumes the same [`NetworkNode`]s via
+//! [`Network::into_nodes`] and drives them from multiple threads; by
+//! construction both produce bit-identical results in cycle-accurate mode.
+
+use crate::agent::{NodeAgent, NodeIo};
+use crate::bridge::Bridge;
+use crate::config::{ConfigError, NetworkConfig};
+use crate::flit::{DeliveredPacket, Packet};
+use crate::ids::{Cycle, NodeId, PacketId};
+use crate::link::BidirLink;
+use crate::payload::PayloadStore;
+use crate::router::{Router, RouterConfig};
+use crate::routing::build_routing;
+use crate::stats::NetworkStats;
+use crate::vca::{VcAllocKind, VcaPolicy};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::sync::Arc;
+
+/// Adapter giving agents packet-level access to the tile's bridge.
+struct TileIo<'a> {
+    bridge: &'a mut Bridge,
+    now: Cycle,
+}
+
+impl NodeIo for TileIo<'_> {
+    fn node(&self) -> NodeId {
+        self.bridge.node()
+    }
+    fn cycle(&self) -> Cycle {
+        self.now
+    }
+    fn alloc_packet_id(&mut self) -> PacketId {
+        self.bridge.alloc_packet_id()
+    }
+    fn send(&mut self, packet: Packet) {
+        self.bridge.send(packet);
+    }
+    fn try_recv(&mut self) -> Option<DeliveredPacket> {
+        self.bridge.try_recv()
+    }
+    fn peek_recv(&self) -> Option<&DeliveredPacket> {
+        self.bridge.peek_recv()
+    }
+    fn injection_backlog(&self) -> usize {
+        self.bridge.pending_packets()
+    }
+    fn recv_backlog(&self) -> usize {
+        self.bridge.delivered_len()
+    }
+}
+
+/// One tile of the simulated system: a router, its bridge, the locally
+/// attached agents, and the tile-private PRNG.
+pub struct NetworkNode {
+    router: Router,
+    bridge: Bridge,
+    agents: Vec<Box<dyn NodeAgent>>,
+    rng: ChaCha12Rng,
+    node: NodeId,
+}
+
+impl std::fmt::Debug for NetworkNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkNode")
+            .field("node", &self.node)
+            .field("agents", &self.agents.len())
+            .finish()
+    }
+}
+
+impl NetworkNode {
+    /// The node id of this tile.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Attaches an agent (traffic generator, CPU core, memory controller) to
+    /// this tile.
+    pub fn attach_agent(&mut self, agent: Box<dyn NodeAgent>) {
+        self.agents.push(agent);
+    }
+
+    /// Immutable access to this tile's router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Mutable access to this tile's router.
+    pub fn router_mut(&mut self) -> &mut Router {
+        &mut self.router
+    }
+
+    /// This tile's statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        self.router.stats()
+    }
+
+    /// Positive clock edge: run the router pipeline and step the agents.
+    pub fn posedge(&mut self, now: Cycle) {
+        self.router.posedge(now, &mut self.rng);
+        for agent in &mut self.agents {
+            let mut io = TileIo {
+                bridge: &mut self.bridge,
+                now,
+            };
+            agent.tick(&mut io, &mut self.rng);
+        }
+    }
+
+    /// Negative clock edge: apply staged router moves, hand ejected flits to
+    /// the bridge, and inject queued flits into the network.
+    pub fn negedge(&mut self, now: Cycle) {
+        self.router.negedge(now);
+        let delivered = self.router.take_delivered();
+        if !delivered.is_empty() {
+            self.bridge.accept(delivered, now, self.router.stats_mut());
+        }
+        self.bridge.inject(now, self.router.stats_mut());
+    }
+
+    /// True if the tile has no buffered flits and nothing queued for
+    /// injection.
+    pub fn is_idle(&self) -> bool {
+        self.router.is_idle() && self.bridge.injection_idle()
+    }
+
+    /// Number of flits buffered in this tile's router.
+    pub fn buffered_flits(&self) -> usize {
+        self.router.buffered_flits()
+    }
+
+    /// Earliest future cycle at which an agent on this tile wants to act, for
+    /// fast-forwarding.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut earliest: Option<Cycle> = None;
+        if !self.bridge.injection_idle() {
+            return Some(now + 1);
+        }
+        for agent in &self.agents {
+            if let Some(e) = agent.next_event(now) {
+                earliest = Some(earliest.map_or(e, |cur: Cycle| cur.min(e)));
+            }
+        }
+        earliest
+    }
+
+    /// True once every agent on this tile reports completion.
+    pub fn finished(&self) -> bool {
+        self.agents.iter().all(|a| a.finished())
+    }
+
+    /// Sets the tile clock (used by fast-forwarding).
+    pub fn set_cycle(&mut self, cycle: Cycle) {
+        self.router.set_cycle(cycle);
+    }
+
+    /// Clears the tile's statistics (used to discard the warm-up window).
+    pub fn reset_stats(&mut self) {
+        *self.router.stats_mut() = NetworkStats::new();
+    }
+}
+
+/// The assembled network plus the sequential reference simulator.
+pub struct Network {
+    nodes: Vec<NetworkNode>,
+    payload_store: Arc<PayloadStore>,
+    cycle: Cycle,
+    fast_forward: bool,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Builds routers, bridges and inter-router wiring from a configuration.
+    ///
+    /// `seed` drives every tile's private PRNG (tile seeds are derived
+    /// deterministically from it), so two runs with the same seed and
+    /// configuration produce identical results — regardless of how many host
+    /// threads later simulate the tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ConfigError`] if the configuration fails
+    /// validation.
+    pub fn new(config: &NetworkConfig, seed: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let geometry = &config.geometry;
+        let routing = build_routing(config.routing, geometry, &config.flows);
+
+        // O1TURN / Valiant / ROMM need phase-separated VC sets to stay
+        // deadlock-free; upgrade plain dynamic VCA accordingly.
+        let vca_kind = if config.routing.needs_phase_separated_vcs()
+            && config.vca == VcAllocKind::Dynamic
+        {
+            VcAllocKind::Phased
+        } else {
+            config.vca
+        };
+
+        let router_cfg = RouterConfig {
+            vcs_per_port: config.vcs_per_port,
+            vc_capacity: config.vc_capacity,
+            injection_vcs: config.injection_vcs,
+            injection_vc_capacity: config.injection_vc_capacity,
+            link_bandwidth: config.link_bandwidth,
+            ejection_bandwidth: config.ejection_bandwidth,
+        };
+
+        let payload_store = Arc::new(PayloadStore::new());
+        let mut routers: Vec<Router> = geometry
+            .nodes()
+            .map(|n| {
+                Router::new(
+                    n,
+                    geometry.neighbors(n),
+                    router_cfg.clone(),
+                    routing[n.index()].clone(),
+                    VcaPolicy::from_kind(vca_kind),
+                )
+            })
+            .collect();
+
+        // Wire every egress port to the downstream ingress buffers.
+        for conn in geometry.connections() {
+            let (a, b) = (conn.a, conn.b);
+            let a_to_b = routers[b.index()].ingress_buffers_from(a);
+            let b_to_a = routers[a.index()].ingress_buffers_from(b);
+            routers[a.index()].connect_egress(b, a_to_b);
+            routers[b.index()].connect_egress(a, b_to_a);
+            if config.bidirectional_links {
+                let link = Arc::new(BidirLink::new(config.link_bandwidth));
+                routers[a.index()].attach_bidir_link(b, Arc::clone(&link), 0);
+                routers[b.index()].attach_bidir_link(a, link, 1);
+            }
+        }
+
+        let nodes = routers
+            .into_iter()
+            .map(|router| {
+                let node = router.node();
+                let mut bridge = Bridge::new(
+                    node,
+                    router.injection_buffers(),
+                    config.link_bandwidth,
+                );
+                bridge.attach_payload_store(Arc::clone(&payload_store));
+                let rng = ChaCha12Rng::seed_from_u64(
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node.raw() as u64 + 1)),
+                );
+                NetworkNode {
+                    router,
+                    bridge,
+                    agents: Vec::new(),
+                    rng,
+                    node,
+                }
+            })
+            .collect();
+
+        Ok(Self {
+            nodes,
+            payload_store,
+            cycle: 0,
+            fast_forward: false,
+        })
+    }
+
+    /// Enables or disables fast-forwarding of idle periods (paper §IV-B).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Number of tiles.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shared payload store (the DMA side-channel).
+    pub fn payload_store(&self) -> Arc<PayloadStore> {
+        Arc::clone(&self.payload_store)
+    }
+
+    /// Access to one tile.
+    pub fn node(&self, id: NodeId) -> &NetworkNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to one tile.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NetworkNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Attaches an agent to a tile.
+    pub fn attach_agent(&mut self, node: NodeId, agent: Box<dyn NodeAgent>) {
+        self.nodes[node.index()].attach_agent(agent);
+    }
+
+    /// The current simulated cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Consumes the network and returns its tiles (plus the payload store) so
+    /// a parallel engine can distribute them across threads.
+    pub fn into_nodes(self) -> (Vec<NetworkNode>, Arc<PayloadStore>) {
+        (self.nodes, self.payload_store)
+    }
+
+    /// True if no flit is buffered anywhere and no injector has pending work.
+    pub fn is_idle(&self) -> bool {
+        self.nodes.iter().all(NetworkNode::is_idle)
+    }
+
+    /// Total flits currently buffered in the network.
+    pub fn flits_in_flight(&self) -> usize {
+        self.nodes.iter().map(NetworkNode::buffered_flits).sum()
+    }
+
+    /// Earliest future event across all tiles (for fast-forwarding).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.next_event(now))
+            .min()
+    }
+
+    /// Advances the simulation by exactly one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle + 1;
+        for node in &mut self.nodes {
+            node.posedge(now);
+        }
+        for node in &mut self.nodes {
+            node.negedge(now);
+        }
+        self.cycle = now;
+    }
+
+    /// Runs for `cycles` simulated cycles (honouring fast-forwarding when
+    /// enabled).
+    pub fn run(&mut self, cycles: Cycle) {
+        let end = self.cycle + cycles;
+        while self.cycle < end {
+            if self.fast_forward && self.is_idle() {
+                match self.next_event(self.cycle) {
+                    Some(next) if next > self.cycle + 1 => {
+                        let target = next.min(end);
+                        let skipped = target.saturating_sub(self.cycle + 1);
+                        for node in &mut self.nodes {
+                            node.set_cycle(target - 1);
+                            node.router_mut().stats_mut().fast_forwarded_cycles += skipped;
+                        }
+                        self.cycle = target - 1;
+                    }
+                    Some(_) => {}
+                    None => {
+                        // Nothing will ever happen again; jump to the end.
+                        for node in &mut self.nodes {
+                            node.set_cycle(end);
+                            node.router_mut().stats_mut().fast_forwarded_cycles +=
+                                end - self.cycle;
+                        }
+                        self.cycle = end;
+                        break;
+                    }
+                }
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until every agent reports completion and the network has drained,
+    /// or until `max_cycles` have elapsed. Returns `true` if the simulation
+    /// completed (did not hit the cycle limit).
+    pub fn run_to_completion(&mut self, max_cycles: Cycle) -> bool {
+        let end = self.cycle + max_cycles;
+        while self.cycle < end {
+            let finished = self.nodes.iter().all(NetworkNode::finished) && self.is_idle();
+            if finished {
+                return true;
+            }
+            self.step();
+        }
+        self.nodes.iter().all(NetworkNode::finished) && self.is_idle()
+    }
+
+    /// Clears every tile's statistics (used to discard the warm-up window
+    /// before the measured window, as in Table I's methodology).
+    pub fn reset_stats(&mut self) {
+        for node in &mut self.nodes {
+            node.reset_stats();
+        }
+    }
+
+    /// Merged statistics across all tiles.
+    pub fn stats(&self) -> NetworkStats {
+        let mut merged = NetworkStats::new();
+        for node in &self.nodes {
+            merged.merge(node.stats());
+        }
+        merged
+    }
+
+    /// Per-tile statistics (indexed by node), e.g. for thermal maps.
+    pub fn per_node_stats(&self) -> Vec<NetworkStats> {
+        self.nodes.iter().map(|n| n.stats().clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::SinkAgent;
+    use crate::flit::Packet;
+    use crate::geometry::Geometry;
+    use crate::ids::FlowId;
+    use crate::routing::{FlowSpec, RoutingKind};
+    use rand_chacha::ChaCha12Rng;
+
+    /// Sends `count` packets from `src` to `dst`, one every `period` cycles.
+    struct PeriodicSender {
+        src: NodeId,
+        dst: NodeId,
+        node_count: usize,
+        period: Cycle,
+        remaining: u32,
+        next_send: Cycle,
+        packet_len: u32,
+    }
+
+    impl NodeAgent for PeriodicSender {
+        fn tick(&mut self, io: &mut dyn NodeIo, _rng: &mut ChaCha12Rng) {
+            if self.remaining > 0 && io.cycle() >= self.next_send {
+                let id = io.alloc_packet_id();
+                let packet = Packet::new(
+                    id,
+                    FlowId::for_pair(self.src, self.dst, self.node_count),
+                    self.src,
+                    self.dst,
+                    self.packet_len,
+                    io.cycle(),
+                );
+                io.send(packet);
+                self.remaining -= 1;
+                self.next_send = io.cycle() + self.period;
+            }
+        }
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            (self.remaining > 0).then_some(self.next_send.max(now + 1))
+        }
+        fn finished(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    fn mesh_network(w: usize, h: usize, flows: Vec<FlowSpec>) -> Network {
+        let cfg = NetworkConfig::new(Geometry::mesh2d(w, h))
+            .with_routing(RoutingKind::Xy)
+            .with_flows(flows);
+        Network::new(&cfg, 42).expect("valid config")
+    }
+
+    #[test]
+    fn packets_cross_a_mesh_and_are_counted() {
+        let src = NodeId::new(0);
+        let dst = NodeId::new(8);
+        let flows = vec![FlowSpec::pair(src, dst, 9)];
+        let mut net = mesh_network(3, 3, flows);
+        net.attach_agent(
+            src,
+            Box::new(PeriodicSender {
+                src,
+                dst,
+                node_count: 9,
+                period: 10,
+                remaining: 5,
+                next_send: 0,
+                packet_len: 4,
+            }),
+        );
+        net.attach_agent(dst, Box::new(SinkAgent::new()));
+        assert!(net.run_to_completion(5_000));
+        let stats = net.stats();
+        assert_eq!(stats.delivered_packets, 5);
+        assert_eq!(stats.delivered_flits, 20);
+        assert_eq!(stats.injected_packets, 5);
+        assert!(stats.avg_packet_latency() > 0.0);
+        assert_eq!(stats.routing_failures, 0);
+        // 0 -> 8 on a 3x3 mesh is 4 hops.
+        assert_eq!(stats.avg_hops(), 4.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let src = NodeId::new(2);
+            let dst = NodeId::new(6);
+            let flows = vec![FlowSpec::pair(src, dst, 9)];
+            let cfg = NetworkConfig::new(Geometry::mesh2d(3, 3))
+                .with_routing(RoutingKind::O1Turn)
+                .with_flows(flows);
+            let mut net = Network::new(&cfg, seed).unwrap();
+            net.attach_agent(
+                src,
+                Box::new(PeriodicSender {
+                    src,
+                    dst,
+                    node_count: 9,
+                    period: 3,
+                    remaining: 20,
+                    next_send: 0,
+                    packet_len: 4,
+                }),
+            );
+            net.run_to_completion(10_000);
+            net.stats().total_packet_latency
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds may legitimately differ (O1TURN picks paths randomly),
+        // but both must deliver all packets.
+        let _ = run(8);
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_gaps_without_changing_results() {
+        let src = NodeId::new(0);
+        let dst = NodeId::new(3);
+        let flows = vec![FlowSpec::pair(src, dst, 4)];
+        let build = |ff: bool| {
+            let cfg = NetworkConfig::new(Geometry::mesh2d(2, 2)).with_flows(flows.clone());
+            let mut net = Network::new(&cfg, 1).unwrap();
+            net.set_fast_forward(ff);
+            net.attach_agent(
+                src,
+                Box::new(PeriodicSender {
+                    src,
+                    dst,
+                    node_count: 4,
+                    period: 500,
+                    remaining: 3,
+                    next_send: 0,
+                    packet_len: 2,
+                }),
+            );
+            net.attach_agent(dst, Box::new(SinkAgent::new()));
+            net.run(2_000);
+            net.stats()
+        };
+        let slow = build(false);
+        let fast = build(true);
+        assert_eq!(slow.delivered_packets, fast.delivered_packets);
+        assert_eq!(slow.total_packet_latency, fast.total_packet_latency);
+        assert!(fast.fast_forwarded_cycles > 0, "idle gaps should be skipped");
+        assert!(fast.simulated_cycles < slow.simulated_cycles);
+    }
+
+    #[test]
+    fn payloads_reach_remote_destinations() {
+        use crate::flit::Payload;
+        struct OneShotSender {
+            sent: bool,
+        }
+        impl NodeAgent for OneShotSender {
+            fn tick(&mut self, io: &mut dyn NodeIo, _rng: &mut ChaCha12Rng) {
+                if !self.sent {
+                    let id = io.alloc_packet_id();
+                    let packet = Packet::new(
+                        id,
+                        FlowId::for_pair(NodeId::new(0), NodeId::new(3), 4),
+                        NodeId::new(0),
+                        NodeId::new(3),
+                        1,
+                        io.cycle(),
+                    )
+                    .with_payload(Payload::from_words(&[1, 2, 3]));
+                    io.send(packet);
+                    self.sent = true;
+                }
+            }
+            fn next_event(&self, now: Cycle) -> Option<Cycle> {
+                (!self.sent).then_some(now + 1)
+            }
+            fn finished(&self) -> bool {
+                self.sent
+            }
+        }
+        struct PayloadChecker {
+            got: Option<Vec<u64>>,
+        }
+        impl NodeAgent for PayloadChecker {
+            fn tick(&mut self, io: &mut dyn NodeIo, _rng: &mut ChaCha12Rng) {
+                if let Some(d) = io.try_recv() {
+                    self.got = Some(d.packet.payload.words().to_vec());
+                }
+            }
+            fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+                None
+            }
+            fn finished(&self) -> bool {
+                self.got.is_some()
+            }
+        }
+        let flows = vec![FlowSpec::pair(NodeId::new(0), NodeId::new(3), 4)];
+        let cfg = NetworkConfig::new(Geometry::mesh2d(2, 2)).with_flows(flows);
+        let mut net = Network::new(&cfg, 3).unwrap();
+        net.attach_agent(NodeId::new(0), Box::new(OneShotSender { sent: false }));
+        net.attach_agent(NodeId::new(3), Box::new(PayloadChecker { got: None }));
+        assert!(net.run_to_completion(1_000));
+        // Inspect the checker indirectly: completion implies it received the
+        // packet; the payload store must be drained.
+        assert!(net.payload_store().is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal adaptive routing support: an all-pairs hop-distance matrix that the
+//! router uses to enumerate minimal next hops, choosing among them at run time
+//! by downstream buffer availability (congestion).
+
+use crate::geometry::Geometry;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// All-pairs hop distances over a geometry, stored densely.
+///
+/// Construction is `O(nodes × links)` (one BFS per node); lookups are O(1).
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<u32>,
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl DistanceMatrix {
+    /// Builds the distance matrix for a geometry.
+    pub fn new(geometry: &Geometry) -> Self {
+        let n = geometry.node_count();
+        let mut dist = vec![u32::MAX; n * n];
+        for src in geometry.nodes() {
+            let base = src.index() * n;
+            dist[base + src.index()] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(src);
+            while let Some(v) = queue.pop_front() {
+                let dv = dist[base + v.index()];
+                for &w in geometry.neighbors(v) {
+                    if dist[base + w.index()] == u32::MAX {
+                        dist[base + w.index()] = dv + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        let neighbors = geometry
+            .nodes()
+            .map(|v| geometry.neighbors(v).to_vec())
+            .collect();
+        Self { n, dist, neighbors }
+    }
+
+    /// Hop distance between two nodes (`u32::MAX` if unreachable).
+    pub fn distance(&self, from: NodeId, to: NodeId) -> u32 {
+        self.dist[from.index() * self.n + to.index()]
+    }
+
+    /// Neighbours of `node` that lie on a minimal path toward `dst`.
+    pub fn minimal_next_hops(&self, node: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let d = self.distance(node, dst);
+        if d == 0 || d == u32::MAX {
+            return Vec::new();
+        }
+        self.neighbors[node.index()]
+            .iter()
+            .copied()
+            .filter(|&w| self.distance(w, dst) + 1 == d)
+            .collect()
+    }
+
+    /// Number of nodes covered by the matrix.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn distances_match_bfs() {
+        let g = Geometry::mesh2d(4, 4);
+        let m = DistanceMatrix::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(m.distance(a, b) as usize, g.hop_distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_next_hops_on_mesh() {
+        let g = Geometry::mesh2d(3, 3);
+        let m = DistanceMatrix::new(&g);
+        // From a corner to the opposite corner both outgoing links are minimal.
+        let hops = m.minimal_next_hops(n(0), n(8));
+        assert_eq!(hops.len(), 2);
+        assert!(hops.contains(&n(1)) && hops.contains(&n(3)));
+        // At the destination there are no next hops.
+        assert!(m.minimal_next_hops(n(8), n(8)).is_empty());
+        // One hop away there is exactly one minimal next hop.
+        assert_eq!(m.minimal_next_hops(n(7), n(8)), vec![n(8)]);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_next_hops() {
+        use crate::geometry::Connection;
+        let g = Geometry::custom(3, vec![Connection::new(n(0), n(1))]);
+        let m = DistanceMatrix::new(&g);
+        assert_eq!(m.distance(n(0), n(2)), u32::MAX);
+        assert!(m.minimal_next_hops(n(0), n(2)).is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! The ingress virtual-channel buffer — the only data structure shared between
+//! two simulation threads.
+//!
+//! As in the paper (§II-C), each VC buffer carries two fine-grained locks: one
+//! at the tail (ingress) end, taken by the *upstream* router when it deposits
+//! flits, and one at the head (egress) end, taken by the *downstream* router
+//! that owns the buffer. Because these are the only points of communication
+//! between two tiles, correct locking of the two ends guarantees that no flit
+//! is lost or reordered regardless of the relative progress of the two
+//! threads.
+//!
+//! Occupancy is additionally published in an atomic counter so the upstream
+//! router can perform credit checks without taking a lock.
+
+use crate::flit::Flit;
+use crate::ids::Cycle;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded FIFO of flits with independently lockable head and tail ends.
+#[derive(Debug)]
+pub struct VcBuffer {
+    capacity: usize,
+    /// Tail (ingress) end: flits deposited by the upstream router and not yet
+    /// claimed by the owner.
+    tail: Mutex<VecDeque<Flit>>,
+    /// Head (egress) end: flits visible to the owning (downstream) router.
+    head: Mutex<VecDeque<Flit>>,
+    /// Total number of flits resident in the buffer (tail + head), updated by
+    /// whichever side adds or removes flits; read lock-free for credit checks.
+    occupancy: AtomicUsize,
+}
+
+impl VcBuffer {
+    /// Creates a buffer holding at most `capacity` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a VC buffer needs capacity for at least one flit");
+        Self {
+            capacity,
+            tail: Mutex::new(VecDeque::new()),
+            head: Mutex::new(VecDeque::new()),
+            occupancy: AtomicUsize::new(0),
+        }
+    }
+
+    /// Buffer capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy (flits resident in the buffer). This is the value
+    /// upstream credit checks use; it intentionally lags pops by up to one
+    /// cycle, exactly like a hardware credit loop.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy.load(Ordering::Acquire)
+    }
+
+    /// Free space, in flits.
+    pub fn free_space(&self) -> usize {
+        self.capacity.saturating_sub(self.occupancy())
+    }
+
+    /// Deposits a flit at the tail end. Called by the upstream router (or the
+    /// local bridge) during its negative clock edge.
+    ///
+    /// Returns `false` (and does not enqueue) if the buffer is full; callers
+    /// are expected to have performed a credit check first, so a `false`
+    /// return indicates a flow-control bug and is counted by the router.
+    #[must_use]
+    pub fn push(&self, flit: Flit) -> bool {
+        // Reserve space first so concurrent pushes can never overflow.
+        let prev = self.occupancy.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.capacity {
+            self.occupancy.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        self.tail.lock().push_back(flit);
+        true
+    }
+
+    /// Moves flits deposited at the tail end into the head end. Called by the
+    /// owning router at the start of its cycle; after this, [`peek`](Self::peek)
+    /// and [`pop_if`](Self::pop_if) observe them.
+    pub fn absorb_tail(&self) {
+        let mut tail = self.tail.lock();
+        if tail.is_empty() {
+            return;
+        }
+        let mut head = self.head.lock();
+        head.extend(tail.drain(..));
+    }
+
+    /// Returns a copy of the flit at the head of the buffer, if any, provided
+    /// it has become visible by `now` (its `visible_at` stamp has passed).
+    pub fn peek(&self, now: Cycle) -> Option<Flit> {
+        let head = self.head.lock();
+        head.front().copied().filter(|f| f.visible_at <= now)
+    }
+
+    /// Pops the head flit if it is visible by `now` and `pred` accepts it.
+    pub fn pop_if(&self, now: Cycle, pred: impl FnOnce(&Flit) -> bool) -> Option<Flit> {
+        let mut head = self.head.lock();
+        let matches = head
+            .front()
+            .map(|f| f.visible_at <= now && pred(f))
+            .unwrap_or(false);
+        if matches {
+            let flit = head.pop_front();
+            drop(head);
+            self.occupancy.fetch_sub(1, Ordering::AcqRel);
+            flit
+        } else {
+            None
+        }
+    }
+
+    /// Number of flits currently visible at the head end (ignores the
+    /// visibility timestamp; used for statistics).
+    pub fn head_len(&self) -> usize {
+        self.head.lock().len()
+    }
+
+    /// True if the buffer holds no flits at all.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy() == 0
+    }
+
+    /// Drains every flit out of the buffer (test / teardown helper).
+    pub fn drain_all(&self) -> Vec<Flit> {
+        let mut out = Vec::new();
+        {
+            let mut head = self.head.lock();
+            out.extend(head.drain(..));
+        }
+        {
+            let mut tail = self.tail.lock();
+            out.extend(tail.drain(..));
+        }
+        self.occupancy.store(0, Ordering::Release);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlitStats};
+    use crate::ids::{FlowId, NodeId, PacketId};
+
+    fn flit(seq: u32, visible_at: Cycle) -> Flit {
+        Flit {
+            packet: PacketId::new(1),
+            flow: FlowId::new(1),
+            original_flow: FlowId::new(1),
+            kind: if seq == 0 { FlitKind::Head } else { FlitKind::Body },
+            seq,
+            packet_len: 8,
+            dst: NodeId::new(1),
+            src: NodeId::new(0),
+            visible_at,
+            stats: FlitStats::default(),
+        }
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let buf = VcBuffer::new(2);
+        assert!(buf.push(flit(0, 0)));
+        assert!(buf.push(flit(1, 0)));
+        assert!(!buf.push(flit(2, 0)));
+        assert_eq!(buf.occupancy(), 2);
+        assert_eq!(buf.free_space(), 0);
+    }
+
+    #[test]
+    fn fifo_order_preserved_across_absorb() {
+        let buf = VcBuffer::new(8);
+        for i in 0..4 {
+            assert!(buf.push(flit(i, 0)));
+        }
+        buf.absorb_tail();
+        for i in 0..4 {
+            let f = buf.pop_if(10, |_| true).expect("flit present");
+            assert_eq!(f.seq, i);
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn visibility_timestamp_hides_future_flits() {
+        let buf = VcBuffer::new(4);
+        assert!(buf.push(flit(0, 5)));
+        buf.absorb_tail();
+        assert!(buf.peek(4).is_none());
+        assert!(buf.pop_if(4, |_| true).is_none());
+        assert!(buf.peek(5).is_some());
+        assert!(buf.pop_if(5, |_| true).is_some());
+    }
+
+    #[test]
+    fn pop_if_respects_predicate() {
+        let buf = VcBuffer::new(4);
+        assert!(buf.push(flit(0, 0)));
+        buf.absorb_tail();
+        assert!(buf.pop_if(1, |f| f.seq == 9).is_none());
+        assert_eq!(buf.occupancy(), 1);
+        assert!(buf.pop_if(1, |f| f.seq == 0).is_some());
+        assert_eq!(buf.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_counts_both_ends() {
+        let buf = VcBuffer::new(4);
+        assert!(buf.push(flit(0, 0)));
+        buf.absorb_tail();
+        assert!(buf.push(flit(1, 0)));
+        assert_eq!(buf.occupancy(), 2);
+        assert_eq!(buf.head_len(), 1);
+        let drained = buf.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_preserves_order_and_count() {
+        use std::sync::Arc;
+        let buf = Arc::new(VcBuffer::new(4));
+        let producer = {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || {
+                let mut pushed = 0u32;
+                while pushed < 1000 {
+                    if buf.push(flit(pushed, 0)) {
+                        pushed += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let consumer = {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || {
+                let mut expected = 0u32;
+                while expected < 1000 {
+                    buf.absorb_tail();
+                    if let Some(f) = buf.pop_if(u64::MAX, |_| true) {
+                        assert_eq!(f.seq, expected, "flits must arrive in order");
+                        expected += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        assert!(buf.is_empty());
+    }
+}

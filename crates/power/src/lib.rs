@@ -1,0 +1,24 @@
+//! # hornet-power
+//!
+//! Power and thermal modeling for HORNET-RS (paper §II-B): an ORION-like
+//! per-event dynamic + leakage energy model driven by the router activity
+//! counters, and a HOTSPOT-like RC-grid thermal model producing per-tile,
+//! per-interval temperature traces and steady-state maps.
+//!
+//! ```
+//! use hornet_power::energy::{PowerConfig, RouterPowerModel};
+//! use hornet_power::thermal::{ThermalConfig, ThermalGrid};
+//! use hornet_net::stats::RouterActivity;
+//!
+//! let model = RouterPowerModel::new(PowerConfig::default());
+//! let sample = model.sample(&RouterActivity::default(), 1_000);
+//! let mut grid = ThermalGrid::new(8, 8, ThermalConfig::default());
+//! grid.run(&vec![sample.total_w(); 64], 10);
+//! assert!(grid.mean_temp() > 0.0);
+//! ```
+
+pub mod energy;
+pub mod thermal;
+
+pub use energy::{activity_delta, PowerConfig, PowerSample, RouterPowerModel};
+pub use thermal::{SensorPlacement, ThermalConfig, ThermalGrid};

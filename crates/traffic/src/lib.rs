@@ -1,0 +1,42 @@
+//! # hornet-traffic
+//!
+//! Traffic generation for HORNET-RS: synthetic patterns (transpose,
+//! bit-complement, shuffle, uniform, hotspot, …) with Bernoulli / periodic /
+//! bursty injection processes, a text-format trace reader and trace-driven
+//! injector, and SPLASH-2 / PARSEC-like workload synthesizers calibrated to
+//! the qualitative traffic characteristics the paper's evaluation relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use hornet_traffic::injector::{run_synthetic, SyntheticConfig};
+//! use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
+//! use hornet_net::geometry::Geometry;
+//! use hornet_net::routing::RoutingKind;
+//! use hornet_net::vca::VcAllocKind;
+//!
+//! let report = run_synthetic(
+//!     Geometry::mesh2d(4, 4),
+//!     SyntheticPattern::Transpose,
+//!     RoutingKind::Xy,
+//!     VcAllocKind::Dynamic,
+//!     SyntheticConfig {
+//!         process: InjectionProcess::Bernoulli { rate: 0.01 },
+//!         ..SyntheticConfig::default()
+//!     },
+//!     100,
+//!     1_000,
+//!     42,
+//! );
+//! assert!(report.delivered_packets > 0);
+//! ```
+
+pub mod injector;
+pub mod pattern;
+pub mod splash;
+pub mod trace;
+
+pub use injector::{SyntheticConfig, SyntheticInjector, SyntheticRunReport};
+pub use pattern::{InjectionProcess, SyntheticPattern};
+pub use splash::{SplashBenchmark, SplashWorkload, WorkloadProfile};
+pub use trace::{Trace, TraceEvent, TraceInjector};

@@ -1,0 +1,32 @@
+//! Quickstart: simulate uniform-random traffic on an 8×8 mesh and print the
+//! headline statistics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hornet::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    let report = SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(8, 8))
+        .routing(RoutingKind::Xy)
+        .vc_allocation(VcAllocKind::Dynamic)
+        .vcs_per_port(4)
+        .vc_buffer_depth(4)
+        .traffic(TrafficKind::uniform(0.02))
+        .warmup_cycles(2_000)
+        .measured_cycles(20_000)
+        .threads(2)
+        .seed(42)
+        .build()?
+        .run()?;
+
+    println!("simulated cycles          : {}", report.measured_cycles);
+    println!("host threads              : {}", report.threads);
+    println!("sync mode                 : {}", report.sync_label);
+    println!("delivered packets         : {}", report.network.delivered_packets);
+    println!("avg in-network latency    : {:.2} cycles", report.network.avg_packet_latency());
+    println!("avg hops                  : {:.2}", report.network.avg_hops());
+    println!("throughput                : {:.4} packets/cycle", report.network.throughput());
+    println!("simulation speed          : {:.0} cycles/s", report.simulation_speed());
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Domain example: sweep routing algorithms and VC-allocation schemes over a
+//! congested SPLASH-like workload (the kind of design-space exploration
+//! Figures 9–11 of the paper perform) and print the resulting latency matrix.
+//!
+//! Run with `cargo run --release --example routing_vca_sweep`.
+
+use hornet::net::geometry::Geometry;
+use hornet::net::routing::RoutingKind;
+use hornet::net::vca::VcAllocKind;
+use hornet::traffic::splash::{SplashBenchmark, SplashWorkload};
+use std::sync::Arc;
+
+fn main() {
+    let geometry = Arc::new(Geometry::mesh2d(8, 8));
+    println!("benchmark=water (scaled up), 8x8 mesh, 4 VCs x 8 flits, 1 MC at node 0\n");
+    println!("{:<10} {:<10} {:>16}", "routing", "vca", "avg latency (cyc)");
+    for routing in [RoutingKind::Xy, RoutingKind::O1Turn, RoutingKind::Romm] {
+        for vca in [VcAllocKind::Dynamic, VcAllocKind::Edvca] {
+            let workload =
+                SplashWorkload::new(SplashBenchmark::Water, Arc::clone(&geometry)).scaled(1.5);
+            let mut network = workload.build_network(routing, vca, 4, 8, 7);
+            network.run(1_000);
+            network.reset_stats();
+            network.run(8_000);
+            let stats = network.stats();
+            println!(
+                "{:<10} {:<10} {:>16.2}",
+                routing.label(),
+                vca.label(),
+                stats.avg_packet_latency()
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # HORNET-RS
+//!
+//! A parallel, highly configurable, cycle-level multicore network-on-chip
+//! simulator, reproducing *"Scalable, accurate multicore simulation in the
+//! 1000-core era"* (Lis et al., ISPASS 2011).
+//!
+//! This facade crate re-exports the individual subsystem crates under a single
+//! convenient namespace:
+//!
+//! * [`net`] — the ingress-queued virtual-channel wormhole router model,
+//!   interconnect geometries, table-driven routing and VC allocation.
+//! * [`traffic`] — synthetic traffic patterns, trace-driven injection, and
+//!   SPLASH-2-like workload synthesizers.
+//! * [`mem`] — caches, MSI coherence, NUCA shared memory and memory
+//!   controllers.
+//! * [`cpu`] — the built-in MIPS-like core model, its assembler, the network
+//!   syscall interface, and the Pin-like native frontend.
+//! * [`power`] — ORION-like energy accounting and a HOTSPOT-like thermal grid.
+//! * [`sim`] — the parallel simulation engine and the top-level
+//!   [`sim::SimulationBuilder`] façade.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hornet::prelude::*;
+//!
+//! # fn main() -> Result<(), hornet::sim::SimError> {
+//! let report = SimulationBuilder::new()
+//!     .geometry(Geometry::mesh2d(4, 4))
+//!     .routing(RoutingKind::Xy)
+//!     .vc_allocation(VcAllocKind::Dynamic)
+//!     .vcs_per_port(4)
+//!     .vc_buffer_depth(4)
+//!     .traffic(TrafficKind::uniform(0.05))
+//!     .warmup_cycles(100)
+//!     .measured_cycles(1_000)
+//!     .seed(42)
+//!     .build()?
+//!     .run()?;
+//! assert!(report.network.delivered_packets > 0);
+//! # Ok(())
+//! # }
+//! ```
+pub use hornet_core as sim;
+pub use hornet_cpu as cpu;
+pub use hornet_mem as mem;
+pub use hornet_net as net;
+pub use hornet_power as power;
+pub use hornet_traffic as traffic;
+
+/// Commonly used types, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::net::{
+        config::NetworkConfig,
+        flit::{Flit, Packet},
+        geometry::Geometry,
+        ids::{FlowId, NodeId, VcId},
+        routing::RoutingKind,
+        vca::VcAllocKind,
+    };
+    pub use crate::sim::{
+        engine::SyncMode,
+        report::SimReport,
+        sim::{SimError, Simulation, SimulationBuilder, TrafficKind},
+    };
+    pub use crate::traffic::pattern::SyntheticPattern;
+}

@@ -1,0 +1,83 @@
+//! Cross-crate integration tests of the engine's central correctness claim:
+//! cycle-accurate parallel simulation is bit-identical to sequential
+//! simulation with the same seed, across routing schemes and traffic patterns,
+//! while loose synchronization preserves functional correctness.
+
+use hornet::prelude::*;
+use hornet::traffic::pattern::SyntheticPattern;
+
+fn run(threads: usize, sync: SyncMode, routing: RoutingKind, seed: u64) -> hornet::net::NetworkStats {
+    SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(4, 4))
+        .routing(routing)
+        .traffic(TrafficKind::pattern(SyntheticPattern::UniformRandom, 0.03))
+        .warmup_cycles(200)
+        .measured_cycles(2_000)
+        .threads(threads)
+        .sync(sync)
+        .seed(seed)
+        .build()
+        .expect("valid configuration")
+        .run()
+        .expect("runs")
+        .network
+}
+
+#[test]
+fn parallel_cycle_accurate_is_bit_identical_across_thread_counts() {
+    for routing in [RoutingKind::Xy, RoutingKind::O1Turn, RoutingKind::AdaptiveMinimal] {
+        let baseline = run(1, SyncMode::CycleAccurate, routing, 77);
+        for threads in [2usize, 3, 4, 8] {
+            let parallel = run(threads, SyncMode::CycleAccurate, routing, 77);
+            assert_eq!(
+                baseline.delivered_packets, parallel.delivered_packets,
+                "{routing:?} {threads} threads"
+            );
+            assert_eq!(
+                baseline.total_packet_latency, parallel.total_packet_latency,
+                "{routing:?} {threads} threads"
+            );
+            assert_eq!(baseline.total_hops, parallel.total_hops);
+            assert_eq!(baseline.injected_flits, parallel.injected_flits);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_random_routing_decisions() {
+    let a = run(1, SyncMode::CycleAccurate, RoutingKind::O1Turn, 1);
+    let b = run(1, SyncMode::CycleAccurate, RoutingKind::O1Turn, 2);
+    // Both deliver traffic, but the exact latency totals differ because path
+    // choices and injection draws differ.
+    assert!(a.delivered_packets > 0 && b.delivered_packets > 0);
+    assert_ne!(
+        (a.total_packet_latency, a.injected_flits),
+        (b.total_packet_latency, b.injected_flits)
+    );
+}
+
+#[test]
+fn loose_sync_loses_no_packets_and_stays_close_in_latency() {
+    let accurate = run(4, SyncMode::CycleAccurate, RoutingKind::Xy, 5);
+    let loose = run(4, SyncMode::Periodic(5), RoutingKind::Xy, 5);
+    // The measurement window is a fixed number of cycles, so the exact number
+    // of packets that happen to complete inside it may shift slightly under
+    // loose synchronization; functional correctness means nothing is lost or
+    // duplicated (no routing failures, delivered <= injected) and the counts
+    // stay within a few percent.
+    assert_eq!(accurate.routing_failures, 0);
+    assert_eq!(loose.routing_failures, 0);
+    // (delivered may exceed injected within the measured window because
+    // packets injected during the discarded warm-up window drain into it.)
+    let diff = (accurate.delivered_packets as f64 - loose.delivered_packets as f64).abs()
+        / accurate.delivered_packets.max(1) as f64;
+    assert!(diff < 0.25, "delivered-packet count deviates by {diff:.3}");
+    // Loose synchronization is intentionally non-deterministic (it depends on
+    // the relative progress of the host threads), and on a 16-tile network the
+    // per-tile clock skew is large relative to the short packet latencies, so
+    // this is only a coarse sanity bound; the engine unit tests assert a
+    // tighter bound over a full drain, and `repro_fig6b` measures the real
+    // accuracy curve.
+    let accuracy = loose.latency_accuracy_vs(&accurate);
+    assert!(accuracy > 0.4, "accuracy {accuracy}");
+}
