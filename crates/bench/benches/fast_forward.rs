@@ -8,9 +8,15 @@ use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
 
 fn run(fast_forward: bool, bursty: bool) -> u64 {
     let process = if bursty {
-        InjectionProcess::Burst { burst_len: 4, gap: 600 }
+        InjectionProcess::Burst {
+            burst_len: 4,
+            gap: 600,
+        }
     } else {
-        InjectionProcess::Periodic { period: 150, offset: 0 }
+        InjectionProcess::Periodic {
+            period: 150,
+            offset: 0,
+        }
     };
     SimulationBuilder::new()
         .geometry(Geometry::mesh2d(8, 8))

@@ -1,0 +1,160 @@
+//! Hot-path throughput emitter: measures simulated cycles per second for the
+//! canonical 8×8-mesh configuration and writes `BENCH_hotpath.json` so
+//! successive PRs can track hot-path perf deltas.
+//!
+//! Two scenarios are measured, matching the paper's two operating points:
+//!
+//! * `mesh8x8_seq` — single-threaded cycle-accurate simulation;
+//! * `mesh8x8_t4_periodic5` — 4 worker threads, loose synchronization every
+//!   5 cycles (the paper's headline configuration, Table I).
+//!
+//! Usage: `cargo run --release -p hornet-bench --bin bench_hotpath [--baseline
+//! FILE] [--out FILE]`. When `--baseline` points at a previous emission, its
+//! `current` section is embedded under `baseline` in the new file, so a single
+//! artifact records both sides of a before/after comparison.
+
+use hornet_core::engine::SyncMode;
+use hornet_core::sim::{SimulationBuilder, TrafficKind};
+use hornet_net::geometry::Geometry;
+use hornet_traffic::pattern::SyntheticPattern;
+use std::time::Instant;
+
+const MEASURED_CYCLES: u64 = 20_000;
+const RATE: f64 = 0.05;
+const SEED: u64 = 1;
+
+struct Scenario {
+    name: &'static str,
+    threads: usize,
+    sync: SyncMode,
+}
+
+fn run_scenario(s: &Scenario) -> (f64, u64) {
+    let sim = SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(8, 8))
+        .traffic(TrafficKind::pattern(SyntheticPattern::Transpose, RATE))
+        .measured_cycles(MEASURED_CYCLES)
+        .seed(SEED)
+        .threads(s.threads)
+        .sync(s.sync)
+        .build()
+        .expect("valid config");
+    let start = Instant::now();
+    let report = sim.run().expect("run succeeds");
+    let secs = start.elapsed().as_secs_f64();
+    (
+        MEASURED_CYCLES as f64 / secs,
+        report.network.delivered_packets,
+    )
+}
+
+/// Extracts the `"current": { ... }` object from a previous emission, without
+/// a JSON parser: the emitter controls the format, so the section is always a
+/// single-level object starting at `"current": {` and ending at the first `}`.
+fn extract_current_section(contents: &str) -> Option<String> {
+    let start = contents.find("\"current\":")?;
+    let open = contents[start..].find('{')? + start;
+    let close = contents[open..].find('}')? + open;
+    Some(contents[open..=close].to_string())
+}
+
+/// The latest `router_pipeline` medians from the criterion-lite CSV log, if a
+/// `cargo bench -p hornet-bench --bench router_pipeline` ran from this
+/// directory. Embedding them here keeps the criterion trajectory in the same
+/// artifact as the cycles/sec numbers.
+fn criterion_medians() -> Vec<(String, u128)> {
+    let Ok(csv) = std::fs::read_to_string(criterion::target_dir().join("criterion-lite.csv"))
+    else {
+        return Vec::new();
+    };
+    let mut latest: Vec<(String, u128)> = Vec::new();
+    for line in csv.lines() {
+        let mut parts = line.split(',');
+        let (Some(id), Some(_min), Some(median)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if !id.starts_with("router_pipeline/") {
+            continue;
+        }
+        let Ok(median) = median.parse::<u128>() else {
+            continue;
+        };
+        let key = format!("{}_median_ns", id.replace(['/', '.'], "_"));
+        match latest.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 = median,
+            None => latest.push((key, median)),
+        }
+    }
+    latest
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    let mut out_path = "BENCH_hotpath.json".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next(),
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scenarios = [
+        Scenario {
+            name: "mesh8x8_seq",
+            threads: 1,
+            sync: SyncMode::CycleAccurate,
+        },
+        Scenario {
+            name: "mesh8x8_t4_periodic5",
+            threads: 4,
+            sync: SyncMode::Periodic(5),
+        },
+    ];
+
+    let mut current_fields = Vec::new();
+    for s in &scenarios {
+        // Warm-up run (page in code + allocator), then the measured run.
+        run_scenario(s);
+        let (cps, delivered) = run_scenario(s);
+        println!(
+            "{:<24} {:>12.0} cycles/sec ({delivered} packets delivered)",
+            s.name, cps
+        );
+        current_fields.push(format!("\"{}_cycles_per_sec\": {:.0}", s.name, cps));
+        current_fields.push(format!("\"{}_delivered_packets\": {}", s.name, delivered));
+    }
+    for (key, median) in criterion_medians() {
+        current_fields.push(format!("\"{key}\": {median}"));
+    }
+
+    let baseline = baseline_path
+        .and_then(|p| std::fs::read_to_string(&p).ok())
+        .and_then(|c| extract_current_section(&c));
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"hotpath\",\n");
+    json.push_str(&format!(
+        "  \"config\": \"mesh8x8 transpose rate={RATE} cycles={MEASURED_CYCLES} seed={SEED}\",\n"
+    ));
+    if let Some(b) = baseline {
+        json.push_str(&format!("  \"baseline\": {b},\n"));
+    }
+    json.push_str(&format!(
+        "  \"current\": {{ {} }}\n",
+        current_fields.join(", ")
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write output file");
+    println!("wrote {out_path}");
+}

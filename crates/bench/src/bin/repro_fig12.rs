@@ -12,7 +12,9 @@ use hornet_cpu::programs::CannonConfig;
 
 fn main() {
     let config = if full_scale() {
-        CannonConfig::default().with_random_mapping(64, 42).validated()
+        CannonConfig::default()
+            .with_random_mapping(64, 42)
+            .validated()
     } else {
         CannonConfig {
             matrix_n: 64,

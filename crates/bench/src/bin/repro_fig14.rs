@@ -17,9 +17,7 @@ fn main() {
         let temps = &thermal.final_temperatures;
         let rows: Vec<String> = (0..8)
             .map(|y| {
-                let row: Vec<String> = (0..8)
-                    .map(|x| format!("{:.2}", temps[y * 8 + x]))
-                    .collect();
+                let row: Vec<String> = (0..8).map(|x| format!("{:.2}", temps[y * 8 + x])).collect();
                 format!("{y},{}", row.join(","))
             })
             .collect();

@@ -171,7 +171,9 @@ pub fn parallel_speed_blackscholes(
         .threads(threads)
         .sync(sync)
         .seed(seed)
-        .flows(hornet_net::routing::FlowSpec::all_to_all(&Geometry::mesh2d(mesh, mesh)));
+        .flows(hornet_net::routing::FlowSpec::all_to_all(
+            &Geometry::mesh2d(mesh, mesh),
+        ));
     for i in 0..nodes {
         let node = NodeId::from(i);
         builder = builder.agent(
@@ -411,8 +413,7 @@ mod tests {
             cycles,
             1,
         );
-        let swap_ideal =
-            splash_ideal_latency(SplashBenchmark::Swaptions, 8, mcs, 1.0, cycles, 1);
+        let swap_ideal = splash_ideal_latency(SplashBenchmark::Swaptions, 8, mcs, 1.0, cycles, 1);
         let radix_ratio = radix.avg_flit_latency / radix_ideal.max(1.0);
         let swap_ratio = swap.avg_flit_latency / swap_ideal.max(1.0);
         assert!(

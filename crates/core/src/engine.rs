@@ -317,6 +317,10 @@ impl ParallelEngine {
 
                         if check_at_boundary {
                             // Publish this shard's idle / completion state.
+                            // Both probes are O(1) per tile: the router's
+                            // buffered-flit count is one aggregate atomic
+                            // load, so this boundary check stays cheap even
+                            // at 1000 tiles per shard.
                             let busy: u64 = chunk
                                 .iter()
                                 .map(|t| t.buffered_flits() as u64 + u64::from(!t.is_idle()))
@@ -332,14 +336,10 @@ impl ParallelEngine {
                             shared.finished[tid].store(fin, Ordering::Release);
                             shared.barrier.wait();
                             if tid == 0 {
-                                let all_idle = shared
-                                    .busy
-                                    .iter()
-                                    .all(|b| b.load(Ordering::Acquire) == 0);
-                                let all_finished = shared
-                                    .finished
-                                    .iter()
-                                    .all(|f| f.load(Ordering::Acquire));
+                                let all_idle =
+                                    shared.busy.iter().all(|b| b.load(Ordering::Acquire) == 0);
+                                let all_finished =
+                                    shared.finished.iter().all(|f| f.load(Ordering::Acquire));
                                 if detect_completion && all_idle && all_finished {
                                     shared.stop.store(true, Ordering::Release);
                                     final_cycle.store(now, Ordering::Release);
@@ -439,8 +439,14 @@ mod tests {
             let mut par = build_engine(threads, SyncMode::CycleAccurate, 99, 0.05);
             par.run(3_000);
             let p = par.stats();
-            assert_eq!(p.delivered_packets, s.delivered_packets, "{threads} threads");
-            assert_eq!(p.total_packet_latency, s.total_packet_latency, "{threads} threads");
+            assert_eq!(
+                p.delivered_packets, s.delivered_packets,
+                "{threads} threads"
+            );
+            assert_eq!(
+                p.total_packet_latency, s.total_packet_latency,
+                "{threads} threads"
+            );
             assert_eq!(p.injected_flits, s.injected_flits, "{threads} threads");
             assert_eq!(p.total_hops, s.total_hops, "{threads} threads");
         }
@@ -495,7 +501,10 @@ mod tests {
                     Arc::clone(&geometry),
                     SyntheticConfig {
                         pattern: pattern.clone(),
-                        process: InjectionProcess::Periodic { period: 400, offset: 0 },
+                        process: InjectionProcess::Periodic {
+                            period: 400,
+                            offset: 0,
+                        },
                         packet_len: 2,
                         stop_after: Some(1_600),
                         max_packets: Some(4),
@@ -519,6 +528,67 @@ mod tests {
         assert_eq!(without.total_packet_latency, with.total_packet_latency);
         assert!(with.fast_forwarded_cycles > 0);
         assert!(with.simulated_cycles < without.simulated_cycles);
+    }
+
+    #[test]
+    fn fast_forward_with_loose_sync_preserves_functional_results() {
+        // fast_forward + SyncMode::Periodic ride the same boundary checks:
+        // idle detection (now a single O(1) aggregate-counter load per tile)
+        // decides when all clocks jump. Functional results must match the
+        // sequential run exactly; only timings may skew.
+        let build = |threads: usize, sync: SyncMode| {
+            let geometry = Arc::new(Geometry::mesh2d(4, 4));
+            let pattern = SyntheticPattern::Transpose;
+            let flows = flows_for_pattern(&pattern, &geometry);
+            let cfg = NetworkConfig::new((*geometry).clone())
+                .with_routing(RoutingKind::Xy)
+                .with_flows(flows);
+            let mut network = Network::new(&cfg, 23).unwrap();
+            // Sparse periodic traffic: long idle gaps between bursts, so the
+            // run exercises the fast-forward path heavily.
+            for node in geometry.nodes() {
+                network.attach_agent(
+                    node,
+                    Box::new(SyntheticInjector::new(
+                        Arc::clone(&geometry),
+                        SyntheticConfig {
+                            pattern: pattern.clone(),
+                            process: InjectionProcess::Periodic {
+                                period: 300,
+                                offset: (node.index() as u64 % 4) * 25,
+                            },
+                            packet_len: 4,
+                            stop_after: None,
+                            max_packets: Some(8),
+                        },
+                    )),
+                );
+            }
+            let mut engine = ParallelEngine::from_network(
+                network,
+                EngineConfig {
+                    threads,
+                    sync,
+                    fast_forward: true,
+                },
+            );
+            assert!(engine.run_to_completion(1_000_000), "must complete");
+            engine.stats()
+        };
+        let seq = build(1, SyncMode::CycleAccurate);
+        let par = build(4, SyncMode::Periodic(5));
+        // Every offered packet is delivered exactly once in both runs.
+        assert_eq!(par.delivered_packets, seq.delivered_packets);
+        assert_eq!(par.delivered_flits, seq.delivered_flits);
+        assert_eq!(par.injected_flits, seq.injected_flits);
+        assert_eq!(par.routing_failures, 0);
+        assert_eq!(seq.routing_failures, 0);
+        // Both runs must actually have skipped idle periods.
+        assert!(
+            seq.fast_forwarded_cycles > 0,
+            "sequential run never skipped"
+        );
+        assert!(par.fast_forwarded_cycles > 0, "parallel run never skipped");
     }
 
     #[test]

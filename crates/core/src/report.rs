@@ -115,7 +115,10 @@ mod tests {
         let r = PowerReport {
             per_tile_avg_w: vec![1.0, 2.0],
             total_avg_w: 3.0,
-            samples: vec![(10, vec![sample(1.0), sample(1.0)]), (20, vec![sample(3.0), sample(2.0)])],
+            samples: vec![
+                (10, vec![sample(1.0), sample(1.0)]),
+                (20, vec![sample(3.0), sample(2.0)]),
+            ],
         };
         assert_eq!(r.peak_total_w(), 5.0);
     }

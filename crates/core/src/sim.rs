@@ -492,16 +492,21 @@ impl Simulation {
         })
     }
 
-    fn run_with_power(&mut self, opts: &PowerOptions) -> (Option<PowerReport>, Option<ThermalReport>) {
+    fn run_with_power(
+        &mut self,
+        opts: &PowerOptions,
+    ) -> (Option<PowerReport>, Option<ThermalReport>) {
         let tiles = self.geometry.node_count();
         let model = RouterPowerModel::new(opts.power);
         let width = self.geometry.width().unwrap_or(tiles);
         let height = self.geometry.height().unwrap_or(1);
-        let mut grid = opts
-            .thermal
-            .map(|cfg| ThermalGrid::new(width, height, cfg));
-        let mut prev_activity: Vec<RouterActivity> =
-            self.engine.per_node_stats().iter().map(|s| s.activity.clone()).collect();
+        let mut grid = opts.thermal.map(|cfg| ThermalGrid::new(width, height, cfg));
+        let mut prev_activity: Vec<RouterActivity> = self
+            .engine
+            .per_node_stats()
+            .iter()
+            .map(|s| s.activity.clone())
+            .collect();
         let mut power_samples = Vec::new();
         let mut thermal_series = Vec::new();
         let mut energy_per_tile = vec![0.0f64; tiles];
@@ -526,8 +531,7 @@ impl Simulation {
             }
             if let Some(grid) = grid.as_mut() {
                 let powers: Vec<f64> = samples.iter().map(|s| s.total_w()).collect();
-                let seconds =
-                    step as f64 / model.config().frequency_hz * opts.time_scale;
+                let seconds = step as f64 / model.config().frequency_hz * opts.time_scale;
                 let steps = (seconds / opts.thermal.expect("grid implies config").dt)
                     .ceil()
                     .max(1.0) as usize;
@@ -540,7 +544,13 @@ impl Simulation {
         let seconds_total = self.measured as f64 / model.config().frequency_hz;
         let per_tile_avg_w: Vec<f64> = energy_per_tile
             .iter()
-            .map(|e| if seconds_total > 0.0 { e / seconds_total } else { 0.0 })
+            .map(|e| {
+                if seconds_total > 0.0 {
+                    e / seconds_total
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let total_avg_w = per_tile_avg_w.iter().sum();
         let power_report = PowerReport {
@@ -599,7 +609,10 @@ mod tests {
         let seq = build(1);
         let par = build(4);
         assert_eq!(seq.network.delivered_packets, par.network.delivered_packets);
-        assert_eq!(seq.network.total_packet_latency, par.network.total_packet_latency);
+        assert_eq!(
+            seq.network.total_packet_latency,
+            par.network.total_packet_latency
+        );
     }
 
     #[test]
@@ -632,7 +645,10 @@ mod tests {
     fn invalid_agent_node_is_rejected() {
         let err = SimulationBuilder::new()
             .geometry(Geometry::mesh2d(2, 2))
-            .agent(NodeId::new(99), Box::new(hornet_net::agent::SinkAgent::new()))
+            .agent(
+                NodeId::new(99),
+                Box::new(hornet_net::agent::SinkAgent::new()),
+            )
             .build();
         assert!(matches!(err, Err(SimError::Traffic(_))));
         let msg = format!("{}", err.err().unwrap());

@@ -231,7 +231,8 @@ mod tests {
     fn network(n: usize) -> Network {
         let side = (n as f64).sqrt() as usize;
         let g = Geometry::mesh2d(side, side);
-        let cfg = NetworkConfig::new(g).with_flows(FlowSpec::all_to_all(&Geometry::mesh2d(side, side)));
+        let cfg =
+            NetworkConfig::new(g).with_flows(FlowSpec::all_to_all(&Geometry::mesh2d(side, side)));
         Network::new(&cfg, 17).unwrap()
     }
 
@@ -272,11 +273,21 @@ mod tests {
         let mut net = network(4);
         net.attach_agent(
             NodeId::new(0),
-            Box::new(CoreAgent::new(NodeId::new(0), 4, ping_program(), CoreConfig::default())),
+            Box::new(CoreAgent::new(
+                NodeId::new(0),
+                4,
+                ping_program(),
+                CoreConfig::default(),
+            )),
         );
         net.attach_agent(
             NodeId::new(3),
-            Box::new(CoreAgent::new(NodeId::new(3), 4, pong_program(), CoreConfig::default())),
+            Box::new(CoreAgent::new(
+                NodeId::new(3),
+                4,
+                pong_program(),
+                CoreConfig::default(),
+            )),
         );
         assert!(net.run_to_completion(50_000), "cores must finish");
         let stats = net.stats();
@@ -298,7 +309,11 @@ mod tests {
         let program = b.assemble().unwrap();
         let mut net = network(4);
         for i in 0..4u32 {
-            let p = if i == 0 { program.clone() } else { Program::default() };
+            let p = if i == 0 {
+                program.clone()
+            } else {
+                Program::default()
+            };
             net.attach_agent(
                 NodeId::new(i),
                 Box::new(CoreAgent::new(NodeId::new(i), 4, p, CoreConfig::default())),
@@ -340,6 +355,9 @@ mod tests {
         };
         let slow = run(1);
         let fast = run(10);
-        assert!(fast * 5 < slow, "10x CPU clock should finish much sooner ({fast} vs {slow})");
+        assert!(
+            fast * 5 < slow,
+            "10x CPU clock should finish much sooner ({fast} vs {slow})"
+        );
     }
 }

@@ -163,9 +163,7 @@ impl Core {
             Inst::Or(d, s, t) => self.set_reg(d, self.reg(s) | self.reg(t)),
             Inst::Xor(d, s, t) => self.set_reg(d, self.reg(s) ^ self.reg(t)),
             Inst::Sltu(d, s, t) => self.set_reg(d, (self.reg(s) < self.reg(t)) as u64),
-            Inst::Addi(d, s, imm) => {
-                self.set_reg(d, (self.reg(s) as i64).wrapping_add(imm) as u64)
-            }
+            Inst::Addi(d, s, imm) => self.set_reg(d, (self.reg(s) as i64).wrapping_add(imm) as u64),
             Inst::Li(d, imm) => self.set_reg(d, imm),
             Inst::Lw(d, base, offset) => {
                 let addr = (self.reg(base) as i64 + offset) as u64;
@@ -214,14 +212,14 @@ impl Core {
                 self.stats.packets_sent += 1;
             }
             Some(Syscall::NetPoll) => {
-                let from = (self.reg(regs::A1) != 0)
-                    .then(|| NodeId::new(self.reg(regs::A0) as u32));
+                let from =
+                    (self.reg(regs::A1) != 0).then(|| NodeId::new(self.reg(regs::A0) as u32));
                 let n = ctx.net_poll(from);
                 self.set_reg(regs::V0, n as u64);
             }
             Some(Syscall::NetRecv) => {
-                let from = (self.reg(regs::A1) != 0)
-                    .then(|| NodeId::new(self.reg(regs::A0) as u32));
+                let from =
+                    (self.reg(regs::A1) != 0).then(|| NodeId::new(self.reg(regs::A0) as u32));
                 match ctx.net_recv(from) {
                     Some((src, word)) => {
                         self.set_reg(regs::V0, word);
@@ -362,7 +360,10 @@ mod tests {
         run(&mut core, &mut ctx, 1000);
         assert!(core.halted());
         assert_eq!(core.reg(S0), 7);
-        assert!(core.stats().mem_stall_cycles >= 8, "two accesses x 4+ stalls");
+        assert!(
+            core.stats().mem_stall_cycles >= 8,
+            "two accesses x 4+ stalls"
+        );
     }
 
     #[test]

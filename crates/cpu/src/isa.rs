@@ -203,7 +203,8 @@ impl ProgramBuilder {
 
     /// Defines a label at the current position.
     pub fn label(&mut self, name: &str) -> &mut Self {
-        self.labels.insert(name.to_string(), self.instructions.len());
+        self.labels
+            .insert(name.to_string(), self.instructions.len());
         self
     }
 

@@ -34,5 +34,7 @@ pub mod programs;
 pub use agent::{CoreAgent, CoreConfig};
 pub use core::{Core, CoreContext, CoreStats};
 pub use isa::{Inst, Program, ProgramBuilder, Syscall};
-pub use pinlike::{NativeFrontendAgent, NativeOp, NativeThread, SyntheticThread, SyntheticThreadConfig};
+pub use pinlike::{
+    NativeFrontendAgent, NativeOp, NativeThread, SyntheticThread, SyntheticThreadConfig,
+};
 pub use programs::{token_ring_program, vector_sum_program, CannonConfig, CannonThread};

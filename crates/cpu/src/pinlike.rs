@@ -214,7 +214,11 @@ impl NativeFrontendAgent {
                         }
                     }
                     NativeOp::Load(addr) => {
-                        if self.memory.core_access(CoreMemOp::Load { addr }, now).is_none() {
+                        if self
+                            .memory
+                            .core_access(CoreMemOp::Load { addr }, now)
+                            .is_none()
+                        {
                             self.state = FrontendState::WaitingMem;
                         }
                     }
@@ -227,7 +231,11 @@ impl NativeFrontendAgent {
                             self.state = FrontendState::WaitingMem;
                         }
                     }
-                    NativeOp::Send { dst, word, len_flits } => {
+                    NativeOp::Send {
+                        dst,
+                        word,
+                        len_flits,
+                    } => {
                         self.stats.sends += 1;
                         if dst != self.node && dst.index() < self.node_count {
                             let id = io.alloc_packet_id();

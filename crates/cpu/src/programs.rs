@@ -96,7 +96,7 @@ impl CannonConfig {
     ///
     /// Panics if the matrix does not divide evenly over the core grid.
     pub fn validated(self) -> Self {
-        assert!(self.grid_p > 0 && self.matrix_n % self.grid_p == 0);
+        assert!(self.grid_p > 0 && self.matrix_n.is_multiple_of(self.grid_p));
         assert!(self.mapping.is_empty() || self.mapping.len() == self.grid_p * self.grid_p);
         self
     }
@@ -162,7 +162,7 @@ impl NativeThread for CannonThread {
             return NativeOp::Finish;
         }
         let flits = self.config.flits_per_block();
-        let op = match self.phase {
+        match self.phase {
             CannonPhase::Compute => {
                 self.phase = CannonPhase::SendA;
                 NativeOp::Compute(self.config.compute_cycles_per_round())
@@ -204,8 +204,7 @@ impl NativeThread for CannonThread {
                     NativeOp::Compute(0)
                 }
             }
-        };
-        op
+        }
     }
 
     fn label(&self) -> &str {
@@ -329,7 +328,9 @@ mod tests {
 
     #[test]
     fn random_mapping_is_a_permutation() {
-        let c = CannonConfig::default().with_random_mapping(64, 5).validated();
+        let c = CannonConfig::default()
+            .with_random_mapping(64, 5)
+            .validated();
         let mut seen: Vec<u32> = c.mapping.iter().map(|n| n.raw()).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..64).collect::<Vec<_>>());

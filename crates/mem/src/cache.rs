@@ -119,7 +119,10 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.sets.is_power_of_two(), "sets must be a power of two");
         assert!(config.ways > 0, "associativity must be non-zero");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Self {
             sets: vec![Vec::with_capacity(config.ways); config.sets],
             config,
@@ -300,7 +303,10 @@ mod tests {
     fn set_state_invalid_removes_line() {
         let mut c = small();
         c.insert(0, LineState::Shared, 5);
-        assert_eq!(c.set_state(0, LineState::Invalid), Some((LineState::Shared, 5)));
+        assert_eq!(
+            c.set_state(0, LineState::Invalid),
+            Some((LineState::Shared, 5))
+        );
         assert!(c.peek(0).is_none());
         assert_eq!(c.set_state(0, LineState::Shared), None);
         assert!(c.is_empty());

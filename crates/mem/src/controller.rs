@@ -156,7 +156,11 @@ impl NodeAgent for MemoryControllerAgent {
         for s in done {
             let value = self.values.get(&s.line).copied().unwrap_or(0);
             let id = io.alloc_packet_id();
-            let packet = MemMessage::DramReadResp { line: s.line, value }.to_packet(
+            let packet = MemMessage::DramReadResp {
+                line: s.line,
+                value,
+            }
+            .to_packet(
                 id,
                 self.node,
                 s.requester,
@@ -346,7 +350,8 @@ mod tests {
                 self.inbox.len()
             }
         }
-        let mut mc = MemoryControllerAgent::new(NodeId::new(0), 4, MemoryControllerConfig::default());
+        let mut mc =
+            MemoryControllerAgent::new(NodeId::new(0), 4, MemoryControllerConfig::default());
         let mut io = MockIo {
             cycle: 0,
             inbox: VecDeque::new(),
@@ -359,7 +364,8 @@ mod tests {
                 line: i,
                 requester: NodeId::new(3),
             };
-            let packet = msg.to_packet(PacketId::new(i), NodeId::new(3), NodeId::new(0), 4, 0, 2, 8);
+            let packet =
+                msg.to_packet(PacketId::new(i), NodeId::new(3), NodeId::new(0), 4, 0, 2, 8);
             io.inbox.push_back(hornet_net::flit::DeliveredPacket {
                 packet,
                 delivered_at: 0,
@@ -375,7 +381,10 @@ mod tests {
         }
         assert_eq!(mc.stats().reads, 10);
         assert_eq!(io.sent.len(), 10);
-        assert!(mc.stats().total_queue_delay > 0, "bandwidth limit must queue");
+        assert!(
+            mc.stats().total_queue_delay > 0,
+            "bandwidth limit must queue"
+        );
         assert!(mc.finished());
     }
 }

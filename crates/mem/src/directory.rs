@@ -33,7 +33,11 @@ pub enum DirState {
 enum Pending {
     /// Waiting for the owner's writeback triggered by a Fetch on behalf of
     /// `requester`; `exclusive` distinguishes GetM from GetS.
-    AwaitWriteback { requester: NodeId, exclusive: bool, owner: NodeId },
+    AwaitWriteback {
+        requester: NodeId,
+        exclusive: bool,
+        owner: NodeId,
+    },
     /// Waiting for `remaining` invalidation acks before granting M to
     /// `requester`.
     AwaitInvAcks { requester: NodeId, remaining: usize },
@@ -147,7 +151,11 @@ impl DirectorySlice {
                     from_memory: true,
                 }]
             }
-            MemMessage::RemoteWrite { addr, value, requester } => {
+            MemMessage::RemoteWrite {
+                addr,
+                value,
+                requester,
+            } => {
                 self.lines.entry(addr).or_default().value = value;
                 vec![DirOutput {
                     dst: requester,
@@ -201,8 +209,11 @@ impl DirectorySlice {
                     }];
                 }
                 // GetM over a shared line: invalidate every other sharer.
-                let others: Vec<NodeId> =
-                    sharers.iter().copied().filter(|&s| s != requester).collect();
+                let others: Vec<NodeId> = sharers
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != requester)
+                    .collect();
                 if others.is_empty() {
                     entry.state = DirState::Modified(requester);
                     return vec![DirOutput {
@@ -286,7 +297,11 @@ impl DirectorySlice {
     fn handle_inv_ack(&mut self, line: LineAddr, _from: NodeId) -> Vec<DirOutput> {
         let entry = self.lines.entry(line).or_default();
         let mut out = Vec::new();
-        if let Some(Pending::AwaitInvAcks { requester, remaining }) = entry.pending.clone() {
+        if let Some(Pending::AwaitInvAcks {
+            requester,
+            remaining,
+        }) = entry.pending.clone()
+        {
             if remaining <= 1 {
                 entry.pending = None;
                 entry.state = DirState::Modified(requester);
@@ -336,7 +351,10 @@ mod tests {
     #[test]
     fn get_s_on_uncached_reads_memory_and_shares() {
         let mut d = DirectorySlice::new();
-        let out = d.handle(MemMessage::GetS { line: 4, requester: n(1) });
+        let out = d.handle(MemMessage::GetS {
+            line: 4,
+            requester: n(1),
+        });
         assert_eq!(out.len(), 1);
         assert!(out[0].from_memory);
         assert_eq!(out[0].dst, n(1));
@@ -348,16 +366,38 @@ mod tests {
     #[test]
     fn get_m_over_shared_invalidates_everyone_else() {
         let mut d = DirectorySlice::new();
-        d.handle(MemMessage::GetS { line: 4, requester: n(1) });
-        d.handle(MemMessage::GetS { line: 4, requester: n(2) });
-        d.handle(MemMessage::GetS { line: 4, requester: n(3) });
-        let out = d.handle(MemMessage::GetM { line: 4, requester: n(1) });
+        d.handle(MemMessage::GetS {
+            line: 4,
+            requester: n(1),
+        });
+        d.handle(MemMessage::GetS {
+            line: 4,
+            requester: n(2),
+        });
+        d.handle(MemMessage::GetS {
+            line: 4,
+            requester: n(3),
+        });
+        let out = d.handle(MemMessage::GetM {
+            line: 4,
+            requester: n(1),
+        });
         // Invalidations to nodes 2 and 3; data comes only after both acks.
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|o| matches!(o.msg, MemMessage::Invalidate { line: 4 })));
+        assert!(out
+            .iter()
+            .all(|o| matches!(o.msg, MemMessage::Invalidate { line: 4 })));
         assert!(d.is_busy(4));
-        assert!(d.handle(MemMessage::InvAck { line: 4, from: n(2) }).is_empty());
-        let done = d.handle(MemMessage::InvAck { line: 4, from: n(3) });
+        assert!(d
+            .handle(MemMessage::InvAck {
+                line: 4,
+                from: n(2)
+            })
+            .is_empty());
+        let done = d.handle(MemMessage::InvAck {
+            line: 4,
+            from: n(3),
+        });
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].dst, n(1));
         assert_eq!(d.state_of(4), DirState::Modified(n(1)));
@@ -367,9 +407,15 @@ mod tests {
     #[test]
     fn get_s_over_modified_fetches_from_owner() {
         let mut d = DirectorySlice::new();
-        d.handle(MemMessage::GetM { line: 8, requester: n(5) });
+        d.handle(MemMessage::GetM {
+            line: 8,
+            requester: n(5),
+        });
         assert_eq!(d.state_of(8), DirState::Modified(n(5)));
-        let out = d.handle(MemMessage::GetS { line: 8, requester: n(6) });
+        let out = d.handle(MemMessage::GetS {
+            line: 8,
+            requester: n(6),
+        });
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dst, n(5));
         assert!(matches!(
@@ -377,26 +423,49 @@ mod tests {
             MemMessage::Fetch { line: 8, requester, invalidate: false } if requester == n(6)
         ));
         // Owner writes back; directory becomes Shared{5,6}.
-        let after = d.handle(MemMessage::PutM { line: 8, value: 99, from: n(5) });
-        assert!(after.is_empty(), "owner forwards data directly to the requester");
-        assert_eq!(d.state_of(8), DirState::Shared(BTreeSet::from([n(5), n(6)])));
+        let after = d.handle(MemMessage::PutM {
+            line: 8,
+            value: 99,
+            from: n(5),
+        });
+        assert!(
+            after.is_empty(),
+            "owner forwards data directly to the requester"
+        );
+        assert_eq!(
+            d.state_of(8),
+            DirState::Shared(BTreeSet::from([n(5), n(6)]))
+        );
         assert_eq!(d.value_of(8), 99);
     }
 
     #[test]
     fn busy_lines_queue_requests_and_replay_them() {
         let mut d = DirectorySlice::new();
-        d.handle(MemMessage::GetM { line: 1, requester: n(1) });
+        d.handle(MemMessage::GetM {
+            line: 1,
+            requester: n(1),
+        });
         // Second requester: directory fetches from owner and goes busy.
-        let _ = d.handle(MemMessage::GetM { line: 1, requester: n(2) });
+        let _ = d.handle(MemMessage::GetM {
+            line: 1,
+            requester: n(2),
+        });
         assert!(d.is_busy(1));
         // Third requester must be queued.
-        let out = d.handle(MemMessage::GetS { line: 1, requester: n(3) });
+        let out = d.handle(MemMessage::GetS {
+            line: 1,
+            requester: n(3),
+        });
         assert!(out.is_empty());
         assert_eq!(d.stats().queued, 1);
         // Owner's writeback completes the second transaction and replays the
         // queued GetS, which fetches from the new owner (node 2).
-        let replay = d.handle(MemMessage::PutM { line: 1, value: 7, from: n(1) });
+        let replay = d.handle(MemMessage::PutM {
+            line: 1,
+            value: 7,
+            from: n(1),
+        });
         assert_eq!(replay.len(), 1);
         assert_eq!(replay[0].dst, n(2));
         assert!(matches!(replay[0].msg, MemMessage::Fetch { .. }));
@@ -405,23 +474,49 @@ mod tests {
     #[test]
     fn eviction_writeback_returns_line_to_uncached() {
         let mut d = DirectorySlice::new();
-        d.handle(MemMessage::GetM { line: 2, requester: n(4) });
-        let out = d.handle(MemMessage::PutM { line: 2, value: 123, from: n(4) });
+        d.handle(MemMessage::GetM {
+            line: 2,
+            requester: n(4),
+        });
+        let out = d.handle(MemMessage::PutM {
+            line: 2,
+            value: 123,
+            from: n(4),
+        });
         assert!(out.is_empty());
         assert_eq!(d.state_of(2), DirState::Uncached);
         assert_eq!(d.value_of(2), 123);
         // A later read sees the written-back value.
-        let read = d.handle(MemMessage::GetS { line: 2, requester: n(5) });
+        let read = d.handle(MemMessage::GetS {
+            line: 2,
+            requester: n(5),
+        });
         assert!(matches!(read[0].msg, MemMessage::Data { value: 123, .. }));
     }
 
     #[test]
     fn nuca_remote_accesses_touch_home_memory() {
         let mut d = DirectorySlice::new();
-        let w = d.handle(MemMessage::RemoteWrite { addr: 0x20, value: 77, requester: n(1) });
-        assert!(matches!(w[0].msg, MemMessage::RemoteWriteAck { addr: 0x20 }));
-        let r = d.handle(MemMessage::RemoteRead { addr: 0x20, requester: n(2) });
-        assert!(matches!(r[0].msg, MemMessage::RemoteReadResp { addr: 0x20, value: 77 }));
+        let w = d.handle(MemMessage::RemoteWrite {
+            addr: 0x20,
+            value: 77,
+            requester: n(1),
+        });
+        assert!(matches!(
+            w[0].msg,
+            MemMessage::RemoteWriteAck { addr: 0x20 }
+        ));
+        let r = d.handle(MemMessage::RemoteRead {
+            addr: 0x20,
+            requester: n(2),
+        });
+        assert!(matches!(
+            r[0].msg,
+            MemMessage::RemoteReadResp {
+                addr: 0x20,
+                value: 77
+            }
+        ));
         assert_eq!(r[0].dst, n(2));
     }
 
@@ -433,15 +528,25 @@ mod tests {
         for i in 0..20u32 {
             let req = n(i % 4);
             let out = if i % 3 == 0 {
-                d.handle(MemMessage::GetM { line, requester: req })
+                d.handle(MemMessage::GetM {
+                    line,
+                    requester: req,
+                })
             } else {
-                d.handle(MemMessage::GetS { line, requester: req })
+                d.handle(MemMessage::GetS {
+                    line,
+                    requester: req,
+                })
             };
             // Answer any fetch/invalidate immediately so the protocol advances.
             for o in out {
                 match o.msg {
                     MemMessage::Fetch { line, .. } => {
-                        d.handle(MemMessage::PutM { line, value: 0, from: o.dst });
+                        d.handle(MemMessage::PutM {
+                            line,
+                            value: 0,
+                            from: o.dst,
+                        });
                     }
                     MemMessage::Invalidate { line } => {
                         d.handle(MemMessage::InvAck { line, from: o.dst });

@@ -43,7 +43,10 @@ impl DirectoryPlacement {
         match self {
             DirectoryPlacement::Interleaved => NodeId::from((line as usize) % node_count),
             DirectoryPlacement::AtNodes(nodes) => {
-                assert!(!nodes.is_empty(), "directory placement needs at least one node");
+                assert!(
+                    !nodes.is_empty(),
+                    "directory placement needs at least one node"
+                );
                 nodes[(line as usize) % nodes.len()]
             }
         }
@@ -273,7 +276,11 @@ impl MemoryNode {
                 let outs = self.directory.handle(msg);
                 for o in outs {
                     let delay = self.config.directory_latency
-                        + if o.from_memory { self.config.dram_latency } else { 0 };
+                        + if o.from_memory {
+                            self.config.dram_latency
+                        } else {
+                            0
+                        };
                     self.route_delayed(o.dst, o.msg, now + delay);
                 }
             }
@@ -383,7 +390,16 @@ mod tests {
         // One node: every line is homed locally, so a miss resolves through
         // the scheduled queue without any packets.
         let mut m = MemoryNode::new(NodeId::new(0), 1, MemoryConfig::default());
-        assert_eq!(m.core_access(CoreMemOp::Store { addr: 0x40, value: 9 }, 0), None);
+        assert_eq!(
+            m.core_access(
+                CoreMemOp::Store {
+                    addr: 0x40,
+                    value: 9
+                },
+                0
+            ),
+            None
+        );
         // Drive ticks with a mock IO; nothing should be sent.
         struct NoIo;
         impl NodeIo for NoIo {
@@ -427,7 +443,13 @@ mod tests {
         assert!(cycle >= MemoryConfig::default().dram_latency);
         // Subsequent store to the same line is an L1 hit.
         assert_eq!(
-            m.core_access(CoreMemOp::Store { addr: 0x48, value: 10 }, cycle + 1),
+            m.core_access(
+                CoreMemOp::Store {
+                    addr: 0x48,
+                    value: 10
+                },
+                cycle + 1
+            ),
             Some(10)
         );
         assert_eq!(m.l1_stats().hits, 1);
@@ -440,7 +462,16 @@ mod tests {
             ..MemoryConfig::default()
         };
         let mut m = MemoryNode::new(NodeId::new(0), 1, cfg);
-        assert_eq!(m.core_access(CoreMemOp::Store { addr: 0x10, value: 3 }, 0), Some(3));
+        assert_eq!(
+            m.core_access(
+                CoreMemOp::Store {
+                    addr: 0x10,
+                    value: 3
+                },
+                0
+            ),
+            Some(3)
+        );
         assert_eq!(m.core_access(CoreMemOp::Load { addr: 0x10 }, 1), Some(3));
         assert_eq!(m.stats().local_accesses, 2);
         assert_eq!(m.stats().remote_accesses, 0);

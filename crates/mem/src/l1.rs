@@ -329,13 +329,21 @@ mod tests {
         assert_eq!(requester, NodeId::new(3));
         assert!(c.has_outstanding());
         // While the miss is outstanding, further accesses are refused.
-        assert_eq!(c.access(CoreMemOp::Load { addr: 0x200 }, 1), AccessOutcome::Busy);
+        assert_eq!(
+            c.access(CoreMemOp::Load { addr: 0x200 }, 1),
+            AccessOutcome::Busy
+        );
         // Data arrives.
-        assert!(c.handle(MemMessage::Data { line: 4, value: 42 }, 10).is_empty());
+        assert!(c
+            .handle(MemMessage::Data { line: 4, value: 42 }, 10)
+            .is_empty());
         assert_eq!(c.take_completion(), Some(42));
         assert!(!c.has_outstanding());
         // Now it hits.
-        assert_eq!(c.access(CoreMemOp::Load { addr: 0x108 }, 11), AccessOutcome::Hit(42));
+        assert_eq!(
+            c.access(CoreMemOp::Load { addr: 0x108 }, 11),
+            AccessOutcome::Hit(42)
+        );
         assert_eq!(c.stats().completed_misses, 1);
         assert_eq!(c.stats().total_miss_latency, 10);
     }
@@ -346,14 +354,29 @@ mod tests {
         c.access(CoreMemOp::Load { addr: 0x40 }, 0);
         c.handle(MemMessage::Data { line: 1, value: 7 }, 1);
         c.take_completion();
-        let out = c.access(CoreMemOp::Store { addr: 0x40, value: 9 }, 2);
-        assert!(matches!(out, AccessOutcome::Miss(MemMessage::GetM { line: 1, .. })));
+        let out = c.access(
+            CoreMemOp::Store {
+                addr: 0x40,
+                value: 9,
+            },
+            2,
+        );
+        assert!(matches!(
+            out,
+            AccessOutcome::Miss(MemMessage::GetM { line: 1, .. })
+        ));
         c.handle(MemMessage::Data { line: 1, value: 7 }, 5);
         assert_eq!(c.take_completion(), Some(9));
         assert_eq!(c.cache().peek(1), Some((LineState::Modified, 9)));
         // A store to a Modified line hits.
         assert_eq!(
-            c.access(CoreMemOp::Store { addr: 0x48, value: 11 }, 6),
+            c.access(
+                CoreMemOp::Store {
+                    addr: 0x48,
+                    value: 11
+                },
+                6
+            ),
             AccessOutcome::Hit(11)
         );
     }
@@ -361,7 +384,13 @@ mod tests {
     #[test]
     fn fetch_forwards_data_and_writes_back() {
         let mut c = l1();
-        c.access(CoreMemOp::Store { addr: 0x80, value: 5 }, 0);
+        c.access(
+            CoreMemOp::Store {
+                addr: 0x80,
+                value: 5,
+            },
+            0,
+        );
         c.handle(MemMessage::Data { line: 2, value: 0 }, 1);
         c.take_completion();
         let out = c.handle(
@@ -379,7 +408,10 @@ mod tests {
         ));
         assert!(matches!(
             &out[1],
-            L1Out::ToHome { line: 2, msg: MemMessage::PutM { value: 5, .. } }
+            L1Out::ToHome {
+                line: 2,
+                msg: MemMessage::PutM { value: 5, .. }
+            }
         ));
         // Downgraded to Shared, not invalidated.
         assert_eq!(c.cache().peek(2), Some((LineState::Shared, 5)));
@@ -405,7 +437,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(matches!(
             &out[0],
-            L1Out::ToHome { line: 3, msg: MemMessage::InvAck { .. } }
+            L1Out::ToHome {
+                line: 3,
+                msg: MemMessage::InvAck { .. }
+            }
         ));
         assert_eq!(c.cache().peek(3), None);
         // The next load misses again.
@@ -425,7 +460,13 @@ mod tests {
                 line_bytes: 64,
             },
         );
-        c.access(CoreMemOp::Store { addr: 0x0, value: 1 }, 0);
+        c.access(
+            CoreMemOp::Store {
+                addr: 0x0,
+                value: 1,
+            },
+            0,
+        );
         c.handle(MemMessage::Data { line: 0, value: 0 }, 1);
         c.take_completion();
         // A miss to a different line evicts the dirty line 0.
@@ -434,7 +475,14 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(matches!(
             &out[0],
-            L1Out::ToHome { line: 0, msg: MemMessage::PutM { line: 0, value: 1, .. } }
+            L1Out::ToHome {
+                line: 0,
+                msg: MemMessage::PutM {
+                    line: 0,
+                    value: 1,
+                    ..
+                }
+            }
         ));
         assert_eq!(c.stats().writebacks, 1);
     }
@@ -446,7 +494,13 @@ mod tests {
         // a NUCA access is issued as a miss by the MemoryNode, so here we just
         // check that the response completes an outstanding op.
         c.access(CoreMemOp::Load { addr: 0x200 }, 0);
-        c.handle(MemMessage::RemoteReadResp { addr: 0x200, value: 55 }, 4);
+        c.handle(
+            MemMessage::RemoteReadResp {
+                addr: 0x200,
+                value: 55,
+            },
+            4,
+        );
         assert_eq!(c.take_completion(), Some(55));
     }
 }

@@ -51,13 +51,21 @@ pub enum MemMessage {
     Data { line: LineAddr, value: u64 },
     /// Directory → L1 (owner): forward the line to the requester and
     /// downgrade/invalidate.
-    Fetch { line: LineAddr, requester: NodeId, invalidate: bool },
+    Fetch {
+        line: LineAddr,
+        requester: NodeId,
+        invalidate: bool,
+    },
     /// Directory → L1: invalidate a shared copy.
     Invalidate { line: LineAddr },
     /// L1 → directory: invalidation acknowledged.
     InvAck { line: LineAddr, from: NodeId },
     /// L1 → directory: writeback of a modified line (eviction or downgrade).
-    PutM { line: LineAddr, value: u64, from: NodeId },
+    PutM {
+        line: LineAddr,
+        value: u64,
+        from: NodeId,
+    },
     /// Owner L1 → requester L1: forwarded data (cache-to-cache transfer).
     FwdData { line: LineAddr, value: u64 },
     /// NUCA remote read request (no caching; executed at the home tile).
@@ -65,7 +73,11 @@ pub enum MemMessage {
     /// NUCA remote read reply.
     RemoteReadResp { addr: u64, value: u64 },
     /// NUCA remote write request.
-    RemoteWrite { addr: u64, value: u64, requester: NodeId },
+    RemoteWrite {
+        addr: u64,
+        value: u64,
+        requester: NodeId,
+    },
     /// NUCA remote write acknowledgement.
     RemoteWriteAck { addr: u64 },
     /// Directory/L2 → memory controller: DRAM read.
@@ -165,25 +177,63 @@ impl MemMessage {
         MsgClass::from_word(w[0])?;
         let node = |i: usize| NodeId::new(w[i] as u32);
         Some(match w[1] {
-            1 => MemMessage::GetS { line: w[2], requester: node(3) },
-            2 => MemMessage::GetM { line: w[2], requester: node(3) },
-            3 => MemMessage::Data { line: w[2], value: w[3] },
+            1 => MemMessage::GetS {
+                line: w[2],
+                requester: node(3),
+            },
+            2 => MemMessage::GetM {
+                line: w[2],
+                requester: node(3),
+            },
+            3 => MemMessage::Data {
+                line: w[2],
+                value: w[3],
+            },
             4 => MemMessage::Fetch {
                 line: w[2],
                 requester: node(3),
                 invalidate: w[4] != 0,
             },
             5 => MemMessage::Invalidate { line: w[2] },
-            6 => MemMessage::InvAck { line: w[2], from: node(3) },
-            7 => MemMessage::PutM { line: w[2], value: w[3], from: node(4) },
-            8 => MemMessage::FwdData { line: w[2], value: w[3] },
-            9 => MemMessage::RemoteRead { addr: w[2], requester: node(3) },
-            10 => MemMessage::RemoteReadResp { addr: w[2], value: w[3] },
-            11 => MemMessage::RemoteWrite { addr: w[2], value: w[3], requester: node(4) },
+            6 => MemMessage::InvAck {
+                line: w[2],
+                from: node(3),
+            },
+            7 => MemMessage::PutM {
+                line: w[2],
+                value: w[3],
+                from: node(4),
+            },
+            8 => MemMessage::FwdData {
+                line: w[2],
+                value: w[3],
+            },
+            9 => MemMessage::RemoteRead {
+                addr: w[2],
+                requester: node(3),
+            },
+            10 => MemMessage::RemoteReadResp {
+                addr: w[2],
+                value: w[3],
+            },
+            11 => MemMessage::RemoteWrite {
+                addr: w[2],
+                value: w[3],
+                requester: node(4),
+            },
             12 => MemMessage::RemoteWriteAck { addr: w[2] },
-            13 => MemMessage::DramRead { line: w[2], requester: node(3) },
-            14 => MemMessage::DramReadResp { line: w[2], value: w[3] },
-            15 => MemMessage::DramWrite { line: w[2], value: w[3] },
+            13 => MemMessage::DramRead {
+                line: w[2],
+                requester: node(3),
+            },
+            14 => MemMessage::DramReadResp {
+                line: w[2],
+                value: w[3],
+            },
+            15 => MemMessage::DramWrite {
+                line: w[2],
+                value: w[3],
+            },
             _ => return None,
         })
     }
@@ -193,6 +243,7 @@ impl MemMessage {
     /// Control messages occupy `control_len` flits and data-bearing messages
     /// `data_len` flits, mirroring the short-request / long-response packets
     /// of a cache-coherent NoC.
+    #[allow(clippy::too_many_arguments)]
     pub fn to_packet(
         &self,
         id: PacketId,
@@ -203,9 +254,20 @@ impl MemMessage {
         control_len: u32,
         data_len: u32,
     ) -> Packet {
-        let len = if self.carries_data() { data_len } else { control_len };
-        Packet::new(id, FlowId::for_pair(src, dst, node_count), src, dst, len, now)
-            .with_payload(self.encode())
+        let len = if self.carries_data() {
+            data_len
+        } else {
+            control_len
+        };
+        Packet::new(
+            id,
+            FlowId::for_pair(src, dst, node_count),
+            src,
+            dst,
+            len,
+            now,
+        )
+        .with_payload(self.encode())
     }
 }
 
@@ -217,19 +279,49 @@ mod tests {
     fn encode_decode_roundtrip_for_all_variants() {
         let n = NodeId::new(7);
         let msgs = [
-            MemMessage::GetS { line: 0x40, requester: n },
-            MemMessage::GetM { line: 0x80, requester: n },
-            MemMessage::Data { line: 0x40, value: 99 },
-            MemMessage::Fetch { line: 1, requester: n, invalidate: true },
+            MemMessage::GetS {
+                line: 0x40,
+                requester: n,
+            },
+            MemMessage::GetM {
+                line: 0x80,
+                requester: n,
+            },
+            MemMessage::Data {
+                line: 0x40,
+                value: 99,
+            },
+            MemMessage::Fetch {
+                line: 1,
+                requester: n,
+                invalidate: true,
+            },
             MemMessage::Invalidate { line: 2 },
             MemMessage::InvAck { line: 2, from: n },
-            MemMessage::PutM { line: 3, value: 5, from: n },
+            MemMessage::PutM {
+                line: 3,
+                value: 5,
+                from: n,
+            },
             MemMessage::FwdData { line: 3, value: 5 },
-            MemMessage::RemoteRead { addr: 0x1000, requester: n },
-            MemMessage::RemoteReadResp { addr: 0x1000, value: 1 },
-            MemMessage::RemoteWrite { addr: 0x1008, value: 2, requester: n },
+            MemMessage::RemoteRead {
+                addr: 0x1000,
+                requester: n,
+            },
+            MemMessage::RemoteReadResp {
+                addr: 0x1000,
+                value: 1,
+            },
+            MemMessage::RemoteWrite {
+                addr: 0x1008,
+                value: 2,
+                requester: n,
+            },
             MemMessage::RemoteWriteAck { addr: 0x1008 },
-            MemMessage::DramRead { line: 9, requester: n },
+            MemMessage::DramRead {
+                line: 9,
+                requester: n,
+            },
             MemMessage::DramReadResp { line: 9, value: 4 },
             MemMessage::DramWrite { line: 9, value: 4 },
         ];
@@ -252,7 +344,10 @@ mod tests {
         let m = MemMessage::Data { line: 1, value: 2 };
         let p = m.to_packet(PacketId::new(1), NodeId::new(0), NodeId::new(1), 4, 0, 2, 8);
         assert_eq!(p.len_flits, 8);
-        let c = MemMessage::GetS { line: 1, requester: NodeId::new(0) };
+        let c = MemMessage::GetS {
+            line: 1,
+            requester: NodeId::new(0),
+        };
         let p = c.to_packet(PacketId::new(2), NodeId::new(0), NodeId::new(1), 4, 0, 2, 8);
         assert_eq!(p.len_flits, 2, "control messages use short packets");
     }
@@ -260,12 +355,20 @@ mod tests {
     #[test]
     fn classes_route_to_the_right_component() {
         assert_eq!(
-            MemMessage::GetS { line: 0, requester: NodeId::new(0) }.class(),
+            MemMessage::GetS {
+                line: 0,
+                requester: NodeId::new(0)
+            }
+            .class(),
             MsgClass::Directory
         );
         assert_eq!(MemMessage::Data { line: 0, value: 0 }.class(), MsgClass::L1);
         assert_eq!(
-            MemMessage::DramRead { line: 0, requester: NodeId::new(0) }.class(),
+            MemMessage::DramRead {
+                line: 0,
+                requester: NodeId::new(0)
+            }
+            .class(),
             MsgClass::MemoryController
         );
     }

@@ -174,13 +174,13 @@ impl Bridge {
                 let Some(front) = slot.flits.front() else {
                     break;
                 };
-                if self.injection_vcs[vc].free_space() == 0 {
-                    break;
-                }
                 let mut flit = *front;
                 flit.visible_at = now + 1;
                 flit.stats.injected_at = now;
                 flit.stats.arrived_at_current = now;
+                // `push` performs its own credit check (it reserves occupancy
+                // before enqueueing), so no separate free_space() pre-check is
+                // needed.
                 if self.injection_vcs[vc].push(flit) {
                     slot.flits.pop_front();
                     stats.injected_flits += 1;
@@ -196,13 +196,17 @@ impl Bridge {
     }
 
     /// Accepts flits ejected by the router (run after the router's negative
-    /// edge) and reassembles them into delivered packets.
-    pub fn accept(&mut self, flits: Vec<Flit>, now: Cycle, stats: &mut NetworkStats) {
-        for flit in flits {
-            let entry = self.reassembly.entry(flit.packet).or_insert_with(|| Reassembly {
-                flits: Vec::with_capacity(flit.packet_len as usize),
-                expected: flit.packet_len,
-            });
+    /// edge) and reassembles them into delivered packets. The input vector is
+    /// drained in place so its allocation survives into the next cycle.
+    pub fn accept(&mut self, flits: &mut Vec<Flit>, now: Cycle, stats: &mut NetworkStats) {
+        for flit in flits.drain(..) {
+            let entry = self
+                .reassembly
+                .entry(flit.packet)
+                .or_insert_with(|| Reassembly {
+                    flits: Vec::with_capacity(flit.packet_len as usize),
+                    expected: flit.packet_len,
+                });
             entry.flits.push(flit);
             if entry.flits.len() as u32 == entry.expected {
                 let done = self.reassembly.remove(&flit.packet).expect("present");
@@ -288,11 +292,7 @@ mod tests {
     #[test]
     fn packet_ids_are_unique_and_node_scoped() {
         let mut b0 = bridge_with_vcs(1, 4);
-        let mut b1 = Bridge::new(
-            NodeId::new(1),
-            vec![Arc::new(VcBuffer::new(4))],
-            1,
-        );
+        let mut b1 = Bridge::new(NodeId::new(1), vec![Arc::new(VcBuffer::new(4))], 1);
         let ids: Vec<_> = (0..10)
             .map(|_| b0.alloc_packet_id())
             .chain((0..10).map(|_| b1.alloc_packet_id()))
@@ -324,9 +324,9 @@ mod tests {
         let mut stats = NetworkStats::new();
         let p = packet(7, 3);
         let flits = p.to_flits(0);
-        b.accept(vec![flits[0], flits[1]], 5, &mut stats);
+        b.accept(&mut vec![flits[0], flits[1]], 5, &mut stats);
         assert!(b.try_recv().is_none());
-        b.accept(vec![flits[2]], 6, &mut stats);
+        b.accept(&mut vec![flits[2]], 6, &mut stats);
         let d = b.try_recv().expect("packet delivered");
         assert_eq!(d.packet.id, p.id);
         assert_eq!(d.delivered_at, 6);
@@ -340,8 +340,8 @@ mod tests {
         let mut stats = NetworkStats::new();
         let p = packet(9, 2).with_payload(Payload::from_words(&[0xdead, 0xbeef]));
         b.register_inbound_payload(p.clone());
-        let flits = p.to_flits(0);
-        b.accept(flits, 3, &mut stats);
+        let mut flits = p.to_flits(0);
+        b.accept(&mut flits, 3, &mut stats);
         let d = b.try_recv().unwrap();
         assert_eq!(d.packet.payload.words(), &[0xdead, 0xbeef]);
     }

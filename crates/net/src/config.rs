@@ -186,7 +186,10 @@ mod tests {
             Err(ConfigError::ZeroParameter("vcs_per_port"))
         );
         let cfg = NetworkConfig::new(Geometry::mesh2d(2, 2)).with_vcs(2, 0);
-        assert_eq!(cfg.validate(), Err(ConfigError::ZeroParameter("vc_capacity")));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroParameter("vc_capacity"))
+        );
     }
 
     #[test]

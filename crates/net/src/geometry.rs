@@ -502,8 +502,9 @@ mod tests {
         assert_eq!(c.b, NodeId::new(7));
         assert_eq!(c.other(NodeId::new(2)), Some(NodeId::new(7)));
         assert_eq!(c.other(NodeId::new(9)), None);
-        assert!(std::panic::catch_unwind(|| Connection::new(NodeId::new(1), NodeId::new(1)))
-            .is_err());
+        assert!(
+            std::panic::catch_unwind(|| Connection::new(NodeId::new(1), NodeId::new(1))).is_err()
+        );
     }
 
     #[test]

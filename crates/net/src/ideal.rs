@@ -16,8 +16,8 @@ use crate::routing::DistanceMatrix;
 use crate::stats::NetworkStats;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use std::collections::{BinaryHeap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Parameters of the ideal model.
 #[derive(Clone, Debug, PartialEq)]
@@ -231,8 +231,7 @@ impl IdealNetwork {
                     node.injected_flits_of_head = 0;
                     packet.injected_at = now;
                     let hops = self.dist.distance(packet.src, packet.dst);
-                    let deliver_at =
-                        now + hops as u64 * self.config.per_hop_latency;
+                    let deliver_at = now + hops as u64 * self.config.per_hop_latency;
                     let injected_at = now.saturating_sub(packet.len_flits as u64 - 1);
                     let key = self.flight_seq;
                     self.flight_seq += 1;

@@ -117,9 +117,11 @@ impl NetworkNode {
     /// the bridge, and inject queued flits into the network.
     pub fn negedge(&mut self, now: Cycle) {
         self.router.negedge(now);
-        let delivered = self.router.take_delivered();
+        // Drain the delivery queue in place so its allocation is reused every
+        // cycle (the router hot path never gives up scratch capacity).
+        let (delivered, stats) = self.router.delivered_and_stats_mut();
         if !delivered.is_empty() {
-            self.bridge.accept(delivered, now, self.router.stats_mut());
+            self.bridge.accept(delivered, now, stats);
         }
         self.bridge.inject(now, self.router.stats_mut());
     }
@@ -202,13 +204,12 @@ impl Network {
 
         // O1TURN / Valiant / ROMM need phase-separated VC sets to stay
         // deadlock-free; upgrade plain dynamic VCA accordingly.
-        let vca_kind = if config.routing.needs_phase_separated_vcs()
-            && config.vca == VcAllocKind::Dynamic
-        {
-            VcAllocKind::Phased
-        } else {
-            config.vca
-        };
+        let vca_kind =
+            if config.routing.needs_phase_separated_vcs() && config.vca == VcAllocKind::Dynamic {
+                VcAllocKind::Phased
+            } else {
+                config.vca
+            };
 
         let router_cfg = RouterConfig {
             vcs_per_port: config.vcs_per_port,
@@ -251,11 +252,8 @@ impl Network {
             .into_iter()
             .map(|router| {
                 let node = router.node();
-                let mut bridge = Bridge::new(
-                    node,
-                    router.injection_buffers(),
-                    config.link_bandwidth,
-                );
+                let mut bridge =
+                    Bridge::new(node, router.injection_buffers(), config.link_bandwidth);
                 bridge.attach_payload_store(Arc::clone(&payload_store));
                 let rng = ChaCha12Rng::seed_from_u64(
                     seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node.raw() as u64 + 1)),
@@ -331,10 +329,7 @@ impl Network {
 
     /// Earliest future event across all tiles (for fast-forwarding).
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        self.nodes
-            .iter()
-            .filter_map(|n| n.next_event(now))
-            .min()
+        self.nodes.iter().filter_map(|n| n.next_event(now)).min()
     }
 
     /// Advances the simulation by exactly one cycle.
@@ -370,8 +365,7 @@ impl Network {
                         // Nothing will ever happen again; jump to the end.
                         for node in &mut self.nodes {
                             node.set_cycle(end);
-                            node.router_mut().stats_mut().fast_forwarded_cycles +=
-                                end - self.cycle;
+                            node.router_mut().stats_mut().fast_forwarded_cycles += end - self.cycle;
                         }
                         self.cycle = end;
                         break;
@@ -563,7 +557,10 @@ mod tests {
         let fast = build(true);
         assert_eq!(slow.delivered_packets, fast.delivered_packets);
         assert_eq!(slow.total_packet_latency, fast.total_packet_latency);
-        assert!(fast.fast_forwarded_cycles > 0, "idle gaps should be skipped");
+        assert!(
+            fast.fast_forwarded_cycles > 0,
+            "idle gaps should be skipped"
+        );
         assert!(fast.simulated_cycles < slow.simulated_cycles);
     }
 

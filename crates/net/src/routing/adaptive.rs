@@ -48,16 +48,28 @@ impl DistanceMatrix {
         self.dist[from.index() * self.n + to.index()]
     }
 
+    /// All physical neighbours of `node` (the candidate set
+    /// [`minimal_next_hops`](Self::minimal_next_hops) filters); exposed so
+    /// allocation-free callers can do the minimal-path filtering themselves.
+    pub fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// True if `via` (a neighbour of `node`) lies on a minimal path from
+    /// `node` toward `dst`. This is the single home of the minimal-hop
+    /// predicate; both [`minimal_next_hops`](Self::minimal_next_hops) and the
+    /// router's allocation-free RC path use it.
+    pub fn is_minimal_hop(&self, node: NodeId, via: NodeId, dst: NodeId) -> bool {
+        let d = self.distance(node, dst);
+        d != 0 && d != u32::MAX && self.distance(via, dst).saturating_add(1) == d
+    }
+
     /// Neighbours of `node` that lie on a minimal path toward `dst`.
     pub fn minimal_next_hops(&self, node: NodeId, dst: NodeId) -> Vec<NodeId> {
-        let d = self.distance(node, dst);
-        if d == 0 || d == u32::MAX {
-            return Vec::new();
-        }
         self.neighbors[node.index()]
             .iter()
             .copied()
-            .filter(|&w| self.distance(w, dst) + 1 == d)
+            .filter(|&w| self.is_minimal_hop(node, w, dst))
             .collect()
     }
 

@@ -46,7 +46,12 @@ fn step_toward(cur: usize, dst: usize, extent: usize, wraps: bool) -> usize {
 /// # Panics
 ///
 /// Panics if the geometry is disconnected between `src` and `dst`.
-pub fn dor_path(geometry: &Geometry, src: NodeId, dst: NodeId, order: DimensionOrder) -> Vec<NodeId> {
+pub fn dor_path(
+    geometry: &Geometry,
+    src: NodeId,
+    dst: NodeId,
+    order: DimensionOrder,
+) -> Vec<NodeId> {
     if src == dst {
         return vec![src];
     }
@@ -135,7 +140,10 @@ pub fn bfs_path(geometry: &Geometry, src: NodeId, dst: NodeId) -> Vec<NodeId> {
             }
         }
     }
-    assert!(seen[dst.index()], "destination {dst} unreachable from {src}");
+    assert!(
+        seen[dst.index()],
+        "destination {dst} unreachable from {src}"
+    );
     let mut path = vec![dst];
     let mut cur = dst;
     while let Some(p) = prev[cur.index()] {
@@ -204,7 +212,6 @@ pub fn build_dor_tables(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::FlowId;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)

@@ -142,24 +142,43 @@ impl RoutingPolicy {
         flow: FlowId,
         dst: NodeId,
     ) -> Vec<NextHop> {
+        let mut out = Vec::new();
+        self.candidates_into(node, prev, flow, dst, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`candidates`](Self::candidates): clears
+    /// `out` and fills it with the weighted next-hop candidates. The router's
+    /// RC stage calls this every cycle with a reusable scratch vector, so the
+    /// steady-state hot path never touches the heap.
+    pub fn candidates_into(
+        &self,
+        node: NodeId,
+        prev: NodeId,
+        flow: FlowId,
+        dst: NodeId,
+        out: &mut Vec<NextHop>,
+    ) {
+        out.clear();
         match self {
-            RoutingPolicy::Table(table) => table.lookup(prev, flow).to_vec(),
+            RoutingPolicy::Table(table) => out.extend_from_slice(table.lookup(prev, flow)),
             RoutingPolicy::AdaptiveMinimal(dist) => {
                 if node == dst {
-                    vec![NextHop {
+                    out.push(NextHop {
                         next_node: node,
                         next_flow: flow,
                         weight: 1.0,
-                    }]
-                } else {
-                    dist.minimal_next_hops(node, dst)
-                        .into_iter()
-                        .map(|n| NextHop {
-                            next_node: n,
+                    });
+                    return;
+                }
+                for &w in dist.neighbors_of(node) {
+                    if dist.is_minimal_hop(node, w, dst) {
+                        out.push(NextHop {
+                            next_node: w,
                             next_flow: flow,
                             weight: 1.0,
-                        })
-                        .collect()
+                        });
+                    }
                 }
             }
         }

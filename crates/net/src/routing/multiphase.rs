@@ -75,8 +75,7 @@ fn intermediates(geometry: &Geometry, spec: &FlowSpec, minimal_rectangle: bool) 
             geometry
                 .nodes()
                 .filter(|&m| {
-                    geometry.hop_distance(spec.src, m) + geometry.hop_distance(m, spec.dst)
-                        == total
+                    geometry.hop_distance(spec.src, m) + geometry.hop_distance(m, spec.dst) == total
                 })
                 .collect()
         }
@@ -223,7 +222,10 @@ mod tests {
         let spec = FlowSpec::pair(n(0), n(1), 16);
         let tables = build_valiant_tables(&g, &[spec], false);
         let options = tables[0].lookup(n(0), spec.flow);
-        assert!(options.len() >= 2, "expected nonminimal options, got {options:?}");
+        assert!(
+            options.len() >= 2,
+            "expected nonminimal options, got {options:?}"
+        );
     }
 
     #[test]

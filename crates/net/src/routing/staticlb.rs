@@ -81,10 +81,7 @@ pub fn build_static_tables(geometry: &Geometry, flows: &[FlowSpec]) -> Vec<Routi
 /// Returns the per-directed-link flow counts that a set of static routes
 /// induces; useful for reporting the "most encumbered link" analyses of the
 /// paper (§IV-A).
-pub fn link_loads(
-    geometry: &Geometry,
-    flows: &[FlowSpec],
-) -> HashMap<(NodeId, NodeId), usize> {
+pub fn link_loads(geometry: &Geometry, flows: &[FlowSpec]) -> HashMap<(NodeId, NodeId), usize> {
     let mut load: HashMap<(NodeId, NodeId), usize> = HashMap::new();
     for spec in flows {
         let path = pick_path(geometry, spec.src, spec.dst, &load);

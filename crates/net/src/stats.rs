@@ -79,6 +79,8 @@ pub struct NetworkStats {
     /// Number of cycles skipped by fast-forwarding.
     pub fast_forwarded_cycles: u64,
     /// Cycles in which at least one flit was buffered in this router.
+    /// Sampled from the router's O(1) aggregate occupancy counter at each
+    /// positive edge (not by scanning the VC buffers).
     pub busy_cycles: u64,
     /// Per-flow delivery records.
     pub per_flow: HashMap<u64, FlowRecord>,

@@ -53,10 +53,13 @@ impl std::fmt::Display for VcAllocKind {
     }
 }
 
+/// A VCA table key: `⟨prev node, flow, next node, next flow⟩`.
+type VcaKey = (NodeId, FlowId, NodeId, FlowId);
+
 /// An explicit VCA table: `⟨prev, flow, next, next flow⟩ → {(vc, weight)}`.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct VcaTable {
-    entries: HashMap<(NodeId, FlowId, NodeId, FlowId), Vec<(VcId, f64)>>,
+    entries: HashMap<VcaKey, Vec<(VcId, f64)>>,
 }
 
 impl VcaTable {
@@ -178,25 +181,38 @@ impl VcaPolicy {
     /// for EDVCA/FAA preference rules which additionally require flow
     /// residence conditions.
     pub fn candidates(&self, req: &VcaRequest, downstream: &[DownstreamVc]) -> Vec<(VcId, f64)> {
-        let free = || {
-            downstream
-                .iter()
-                .filter(|d| d.free_for_allocation)
-                .map(|d| (d.vc, 1.0))
-                .collect::<Vec<_>>()
+        let mut out = Vec::new();
+        self.candidates_into(req, downstream, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`candidates`](Self::candidates): clears
+    /// `out` and fills it with the weighted candidate VCs, in the same order
+    /// [`candidates`](Self::candidates) returns them. The router's VA stage
+    /// calls this with a reusable scratch vector so the steady-state hot path
+    /// never touches the heap.
+    pub fn candidates_into(
+        &self,
+        req: &VcaRequest,
+        downstream: &[DownstreamVc],
+        out: &mut Vec<(VcId, f64)>,
+    ) {
+        out.clear();
+        let push_free = |out: &mut Vec<(VcId, f64)>| {
+            for d in downstream.iter().filter(|d| d.free_for_allocation) {
+                out.push((d.vc, 1.0));
+            }
         };
         match self {
-            VcaPolicy::Dynamic => free(),
+            VcaPolicy::Dynamic => push_free(out),
             VcaPolicy::StaticSet => {
                 if downstream.is_empty() {
-                    return Vec::new();
+                    return;
                 }
                 let idx = (req.next_flow.base() % downstream.len() as u64) as usize;
                 let d = &downstream[idx];
                 if d.free_for_allocation {
-                    vec![(d.vc, 1.0)]
-                } else {
-                    Vec::new()
+                    out.push((d.vc, 1.0));
                 }
             }
             VcaPolicy::Phased { phases } => {
@@ -209,13 +225,14 @@ impl VcaPolicy {
                 } else {
                     lo + per_set
                 };
-                downstream
+                for d in downstream
                     .iter()
                     .skip(lo)
                     .take(hi - lo)
                     .filter(|d| d.free_for_allocation)
-                    .map(|d| (d.vc, 1.0))
-                    .collect()
+                {
+                    out.push((d.vc, 1.0));
+                }
             }
             VcaPolicy::Edvca => {
                 // If some VC already carries this flow, the packet must use it
@@ -226,49 +243,49 @@ impl VcaPolicy {
                     .find(|d| d.resident_flow == Some(req.next_flow))
                 {
                     if d.free_for_allocation {
-                        vec![(d.vc, 1.0)]
-                    } else {
-                        Vec::new()
+                        out.push((d.vc, 1.0));
                     }
                 } else {
-                    downstream
+                    for d in downstream
                         .iter()
                         .filter(|d| d.free_for_allocation && d.resident_flow.is_none())
-                        .map(|d| (d.vc, 1.0))
-                        .collect()
+                    {
+                        out.push((d.vc, 1.0));
+                    }
                 }
             }
             VcaPolicy::Faa => {
                 // Prefer a VC already carrying this flow; otherwise weight free
                 // VCs by available space so the emptiest is most likely.
-                let same_flow: Vec<_> = downstream
+                for d in downstream
                     .iter()
                     .filter(|d| d.free_for_allocation && d.resident_flow == Some(req.next_flow))
-                    .map(|d| (d.vc, 1.0))
-                    .collect();
-                if !same_flow.is_empty() {
-                    return same_flow;
+                {
+                    out.push((d.vc, 1.0));
                 }
-                downstream
-                    .iter()
-                    .filter(|d| d.free_for_allocation)
-                    .map(|d| (d.vc, 1.0 + (d.capacity - d.occupancy.min(d.capacity)) as f64))
-                    .collect()
+                if !out.is_empty() {
+                    return;
+                }
+                for d in downstream.iter().filter(|d| d.free_for_allocation) {
+                    out.push((
+                        d.vc,
+                        1.0 + (d.capacity - d.occupancy.min(d.capacity)) as f64,
+                    ));
+                }
             }
             VcaPolicy::Table(table) => {
                 let entry = table.lookup(req.prev, req.flow, req.next, req.next_flow);
                 if entry.is_empty() {
-                    return free();
+                    push_free(out);
+                    return;
                 }
-                entry
-                    .iter()
-                    .filter(|(vc, _)| {
-                        downstream
-                            .iter()
-                            .any(|d| d.vc == *vc && d.free_for_allocation)
-                    })
-                    .copied()
-                    .collect()
+                for cand in entry.iter().filter(|(vc, _)| {
+                    downstream
+                        .iter()
+                        .any(|d| d.vc == *vc && d.free_for_allocation)
+                }) {
+                    out.push(*cand);
+                }
             }
         }
     }

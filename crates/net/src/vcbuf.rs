@@ -1,35 +1,105 @@
 //! The ingress virtual-channel buffer — the only data structure shared between
 //! two simulation threads.
 //!
-//! As in the paper (§II-C), each VC buffer carries two fine-grained locks: one
-//! at the tail (ingress) end, taken by the *upstream* router when it deposits
-//! flits, and one at the head (egress) end, taken by the *downstream* router
-//! that owns the buffer. Because these are the only points of communication
-//! between two tiles, correct locking of the two ends guarantees that no flit
-//! is lost or reordered regardless of the relative progress of the two
-//! threads.
+//! As in the paper (§II-C), each VC buffer has a producer (tail) end written
+//! by the *upstream* router and a consumer (head) end owned by the
+//! *downstream* router. Because these are the only points of communication
+//! between two tiles, correct synchronization of the two ends guarantees that
+//! no flit is lost or reordered regardless of the relative progress of the
+//! two threads.
 //!
-//! Occupancy is additionally published in an atomic counter so the upstream
-//! router can perform credit checks without taking a lock.
+//! # Storage and locking
+//!
+//! Flits live in a fixed-capacity ring allocated once at construction —
+//! steady-state operation never touches the heap. Three cursors index the
+//! ring, each counting flits monotonically (slot = cursor % capacity):
+//!
+//! * `write_pos` — flits deposited by the producer. Producers serialize on the
+//!   tail lock and publish each deposit with a release store *after* writing
+//!   the slot.
+//! * `visible` — the absorb boundary: flits at `read_pos..visible` are visible
+//!   to the consumer's pipeline stages. Advanced by [`absorb_tail`] /
+//!   [`absorb_and_peek`] with a single acquire load of `write_pos` — the
+//!   consumer never takes the tail lock (this is the lock elision that removes
+//!   one of the two per-cycle cross-thread lock acquisitions the original
+//!   dual-`VecDeque` design paid).
+//! * `read_pos` — flits consumed by the owner. `read_pos` and `visible` are
+//!   protected by the head lock.
+//!
+//! Occupancy (`write`-side reservations minus completed pops) is kept in an
+//! atomic counter so upstream credit checks stay lock-free, exactly like a
+//! hardware credit loop; an optional *aggregate* counter shared by all buffers
+//! of one router makes the router's `buffered_flits()` / `is_idle()` O(1).
+//!
+//! [`absorb_tail`]: VcBuffer::absorb_tail
+//! [`absorb_and_peek`]: VcBuffer::absorb_and_peek
+//!
+//! # Safety argument
+//!
+//! A slot is written only by a producer holding the tail lock at index
+//! `write_pos`, and read only by the consumer holding the head lock at indices
+//! `read_pos..visible`. Since `visible ≤ write_pos` (published with
+//! release/acquire on `write_pos`) the two index sets never overlap. Slot
+//! *reuse* (writing index `r + capacity` while the consumer pops index `r`)
+//! cannot collide either: a push first reserves space in `occupancy` and pops
+//! release it only *after* advancing `read_pos`, so `occupancy ≥ write_pos −
+//! read_pos` at all times and a successful reservation (`occupancy <
+//! capacity`) proves `write_pos − read_pos < capacity`. The release half of
+//! the pop's `occupancy` RMW and the acquire half of the push's reservation
+//! RMW order the consumer's final read of a slot before the producer's reuse
+//! of it.
 
 use crate::flit::Flit;
 use crate::ids::Cycle;
 use parking_lot::Mutex;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// A bounded FIFO of flits with independently lockable head and tail ends.
-#[derive(Debug)]
+/// Consumer-side cursors, protected by the head lock.
+#[derive(Debug, Clone, Copy)]
+struct HeadCursors {
+    /// Flits consumed so far.
+    read_pos: u64,
+    /// Absorb boundary: flits below this are visible to the pipeline stages.
+    visible: u64,
+}
+
+/// A bounded FIFO of flits with an independently synchronized producer (tail)
+/// and consumer (head) end, backed by a fixed ring allocated at construction.
 pub struct VcBuffer {
     capacity: usize,
-    /// Tail (ingress) end: flits deposited by the upstream router and not yet
-    /// claimed by the owner.
-    tail: Mutex<VecDeque<Flit>>,
-    /// Head (egress) end: flits visible to the owning (downstream) router.
-    head: Mutex<VecDeque<Flit>>,
-    /// Total number of flits resident in the buffer (tail + head), updated by
-    /// whichever side adds or removes flits; read lock-free for credit checks.
+    /// Ring storage; see the module-level safety argument.
+    slots: Box<[UnsafeCell<MaybeUninit<Flit>>]>,
+    /// Producer cursor: flits deposited so far. Written under the tail lock,
+    /// published with `Release`, read by the consumer with `Acquire`.
+    write_pos: AtomicU64,
+    /// Serializes producers (the upstream router and, for injection buffers,
+    /// the local bridge).
+    tail: Mutex<()>,
+    /// Protects the consumer cursors.
+    head: Mutex<HeadCursors>,
+    /// Reserved-minus-released flit count; the credit-check value. Lags pops
+    /// by up to one cycle, exactly like a hardware credit loop.
     occupancy: AtomicUsize,
+    /// Optional router-wide occupancy aggregate (all ingress buffers of one
+    /// router share it), making the router's idle check O(1).
+    aggregate: Option<Arc<AtomicUsize>>,
+}
+
+// SAFETY: all slot accesses are synchronized as described in the module-level
+// safety argument; `Flit` is `Copy + Send`.
+unsafe impl Send for VcBuffer {}
+unsafe impl Sync for VcBuffer {}
+
+impl std::fmt::Debug for VcBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VcBuffer")
+            .field("capacity", &self.capacity)
+            .field("occupancy", &self.occupancy())
+            .finish()
+    }
 }
 
 impl VcBuffer {
@@ -39,12 +109,35 @@ impl VcBuffer {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "a VC buffer needs capacity for at least one flit");
+        Self::build(capacity, None)
+    }
+
+    /// Creates a buffer that additionally reports its occupancy into a shared
+    /// per-router aggregate counter (see [`occupancy`](Self::occupancy)).
+    pub fn with_aggregate(capacity: usize, aggregate: Arc<AtomicUsize>) -> Self {
+        Self::build(capacity, Some(aggregate))
+    }
+
+    fn build(capacity: usize, aggregate: Option<Arc<AtomicUsize>>) -> Self {
+        assert!(
+            capacity > 0,
+            "a VC buffer needs capacity for at least one flit"
+        );
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Self {
             capacity,
-            tail: Mutex::new(VecDeque::new()),
-            head: Mutex::new(VecDeque::new()),
+            slots,
+            write_pos: AtomicU64::new(0),
+            tail: Mutex::new(()),
+            head: Mutex::new(HeadCursors {
+                read_pos: 0,
+                visible: 0,
+            }),
             occupancy: AtomicUsize::new(0),
+            aggregate,
         }
     }
 
@@ -65,6 +158,18 @@ impl VcBuffer {
         self.capacity.saturating_sub(self.occupancy())
     }
 
+    /// Reads slot `pos` of the ring.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the head lock and ensure `read_pos ≤ pos <
+    /// visible` (the slot holds an initialized flit the producer published
+    /// before the acquire load that advanced `visible`).
+    #[inline]
+    unsafe fn read_slot(&self, pos: u64) -> Flit {
+        (*self.slots[(pos % self.capacity as u64) as usize].get()).assume_init()
+    }
+
     /// Deposits a flit at the tail end. Called by the upstream router (or the
     /// local bridge) during its negative clock edge.
     ///
@@ -79,41 +184,85 @@ impl VcBuffer {
             self.occupancy.fetch_sub(1, Ordering::AcqRel);
             return false;
         }
-        self.tail.lock().push_back(flit);
+        if let Some(agg) = &self.aggregate {
+            agg.fetch_add(1, Ordering::AcqRel);
+        }
+        let _tail = self.tail.lock();
+        let pos = self.write_pos.load(Ordering::Relaxed);
+        // SAFETY: the successful reservation above proves this slot is not in
+        // `read_pos..write_pos` (module-level safety argument), and the tail
+        // lock excludes concurrent producers.
+        unsafe {
+            (*self.slots[(pos % self.capacity as u64) as usize].get()).write(flit);
+        }
+        self.write_pos.store(pos + 1, Ordering::Release);
         true
     }
 
-    /// Moves flits deposited at the tail end into the head end. Called by the
-    /// owning router at the start of its cycle; after this, [`peek`](Self::peek)
-    /// and [`pop_if`](Self::pop_if) observe them.
-    pub fn absorb_tail(&self) {
-        let mut tail = self.tail.lock();
-        if tail.is_empty() {
-            return;
-        }
+    /// Makes flits deposited at the tail end visible to the head end, without
+    /// taking the tail lock. Called by the owning router at the start of its
+    /// cycle; after this, [`peek`](Self::peek) and [`pop_if`](Self::pop_if)
+    /// observe them. Returns the number of flits absorbed.
+    pub fn absorb_tail(&self) -> usize {
         let mut head = self.head.lock();
-        head.extend(tail.drain(..));
+        let published = self.write_pos.load(Ordering::Acquire);
+        let absorbed = published - head.visible;
+        head.visible = published;
+        absorbed as usize
+    }
+
+    /// [`absorb_tail`](Self::absorb_tail) plus a snapshot of the head flit, in
+    /// one lock acquisition. This is the router hot path: one call per
+    /// non-empty VC per cycle replaces the absorb + repeated-`peek` sequence
+    /// (which cost up to five lock acquisitions per VC per cycle).
+    ///
+    /// The returned flit, if any, ignores the visibility timestamp — callers
+    /// check `visible_at` against their own clock on the (copied) snapshot.
+    pub fn absorb_and_peek(&self) -> (usize, Option<Flit>) {
+        let mut head = self.head.lock();
+        let published = self.write_pos.load(Ordering::Acquire);
+        let absorbed = (published - head.visible) as usize;
+        head.visible = published;
+        let flit = if head.read_pos < head.visible {
+            // SAFETY: head lock held, read_pos < visible.
+            Some(unsafe { self.read_slot(head.read_pos) })
+        } else {
+            None
+        };
+        (absorbed, flit)
     }
 
     /// Returns a copy of the flit at the head of the buffer, if any, provided
     /// it has become visible by `now` (its `visible_at` stamp has passed).
     pub fn peek(&self, now: Cycle) -> Option<Flit> {
         let head = self.head.lock();
-        head.front().copied().filter(|f| f.visible_at <= now)
+        if head.read_pos < head.visible {
+            // SAFETY: head lock held, read_pos < visible.
+            let flit = unsafe { self.read_slot(head.read_pos) };
+            (flit.visible_at <= now).then_some(flit)
+        } else {
+            None
+        }
     }
 
     /// Pops the head flit if it is visible by `now` and `pred` accepts it.
     pub fn pop_if(&self, now: Cycle, pred: impl FnOnce(&Flit) -> bool) -> Option<Flit> {
         let mut head = self.head.lock();
-        let matches = head
-            .front()
-            .map(|f| f.visible_at <= now && pred(f))
-            .unwrap_or(false);
-        if matches {
-            let flit = head.pop_front();
+        if head.read_pos >= head.visible {
+            return None;
+        }
+        // SAFETY: head lock held, read_pos < visible.
+        let flit = unsafe { self.read_slot(head.read_pos) };
+        if flit.visible_at <= now && pred(&flit) {
+            head.read_pos += 1;
             drop(head);
+            // Release the slot only after the read completed (see the
+            // module-level safety argument for why this ordering matters).
             self.occupancy.fetch_sub(1, Ordering::AcqRel);
-            flit
+            if let Some(agg) = &self.aggregate {
+                agg.fetch_sub(1, Ordering::AcqRel);
+            }
+            Some(flit)
         } else {
             None
         }
@@ -122,7 +271,8 @@ impl VcBuffer {
     /// Number of flits currently visible at the head end (ignores the
     /// visibility timestamp; used for statistics).
     pub fn head_len(&self) -> usize {
-        self.head.lock().len()
+        let head = self.head.lock();
+        (head.visible - head.read_pos) as usize
     }
 
     /// True if the buffer holds no flits at all.
@@ -132,16 +282,22 @@ impl VcBuffer {
 
     /// Drains every flit out of the buffer (test / teardown helper).
     pub fn drain_all(&self) -> Vec<Flit> {
-        let mut out = Vec::new();
-        {
-            let mut head = self.head.lock();
-            out.extend(head.drain(..));
+        let mut head = self.head.lock();
+        // Hold the tail lock so no producer is mid-deposit while we read up
+        // to `write_pos`.
+        let _tail = self.tail.lock();
+        head.visible = self.write_pos.load(Ordering::Acquire);
+        let mut out = Vec::with_capacity((head.visible - head.read_pos) as usize);
+        while head.read_pos < head.visible {
+            // SAFETY: head lock held, read_pos < visible.
+            out.push(unsafe { self.read_slot(head.read_pos) });
+            head.read_pos += 1;
         }
-        {
-            let mut tail = self.tail.lock();
-            out.extend(tail.drain(..));
+        drop(head);
+        self.occupancy.fetch_sub(out.len(), Ordering::AcqRel);
+        if let Some(agg) = &self.aggregate {
+            agg.fetch_sub(out.len(), Ordering::AcqRel);
         }
-        self.occupancy.store(0, Ordering::Release);
         out
     }
 }
@@ -157,7 +313,11 @@ mod tests {
             packet: PacketId::new(1),
             flow: FlowId::new(1),
             original_flow: FlowId::new(1),
-            kind: if seq == 0 { FlitKind::Head } else { FlitKind::Body },
+            kind: if seq == 0 {
+                FlitKind::Head
+            } else {
+                FlitKind::Body
+            },
             seq,
             packet_len: 8,
             dst: NodeId::new(1),
@@ -183,7 +343,7 @@ mod tests {
         for i in 0..4 {
             assert!(buf.push(flit(i, 0)));
         }
-        buf.absorb_tail();
+        assert_eq!(buf.absorb_tail(), 4);
         for i in 0..4 {
             let f = buf.pop_if(10, |_| true).expect("flit present");
             assert_eq!(f.seq, i);
@@ -227,8 +387,63 @@ mod tests {
     }
 
     #[test]
+    fn absorb_and_peek_reports_count_and_snapshot() {
+        let buf = VcBuffer::new(8);
+        assert_eq!(buf.absorb_and_peek(), (0, None));
+        for i in 0..3 {
+            assert!(buf.push(flit(i, 0)));
+        }
+        let (absorbed, head) = buf.absorb_and_peek();
+        assert_eq!(absorbed, 3);
+        assert_eq!(head.unwrap().seq, 0);
+        // Nothing new: count is zero but the snapshot persists.
+        let (absorbed, head) = buf.absorb_and_peek();
+        assert_eq!(absorbed, 0);
+        assert_eq!(head.unwrap().seq, 0);
+    }
+
+    #[test]
+    fn ring_reuses_slots_across_many_wraps() {
+        let buf = VcBuffer::new(3);
+        let mut next = 0u32;
+        let mut expect = 0u32;
+        for _ in 0..50 {
+            while buf.push(flit(next, 0)) {
+                next += 1;
+            }
+            buf.absorb_tail();
+            while let Some(f) = buf.pop_if(u64::MAX, |_| true) {
+                assert_eq!(f.seq, expect);
+                expect += 1;
+            }
+        }
+        assert_eq!(next, expect);
+        assert!(next >= 150, "three flits per round expected");
+    }
+
+    #[test]
+    fn aggregate_counter_tracks_all_movements() {
+        let agg = Arc::new(AtomicUsize::new(0));
+        let a = VcBuffer::with_aggregate(4, Arc::clone(&agg));
+        let b = VcBuffer::with_aggregate(4, Arc::clone(&agg));
+        assert!(a.push(flit(0, 0)));
+        assert!(b.push(flit(1, 0)));
+        assert!(b.push(flit(2, 0)));
+        assert_eq!(agg.load(Ordering::Acquire), 3);
+        a.absorb_tail();
+        assert!(a.pop_if(1, |_| true).is_some());
+        assert_eq!(agg.load(Ordering::Acquire), 2);
+        b.drain_all();
+        assert_eq!(agg.load(Ordering::Acquire), 0);
+        // A full buffer's rejected push must not disturb the aggregate.
+        let full = VcBuffer::with_aggregate(1, Arc::clone(&agg));
+        assert!(full.push(flit(0, 0)));
+        assert!(!full.push(flit(1, 0)));
+        assert_eq!(agg.load(Ordering::Acquire), 1);
+    }
+
+    #[test]
     fn concurrent_producer_consumer_preserves_order_and_count() {
-        use std::sync::Arc;
         let buf = Arc::new(VcBuffer::new(4));
         let producer = {
             let buf = Arc::clone(&buf);

@@ -86,7 +86,9 @@ impl PowerConfig {
     /// access (modelled as a square-root capacity dependence, as in ORION's
     /// SRAM model).
     fn buffer_scale(&self) -> f64 {
-        ((self.vcs_per_port * self.vc_depth) as f64 / 16.0).sqrt().max(0.25)
+        ((self.vcs_per_port * self.vc_depth) as f64 / 16.0)
+            .sqrt()
+            .max(0.25)
     }
 }
 
@@ -239,7 +241,10 @@ mod tests {
     fn voltage_scaling_is_quadratic() {
         let base = PowerConfig::default();
         let low = base.at_voltage(0.5);
-        assert!((low.buffer_write_energy_per_bit / base.buffer_write_energy_per_bit - 0.25).abs() < 1e-9);
+        assert!(
+            (low.buffer_write_energy_per_bit / base.buffer_write_energy_per_bit - 0.25).abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -221,7 +221,10 @@ mod tests {
         let mut grid = ThermalGrid::new(8, 8, ThermalConfig::default());
         grid.steady_state(&uniform(64, 0.01), 1e-5);
         let spread = grid.max_temp() - grid.temperatures().iter().copied().fold(f64::MAX, f64::min);
-        assert!(spread < 0.5, "uniform power must not create a hotspot (spread {spread})");
+        assert!(
+            spread < 0.5,
+            "uniform power must not create a hotspot (spread {spread})"
+        );
         assert!(grid.max_temp() > grid.config.ambient_c);
     }
 
@@ -240,7 +243,10 @@ mod tests {
         grid.steady_state(&powers, 1e-5);
         let hotspot = grid.hotspot();
         let (x, y) = (hotspot % 8, hotspot / 8);
-        assert!((2..6).contains(&x) && (2..6).contains(&y), "hotspot at ({x},{y})");
+        assert!(
+            (2..6).contains(&x) && (2..6).contains(&y),
+            "hotspot at ({x},{y})"
+        );
     }
 
     #[test]
@@ -292,7 +298,11 @@ mod tests {
         // a busy NoC pushes tiles into the 70–95 °C band of Figure 13/14.
         let mut grid = ThermalGrid::new(8, 8, ThermalConfig::default());
         grid.steady_state(&uniform(64, 0.02), 1e-4);
-        assert!(grid.mean_temp() > 60.0 && grid.max_temp() < 110.0, "{}", grid.mean_temp());
+        assert!(
+            grid.mean_temp() > 60.0 && grid.max_temp() < 110.0,
+            "{}",
+            grid.mean_temp()
+        );
     }
 
     #[test]

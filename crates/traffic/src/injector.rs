@@ -9,9 +9,9 @@ use crate::pattern::{InjectionProcess, ProcessState, SyntheticPattern};
 use hornet_net::agent::{NodeAgent, NodeIo};
 use hornet_net::flit::Packet;
 use hornet_net::geometry::Geometry;
-use hornet_net::ids::{Cycle, FlowId};
 #[cfg(test)]
 use hornet_net::ids::NodeId;
+use hornet_net::ids::{Cycle, FlowId};
 use rand_chacha::ChaCha12Rng;
 use std::sync::Arc;
 
@@ -162,7 +162,10 @@ pub fn attach_everywhere(
 }
 
 /// Builds the flow set a synthetic pattern needs the routing tables to cover.
-pub fn flows_for_pattern(pattern: &SyntheticPattern, geometry: &Geometry) -> Vec<hornet_net::routing::FlowSpec> {
+pub fn flows_for_pattern(
+    pattern: &SyntheticPattern,
+    geometry: &Geometry,
+) -> Vec<hornet_net::routing::FlowSpec> {
     pattern
         .flow_pairs(geometry)
         .into_iter()
@@ -202,6 +205,7 @@ pub struct SyntheticRunReport {
 /// Runs a network-only synthetic-traffic experiment: every node runs the same
 /// injector; statistics are reset after `warmup` cycles and collected for
 /// `measured` cycles (Table I's methodology).
+#[allow(clippy::too_many_arguments)]
 pub fn run_synthetic(
     geometry: Geometry,
     pattern: SyntheticPattern,
@@ -289,7 +293,10 @@ mod tests {
             Arc::clone(&geometry),
             SyntheticConfig {
                 pattern: SyntheticPattern::NearestNeighbor,
-                process: InjectionProcess::Periodic { period: 1, offset: 0 },
+                process: InjectionProcess::Periodic {
+                    period: 1,
+                    offset: 0,
+                },
                 packet_len: 1,
                 stop_after: None,
                 max_packets: Some(3),
@@ -328,7 +335,11 @@ mod tests {
                 0
             }
         }
-        let mut io = CountingIo { cycle: 0, sent: 0, next: 0 };
+        let mut io = CountingIo {
+            cycle: 0,
+            sent: 0,
+            next: 0,
+        };
         let mut rng = rand::SeedableRng::seed_from_u64(0);
         for c in 0..10 {
             io.cycle = c;

@@ -217,7 +217,7 @@ impl InjectionProcess {
                 if *period == 0 {
                     return 1;
                 }
-                if (now - offset) % period == 0 {
+                if (now - offset).is_multiple_of(*period) {
                     1
                 } else {
                     0
@@ -364,14 +364,19 @@ mod tests {
         let p = InjectionProcess::Bernoulli { rate: 0.25 };
         let mut rng = StdRng::seed_from_u64(11);
         let mut state = ProcessState::default();
-        let total: u32 = (0..10_000).map(|c| p.injections_at(c, &mut state, &mut rng)).sum();
+        let total: u32 = (0..10_000)
+            .map(|c| p.injections_at(c, &mut state, &mut rng))
+            .sum();
         assert!((2000..3000).contains(&total), "got {total}");
         assert!((p.offered_load() - 0.25).abs() < 1e-9);
     }
 
     #[test]
     fn periodic_process_fires_on_schedule() {
-        let p = InjectionProcess::Periodic { period: 10, offset: 5 };
+        let p = InjectionProcess::Periodic {
+            period: 10,
+            offset: 5,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let mut state = ProcessState::default();
         let fired: Vec<Cycle> = (0..40)
@@ -385,7 +390,10 @@ mod tests {
 
     #[test]
     fn burst_process_alternates_bursts_and_gaps() {
-        let p = InjectionProcess::Burst { burst_len: 3, gap: 7 };
+        let p = InjectionProcess::Burst {
+            burst_len: 3,
+            gap: 7,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let mut state = ProcessState::default();
         let fired: Vec<Cycle> = (0..20)

@@ -248,7 +248,10 @@ impl SplashWorkload {
 
     /// Replaces the memory-controller placement.
     pub fn with_memory_controllers(mut self, mcs: Vec<NodeId>) -> Self {
-        assert!(!mcs.is_empty(), "at least one memory controller is required");
+        assert!(
+            !mcs.is_empty(),
+            "at least one memory controller is required"
+        );
         self.memory_controllers = mcs;
         self
     }
@@ -325,9 +328,15 @@ impl SplashWorkload {
             );
             let is_mc = self.memory_controllers.contains(&node);
             for cycle in 0..duration {
-                if let Some((dst, size)) =
-                    synth_injection(&self.profile, &self.geometry, &self.memory_controllers, node, is_mc, cycle, &mut rng)
-                {
+                if let Some((dst, size)) = synth_injection(
+                    &self.profile,
+                    &self.geometry,
+                    &self.memory_controllers,
+                    node,
+                    is_mc,
+                    cycle,
+                    &mut rng,
+                ) {
                     events.push(crate::trace::TraceEvent {
                         timestamp: cycle,
                         src: node,
@@ -527,12 +536,23 @@ mod tests {
 
     #[test]
     fn memory_controller_placement_is_configurable() {
-        let w = SplashWorkload::new(SplashBenchmark::Radix, mesh8())
-            .with_memory_controllers(vec![NodeId::new(0), NodeId::new(7), NodeId::new(56), NodeId::new(63), NodeId::new(27)]);
+        let w = SplashWorkload::new(SplashBenchmark::Radix, mesh8()).with_memory_controllers(vec![
+            NodeId::new(0),
+            NodeId::new(7),
+            NodeId::new(56),
+            NodeId::new(63),
+            NodeId::new(27),
+        ]);
         assert_eq!(w.memory_controllers.len(), 5);
         let trace = w.to_trace(2_000, 1);
         // Traffic to MCs is spread over all five controllers.
-        let hits = |n: u32| trace.events().iter().filter(|e| e.dst == NodeId::new(n)).count();
+        let hits = |n: u32| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.dst == NodeId::new(n))
+                .count()
+        };
         assert!(hits(0) > 0 && hits(63) > 0);
     }
 }

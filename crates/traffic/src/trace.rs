@@ -362,9 +362,27 @@ mod tests {
     #[test]
     fn split_by_source_partitions_events() {
         let trace = Trace::new(vec![
-            TraceEvent { timestamp: 1, src: NodeId::new(0), dst: NodeId::new(1), size: 1, period: None },
-            TraceEvent { timestamp: 2, src: NodeId::new(1), dst: NodeId::new(0), size: 1, period: None },
-            TraceEvent { timestamp: 3, src: NodeId::new(0), dst: NodeId::new(2), size: 1, period: None },
+            TraceEvent {
+                timestamp: 1,
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                size: 1,
+                period: None,
+            },
+            TraceEvent {
+                timestamp: 2,
+                src: NodeId::new(1),
+                dst: NodeId::new(0),
+                size: 1,
+                period: None,
+            },
+            TraceEvent {
+                timestamp: 3,
+                src: NodeId::new(0),
+                dst: NodeId::new(2),
+                size: 1,
+                period: None,
+            },
         ]);
         let per_node = trace.split_by_source(3);
         assert_eq!(per_node[0].len(), 2);
@@ -394,9 +412,27 @@ mod tests {
         use hornet_net::routing::FlowSpec;
 
         let trace = Trace::new(vec![
-            TraceEvent { timestamp: 0, src: NodeId::new(0), dst: NodeId::new(3), size: 4, period: None },
-            TraceEvent { timestamp: 5, src: NodeId::new(0), dst: NodeId::new(3), size: 4, period: None },
-            TraceEvent { timestamp: 0, src: NodeId::new(3), dst: NodeId::new(0), size: 2, period: Some(20) },
+            TraceEvent {
+                timestamp: 0,
+                src: NodeId::new(0),
+                dst: NodeId::new(3),
+                size: 4,
+                period: None,
+            },
+            TraceEvent {
+                timestamp: 5,
+                src: NodeId::new(0),
+                dst: NodeId::new(3),
+                size: 4,
+                period: None,
+            },
+            TraceEvent {
+                timestamp: 0,
+                src: NodeId::new(3),
+                dst: NodeId::new(0),
+                size: 2,
+                period: Some(20),
+            },
         ]);
         let flows: Vec<FlowSpec> = trace
             .flow_pairs()

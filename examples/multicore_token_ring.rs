@@ -40,8 +40,14 @@ fn main() {
 
     println!("token ring over {nodes} MIPS cores completed");
     println!("total cycles            : {}", report.measured_cycles);
-    println!("packets on the network  : {}", report.network.delivered_packets);
-    println!("avg packet latency      : {:.2} cycles", report.network.avg_packet_latency());
+    println!(
+        "packets on the network  : {}",
+        report.network.delivered_packets
+    );
+    println!(
+        "avg packet latency      : {:.2} cycles",
+        report.network.avg_packet_latency()
+    );
     assert_eq!(
         report.network.delivered_packets, nodes as u64,
         "one token hop per core"

@@ -23,10 +23,25 @@ fn main() -> Result<(), SimError> {
     println!("simulated cycles          : {}", report.measured_cycles);
     println!("host threads              : {}", report.threads);
     println!("sync mode                 : {}", report.sync_label);
-    println!("delivered packets         : {}", report.network.delivered_packets);
-    println!("avg in-network latency    : {:.2} cycles", report.network.avg_packet_latency());
-    println!("avg hops                  : {:.2}", report.network.avg_hops());
-    println!("throughput                : {:.4} packets/cycle", report.network.throughput());
-    println!("simulation speed          : {:.0} cycles/s", report.simulation_speed());
+    println!(
+        "delivered packets         : {}",
+        report.network.delivered_packets
+    );
+    println!(
+        "avg in-network latency    : {:.2} cycles",
+        report.network.avg_packet_latency()
+    );
+    println!(
+        "avg hops                  : {:.2}",
+        report.network.avg_hops()
+    );
+    println!(
+        "throughput                : {:.4} packets/cycle",
+        report.network.throughput()
+    );
+    println!(
+        "simulation speed          : {:.0} cycles/s",
+        report.simulation_speed()
+    );
     Ok(())
 }

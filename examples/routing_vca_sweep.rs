@@ -13,7 +13,10 @@ use std::sync::Arc;
 fn main() {
     let geometry = Arc::new(Geometry::mesh2d(8, 8));
     println!("benchmark=water (scaled up), 8x8 mesh, 4 VCs x 8 flits, 1 MC at node 0\n");
-    println!("{:<10} {:<10} {:>16}", "routing", "vca", "avg latency (cyc)");
+    println!(
+        "{:<10} {:<10} {:>16}",
+        "routing", "vca", "avg latency (cyc)"
+    );
     for routing in [RoutingKind::Xy, RoutingKind::O1Turn, RoutingKind::Romm] {
         for vca in [VcAllocKind::Dynamic, VcAllocKind::Edvca] {
             let workload =

@@ -30,10 +30,19 @@ fn main() {
 
     let power = report.power.expect("power model enabled");
     let thermal = report.thermal.expect("thermal model enabled");
-    println!("chip-wide average network power : {:.3} W", power.total_avg_w);
-    println!("peak network power              : {:.3} W", power.peak_total_w());
+    println!(
+        "chip-wide average network power : {:.3} W",
+        power.total_avg_w
+    );
+    println!(
+        "peak network power              : {:.3} W",
+        power.peak_total_w()
+    );
     println!("hotspot tile                    : {}", thermal.hotspot_tile);
-    println!("peak temperature                : {:.2} C", thermal.peak_temp());
+    println!(
+        "peak temperature                : {:.2} C",
+        thermal.peak_temp()
+    );
     println!("\nsteady-state temperature map (C):");
     for y in 0..8 {
         let row: Vec<String> = (0..8)

@@ -66,7 +66,8 @@ fn equal_buffer_space_with_more_vcs_does_not_hurt_under_congestion() {
     let run = |vcs: usize, depth: usize| {
         let geometry = Arc::new(Geometry::mesh2d(8, 8));
         let workload = SplashWorkload::new(SplashBenchmark::Radix, Arc::clone(&geometry));
-        let mut network = workload.build_network(RoutingKind::Xy, VcAllocKind::Dynamic, vcs, depth, 5);
+        let mut network =
+            workload.build_network(RoutingKind::Xy, VcAllocKind::Dynamic, vcs, depth, 5);
         network.run(500);
         network.reset_stats();
         network.run(5_000);

@@ -6,7 +6,12 @@
 use hornet::prelude::*;
 use hornet::traffic::pattern::SyntheticPattern;
 
-fn run(threads: usize, sync: SyncMode, routing: RoutingKind, seed: u64) -> hornet::net::NetworkStats {
+fn run(
+    threads: usize,
+    sync: SyncMode,
+    routing: RoutingKind,
+    seed: u64,
+) -> hornet::net::NetworkStats {
     SimulationBuilder::new()
         .geometry(Geometry::mesh2d(4, 4))
         .routing(routing)
@@ -25,7 +30,11 @@ fn run(threads: usize, sync: SyncMode, routing: RoutingKind, seed: u64) -> horne
 
 #[test]
 fn parallel_cycle_accurate_is_bit_identical_across_thread_counts() {
-    for routing in [RoutingKind::Xy, RoutingKind::O1Turn, RoutingKind::AdaptiveMinimal] {
+    for routing in [
+        RoutingKind::Xy,
+        RoutingKind::O1Turn,
+        RoutingKind::AdaptiveMinimal,
+    ] {
         let baseline = run(1, SyncMode::CycleAccurate, routing, 77);
         for threads in [2usize, 3, 4, 8] {
             let parallel = run(threads, SyncMode::CycleAccurate, routing, 77);

@@ -3,13 +3,13 @@
 use hornet::mem::cache::{Cache, CacheConfig, LineState};
 use hornet::mem::directory::{DirState, DirectorySlice};
 use hornet::mem::msg::MemMessage;
+use hornet::net::flit::Packet;
 use hornet::net::geometry::Geometry;
 use hornet::net::ids::NodeId;
-use hornet::net::routing::{build_routing, trace_route, FlowSpec, RoutingKind};
-use hornet::traffic::trace::{Trace, TraceEvent};
-use hornet::net::flit::Packet;
 use hornet::net::ids::{FlowId, PacketId};
+use hornet::net::routing::{build_routing, trace_route, FlowSpec, RoutingKind};
 use hornet::net::vcbuf::VcBuffer;
+use hornet::traffic::trace::{Trace, TraceEvent};
 use proptest::prelude::*;
 
 proptest! {
@@ -87,6 +87,78 @@ proptest! {
             }
             prop_assert!(buf.occupancy() <= capacity);
             prop_assert_eq!(buf.occupancy() as u32, pushed - popped);
+        }
+    }
+
+    /// The fixed-capacity ring storage behind `VcBuffer` behaves exactly like
+    /// a capacity-bounded two-segment `VecDeque` reference model under any
+    /// sequence of push / absorb / pop_if / drain operations: same accept
+    /// decisions, same absorb counts, same popped values, same occupancy and
+    /// head lengths.
+    #[test]
+    fn vc_ring_matches_vecdeque_reference(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec((0u8..8, any::<bool>()), 1..200),
+    ) {
+        use std::collections::VecDeque;
+        let packet = Packet::new(
+            PacketId::new(1),
+            FlowId::new(0),
+            NodeId::new(0),
+            NodeId::new(1),
+            1,
+            0,
+        );
+        let template = packet.to_flits(0)[0];
+        let buf = VcBuffer::new(capacity);
+        // Reference model: `pending` holds deposited-but-unabsorbed flits,
+        // `absorbed` the ones visible to the consumer.
+        let mut pending: VecDeque<u32> = VecDeque::new();
+        let mut absorbed: VecDeque<u32> = VecDeque::new();
+        let mut next_seq = 0u32;
+        for (op, flag) in ops {
+            match op {
+                // Push (weighted 3/8 so buffers actually fill up).
+                0..=2 => {
+                    let mut flit = template;
+                    flit.seq = next_seq;
+                    let accepted = buf.push(flit);
+                    let model_accepts = pending.len() + absorbed.len() < capacity;
+                    prop_assert_eq!(accepted, model_accepts, "push decision diverged");
+                    if accepted {
+                        pending.push_back(next_seq);
+                        next_seq += 1;
+                    }
+                }
+                // Absorb: every pending flit becomes visible, and the count
+                // is reported (the absorbed-flit statistic).
+                3 => {
+                    let n = buf.absorb_tail();
+                    prop_assert_eq!(n, pending.len(), "absorb count diverged");
+                    absorbed.extend(pending.drain(..));
+                }
+                // Pop with a predicate that accepts or rejects the head.
+                4..=6 => {
+                    let popped = buf.pop_if(u64::MAX, |_| flag);
+                    let model_pops = flag && !absorbed.is_empty();
+                    prop_assert_eq!(popped.is_some(), model_pops, "pop decision diverged");
+                    if let Some(f) = popped {
+                        let expect = absorbed.pop_front().unwrap();
+                        prop_assert_eq!(f.seq, expect, "pop order diverged");
+                    }
+                }
+                // Drain everything (teardown path), absorbed before pending.
+                _ => {
+                    let drained: Vec<u32> = buf.drain_all().iter().map(|f| f.seq).collect();
+                    let expect: Vec<u32> =
+                        absorbed.drain(..).chain(pending.drain(..)).collect();
+                    prop_assert_eq!(drained, expect, "drain order diverged");
+                }
+            }
+            prop_assert_eq!(buf.occupancy(), pending.len() + absorbed.len());
+            prop_assert_eq!(buf.head_len(), absorbed.len());
+            let head = buf.peek(u64::MAX).map(|f| f.seq);
+            prop_assert_eq!(head, absorbed.front().copied(), "peek diverged");
         }
     }
 

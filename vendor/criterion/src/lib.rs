@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the hornet benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter`) on top of a simple
+//! wall-clock harness: per bench function it runs one warm-up iteration, then
+//! `sample_size` timed samples, and prints min / median / mean. Results are
+//! also appended as CSV to `target/criterion-lite.csv` so successive runs can
+//! be diffed.
+//!
+//! This is intentionally small — no statistical outlier analysis, no HTML
+//! reports — but the numbers are honest wall-clock medians and stable enough
+//! to track the ≥1.3× regressions/improvements the repo's bench trajectory
+//! cares about.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level bench context handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench function.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up iteration followed by `sample_size`
+    /// timed samples of the closure passed to [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        // Warm-up (not recorded).
+        let mut bencher = Bencher {
+            sample: Duration::ZERO,
+        };
+        f(&mut bencher);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                sample: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.sample);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{full:<48} time: [min {} | median {} | mean {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+        append_csv(&full, min, median, mean);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Timer handle passed to the closure of `bench_function`.
+pub struct Bencher {
+    sample: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (per sample, criterion-style batching
+    /// is not implemented — each sample is a single call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.sample = start.elapsed();
+        black_box(out);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The cargo target directory, derived from the running executable's path
+/// (bench binaries live in `<target>/release/deps/…`); falls back to a
+/// `target/` directory under the current working directory. This keeps the
+/// CSV in one place regardless of the CWD cargo chose for the bench process.
+pub fn target_dir() -> std::path::PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|a| a.file_name() == Some(std::ffi::OsStr::new("target")))
+                .map(std::path::Path::to_path_buf)
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("target"))
+}
+
+fn append_csv(id: &str, min: Duration, median: Duration, mean: Duration) {
+    use std::io::Write;
+    let dir = target_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("criterion-lite.csv"))
+    {
+        let _ = writeln!(
+            f,
+            "{id},{},{},{}",
+            min.as_nanos(),
+            median.as_nanos(),
+            mean.as_nanos()
+        );
+    }
+}
+
+/// Declares a bench group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0u32;
+        group.sample_size(3).bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert!(fmt_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).ends_with(" s"));
+    }
+}

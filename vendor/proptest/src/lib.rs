@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! compact property-testing harness exposing the subset of the proptest API
+//! hornet's tests use:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * range strategies (`0usize..36`, `0.001f64..0.08`, …), tuple strategies,
+//!   [`collection::vec`], [`option::of`] and [`any`],
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its case
+//! number and generated inputs, not a minimized counterexample), and value
+//! generation is driven by the workspace's deterministic xoshiro256++ `rand`
+//! stand-in, so failures reproduce exactly across runs and hosts.
+
+use std::fmt::Debug;
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// A strategy producing arbitrary values of `T` (stand-in for
+/// `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rng.next() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Runs one property over `config.cases` deterministic cases, reporting the
+/// first failure with its case index and generated inputs.
+///
+/// This is the engine behind the [`proptest!`] macro; `gen_and_run` receives
+/// the per-case RNG and must generate its inputs, run the body, and map
+/// `prop_assert!`-style failures into [`test_runner::TestCaseError`].
+pub fn run_property(
+    name: &str,
+    config: &test_runner::ProptestConfig,
+    mut gen_and_run: impl FnMut(
+        &mut test_runner::TestRng,
+    ) -> (String, Result<(), test_runner::TestCaseError>),
+) {
+    let mut rejected = 0u64;
+    for case in 0..config.cases {
+        let mut rng = test_runner::TestRng::for_case(name, case);
+        let (inputs, outcome) = gen_and_run(&mut rng);
+        match outcome {
+            Ok(()) => {}
+            Err(test_runner::TestCaseError::Reject) => rejected += 1,
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed at case {case}/{}:\n  {msg}\n  inputs: {inputs}",
+                    config.cases
+                );
+            }
+        }
+    }
+    if rejected * 2 > config.cases as u64 {
+        panic!(
+            "property '{name}' rejected {rejected}/{} cases via prop_assume! — strategy too narrow",
+            config.cases
+        );
+    }
+}
+
+/// Declares deterministic property tests (stand-in for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (@internal ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_property(stringify!($name), &config, |rng| {
+                    let mut parts: Vec<String> = Vec::new();
+                    $(
+                        let generated = $crate::Strategy::generate(&($strat), rng);
+                        parts.push(format!("{} = {:?}", stringify!($arg), &generated));
+                        let $arg = generated;
+                    )+
+                    let inputs = parts.join(", ");
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    (inputs, outcome)
+                });
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @internal ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @internal ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {left:?}\n  right: {right:?}",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{}\n  left: {left:?}\n  right: {right:?}",
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (counted; too many skips fail the property).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

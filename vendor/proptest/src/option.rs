@@ -1,0 +1,41 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `None` about a quarter of the time and `Some` of the
+/// inner strategy otherwise (matching upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::for_case("option", 0);
+        let strat = of(0u64..100);
+        let values: Vec<_> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,94 @@
+//! Configuration, per-case RNG, and case outcomes.
+
+/// How many cases each property runs (stand-in for
+/// `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases: cases.max(1),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; keep it smaller so the offline harness
+        // stays fast in debug builds. Override per block with
+        // `#![proptest_config(ProptestConfig::with_cases(n))]`.
+        Self { cases: 64 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// `prop_assert!`/`prop_assert_eq!` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic per-case random source.
+///
+/// The stream is a pure function of the property name and the case index, so
+/// a reported failing case replays identically on any host.
+#[derive(Clone, Debug)]
+pub struct TestRng(rand::rngs::Xoshiro256pp);
+
+impl TestRng {
+    /// RNG for case `case` of property `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self(rand::rngs::Xoshiro256pp::from_u64(
+            h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// The next 64 random bits.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.0.next()
+    }
+
+    /// Uniform draw from `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next() % n
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_case_replays() {
+        let mut a = TestRng::for_case("p", 3);
+        let mut b = TestRng::for_case("p", 3);
+        assert_eq!(a.next(), b.next());
+        let mut c = TestRng::for_case("p", 4);
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn config_clamps_to_one_case() {
+        assert_eq!(ProptestConfig::with_cases(0).cases, 1);
+    }
+}

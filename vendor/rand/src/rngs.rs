@@ -1,0 +1,120 @@
+//! Concrete generators: [`StdRng`] (xoshiro256++) and [`mock::StepRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// splitmix64: expands a 64-bit seed into well-distributed stream of state
+/// words (the canonical xoshiro seeding procedure).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The xoshiro256++ generator state shared by [`StdRng`] and the ChaCha
+/// stand-in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the four state words via splitmix64 from a 64-bit seed.
+    pub fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // All-zero state is the one forbidden fixed point.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// The next 64 bits of the stream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Deterministic general-purpose generator (stand-in for `rand::rngs::StdRng`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng(Xoshiro256pp);
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        Self(Xoshiro256pp::from_u64(state))
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next()
+    }
+}
+
+/// Mock generators for unit tests.
+pub mod mock {
+    use crate::RngCore;
+
+    /// Returns `initial`, `initial + increment`, `initial + 2*increment`, …
+    /// exactly like `rand::rngs::mock::StepRng`.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StepRng {
+        value: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        /// Creates a step generator.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            Self {
+                value: initial,
+                increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.value;
+            self.value = self.value.wrapping_add(self.increment);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mock::StepRng;
+    use super::*;
+
+    #[test]
+    fn step_rng_steps() {
+        let mut r = StepRng::new(5, 3);
+        assert_eq!(r.next_u64(), 5);
+        assert_eq!(r.next_u64(), 8);
+        assert_eq!(r.next_u64(), 11);
+    }
+
+    #[test]
+    fn xoshiro_is_not_constant() {
+        let mut r = Xoshiro256pp::from_u64(0);
+        let a = r.next();
+        let b = r.next();
+        assert_ne!(a, b);
+    }
+}

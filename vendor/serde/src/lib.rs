@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships a
+//! minimal serde facade: the `Serialize`/`Deserialize` traits exist as markers
+//! (blanket-implemented for every type) and the derive macros are accepted but
+//! emit nothing. Nothing in hornet serializes at runtime yet; when a real
+//! serialization backend is needed, replace this crate with the real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

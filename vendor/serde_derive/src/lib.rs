@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros for the offline serde
+//! stand-in.
+//!
+//! Nothing in hornet serializes at runtime yet (there is no serde_json in the
+//! image); the derives only need to exist so the annotations compile. When a
+//! real serialization backend lands, these should emit trait impls.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
