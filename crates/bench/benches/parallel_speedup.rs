@@ -1,6 +1,7 @@
 //! Criterion bench backing Figure 6a: wall-clock cost of simulating a fixed
-//! number of cycles of a 16×16 system with 1, 2 and 4 host threads, in
-//! cycle-accurate and 5-cycle-loose synchronization modes.
+//! number of cycles of 16×16 and 32×32 systems with 1, 2 and 4 host threads,
+//! in cycle-accurate, 5-cycle-slack and 5-cycle-periodic synchronization
+//! modes (the sharded runtime's three operating points).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hornet_core::engine::SyncMode;
@@ -8,11 +9,11 @@ use hornet_core::sim::{SimulationBuilder, TrafficKind};
 use hornet_net::geometry::Geometry;
 use hornet_traffic::pattern::SyntheticPattern;
 
-fn run(threads: usize, sync: SyncMode) -> u64 {
+fn run(mesh: usize, cycles: u64, threads: usize, sync: SyncMode) -> u64 {
     SimulationBuilder::new()
-        .geometry(Geometry::mesh2d(16, 16))
+        .geometry(Geometry::mesh2d(mesh, mesh))
         .traffic(TrafficKind::pattern(SyntheticPattern::Shuffle, 0.02))
-        .measured_cycles(500)
+        .measured_cycles(cycles)
         .threads(threads)
         .sync(sync)
         .seed(3)
@@ -29,10 +30,26 @@ fn parallel_speedup(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
         group.bench_function(format!("cycle_accurate_{threads}t"), |b| {
-            b.iter(|| run(threads, SyncMode::CycleAccurate))
+            b.iter(|| run(16, 500, threads, SyncMode::CycleAccurate))
         });
         group.bench_function(format!("sync5_{threads}t"), |b| {
-            b.iter(|| run(threads, SyncMode::Periodic(5)))
+            b.iter(|| run(16, 500, threads, SyncMode::Periodic(5)))
+        });
+        group.bench_function(format!("slack5_{threads}t"), |b| {
+            b.iter(|| run(16, 500, threads, SyncMode::Slack(5)))
+        });
+    }
+    group.finish();
+
+    // The 32×32 system (1024 tiles): the regime the sharded runtime targets.
+    let mut group = c.benchmark_group("parallel_speedup_mesh32");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("cycle_accurate_{threads}t"), |b| {
+            b.iter(|| run(32, 300, threads, SyncMode::CycleAccurate))
+        });
+        group.bench_function(format!("slack5_{threads}t"), |b| {
+            b.iter(|| run(32, 300, threads, SyncMode::Slack(5)))
         });
     }
     group.finish();

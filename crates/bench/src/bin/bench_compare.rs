@@ -1,0 +1,68 @@
+//! Fail-soft benchmark comparison: reads two bench JSON emissions (a
+//! committed baseline and a fresh run), compares every shared numeric metric
+//! in their `"current"` sections, and prints GitHub-annotation warnings for
+//! regressions beyond a threshold. Always exits 0 — bench noise on shared CI
+//! runners must never fail a build; the warnings and uploaded artifacts are
+//! the signal.
+//!
+//! Metric direction is inferred from the key: `*_cycles_per_sec` and
+//! `*_speedup` are higher-is-better, `*_ns` lower-is-better; other numeric
+//! keys (delivered-packet counts, flags) are compared for drift in either
+//! direction but only reported informationally.
+//!
+//! Usage: `bench_compare BASELINE.json CURRENT.json [--warn-pct 15]`
+
+use hornet_bench::parse_current_numbers;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_compare BASELINE.json CURRENT.json [--warn-pct N]");
+        return; // fail-soft: never a hard error
+    }
+    let mut warn_pct = 15.0f64;
+    if let Some(i) = args.iter().position(|a| a == "--warn-pct") {
+        if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+            warn_pct = v;
+        }
+    }
+    let (baseline_path, current_path) = (&args[0], &args[1]);
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        println!("bench_compare: no baseline at {baseline_path}; skipping");
+        return;
+    };
+    let Ok(current) = std::fs::read_to_string(current_path) else {
+        println!("bench_compare: no current emission at {current_path}; skipping");
+        return;
+    };
+    let baseline = parse_current_numbers(&baseline);
+    let current = parse_current_numbers(&current);
+    let mut warnings = 0usize;
+    for (key, base) in &baseline {
+        let Some((_, now)) = current.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        let delta_pct = if *base != 0.0 {
+            (now - base) / base * 100.0
+        } else {
+            0.0
+        };
+        let higher_is_better = key.ends_with("_cycles_per_sec") || key.ends_with("_speedup");
+        let lower_is_better = key.ends_with("_ns");
+        let regressed = (higher_is_better && delta_pct < -warn_pct)
+            || (lower_is_better && delta_pct > warn_pct);
+        if regressed {
+            // `::warning::` renders as an annotation in GitHub Actions.
+            println!(
+                "::warning::bench regression: {key} {base:.0} -> {now:.0} ({delta_pct:+.1}%, threshold {warn_pct}%)"
+            );
+            warnings += 1;
+        } else if higher_is_better || lower_is_better {
+            println!("bench_compare: {key} {base:.0} -> {now:.0} ({delta_pct:+.1}%)");
+        }
+    }
+    println!(
+        "bench_compare: {} metrics compared, {warnings} regression warning(s) (fail-soft)",
+        baseline.len()
+    );
+}

@@ -13,6 +13,7 @@
 //! `current` section is embedded under `baseline` in the new file, so a single
 //! artifact records both sides of a before/after comparison.
 
+use hornet_bench::extract_current_section;
 use hornet_core::engine::SyncMode;
 use hornet_core::sim::{SimulationBuilder, TrafficKind};
 use hornet_net::geometry::Geometry;
@@ -46,16 +47,6 @@ fn run_scenario(s: &Scenario) -> (f64, u64) {
         MEASURED_CYCLES as f64 / secs,
         report.network.delivered_packets,
     )
-}
-
-/// Extracts the `"current": { ... }` object from a previous emission, without
-/// a JSON parser: the emitter controls the format, so the section is always a
-/// single-level object starting at `"current": {` and ending at the first `}`.
-fn extract_current_section(contents: &str) -> Option<String> {
-    let start = contents.find("\"current\":")?;
-    let open = contents[start..].find('{')? + start;
-    let close = contents[open..].find('}')? + open;
-    Some(contents[open..=close].to_string())
 }
 
 /// The latest `router_pipeline` medians from the criterion-lite CSV log, if a

@@ -1,0 +1,192 @@
+//! Sharded-runtime throughput emitter: measures simulated cycles per second
+//! on 16×16 and 32×32 meshes under the shard runtime's synchronization modes
+//! and writes `BENCH_shard.json` so successive PRs can track parallel-scaling
+//! deltas.
+//!
+//! Scenarios:
+//!
+//! * `mesh16_seq` / `mesh32_seq` — single-threaded cycle-accurate baselines;
+//! * `mesh16_t4_slack5` / `mesh32_t4_slack5` — 4 shards with 5-cycle slack
+//!   (the accuracy-vs-speed knob at the paper's headline operating point);
+//! * `mesh16_t4_periodic5` — 4 shards, 5-cycle batched synchronization;
+//! * `mesh16_t4_ca` — 4 shards in bit-exact cycle-accurate mode. The emitter
+//!   *asserts* that this run delivers the identical packet count and latency
+//!   histogram as the sequential baseline — the sharded runtime's core
+//!   correctness claim — and records the verdict in the JSON.
+//!
+//! Usage: `cargo run --release -p hornet-bench --bin bench_shard
+//! [--baseline FILE] [--out FILE]`.
+
+use hornet_bench::extract_current_section;
+use hornet_core::engine::SyncMode;
+use hornet_core::report::SimReport;
+use hornet_core::sim::{SimulationBuilder, TrafficKind};
+use hornet_net::geometry::Geometry;
+use hornet_traffic::pattern::SyntheticPattern;
+use std::time::Instant;
+
+const RATE: f64 = 0.05;
+const SEED: u64 = 1;
+
+struct Scenario {
+    name: &'static str,
+    mesh: usize,
+    cycles: u64,
+    threads: usize,
+    sync: SyncMode,
+}
+
+fn run_scenario(s: &Scenario) -> (f64, SimReport) {
+    let sim = SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(s.mesh, s.mesh))
+        .traffic(TrafficKind::pattern(SyntheticPattern::Transpose, RATE))
+        .measured_cycles(s.cycles)
+        .seed(SEED)
+        .threads(s.threads)
+        .sync(s.sync)
+        .build()
+        .expect("valid config");
+    let start = Instant::now();
+    let report = sim.run().expect("run succeeds");
+    let secs = start.elapsed().as_secs_f64();
+    (s.cycles as f64 / secs, report)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    let mut out_path = "BENCH_shard.json".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next(),
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scenarios = [
+        Scenario {
+            name: "mesh16_seq",
+            mesh: 16,
+            cycles: 10_000,
+            threads: 1,
+            sync: SyncMode::CycleAccurate,
+        },
+        Scenario {
+            name: "mesh16_t4_ca",
+            mesh: 16,
+            cycles: 10_000,
+            threads: 4,
+            sync: SyncMode::CycleAccurate,
+        },
+        Scenario {
+            name: "mesh16_t4_slack5",
+            mesh: 16,
+            cycles: 10_000,
+            threads: 4,
+            sync: SyncMode::Slack(5),
+        },
+        Scenario {
+            name: "mesh16_t4_periodic5",
+            mesh: 16,
+            cycles: 10_000,
+            threads: 4,
+            sync: SyncMode::Periodic(5),
+        },
+        Scenario {
+            name: "mesh32_seq",
+            mesh: 32,
+            cycles: 4_000,
+            threads: 1,
+            sync: SyncMode::CycleAccurate,
+        },
+        Scenario {
+            name: "mesh32_t4_slack5",
+            mesh: 32,
+            cycles: 4_000,
+            threads: 4,
+            sync: SyncMode::Slack(5),
+        },
+    ];
+
+    let mut current_fields = Vec::new();
+    let mut seq16: Option<SimReport> = None;
+    let mut seq16_cps = 0.0f64;
+    let mut seq32_cps = 0.0f64;
+    for s in &scenarios {
+        // Warm-up run (page in code + allocator + worker pool), then measure.
+        run_scenario(s);
+        let (cps, report) = run_scenario(s);
+        println!(
+            "{:<22} {:>12.0} cycles/sec ({} packets delivered)",
+            s.name, cps, report.network.delivered_packets
+        );
+        current_fields.push(format!("\"{}_cycles_per_sec\": {:.0}", s.name, cps));
+        current_fields.push(format!(
+            "\"{}_delivered_packets\": {}",
+            s.name, report.network.delivered_packets
+        ));
+        match s.name {
+            "mesh16_seq" => {
+                seq16_cps = cps;
+                seq16 = Some(report);
+            }
+            "mesh16_t4_ca" => {
+                let seq = seq16.as_ref().expect("sequential baseline ran first");
+                let identical = report.network.delivered_packets == seq.network.delivered_packets
+                    && report.network.total_packet_latency == seq.network.total_packet_latency
+                    && report.network.latency_histogram == seq.network.latency_histogram;
+                assert!(
+                    identical,
+                    "multi-thread CycleAccurate must deliver the identical packet count \
+                     and latency histogram as sequential (got {} vs {} packets)",
+                    report.network.delivered_packets, seq.network.delivered_packets
+                );
+                current_fields.push(format!("\"mesh16_t4_ca_bit_identical\": {identical}"));
+            }
+            "mesh16_t4_slack5" => {
+                let speedup = cps / seq16_cps;
+                println!("    -> slack5 speedup over sequential: {speedup:.2}x");
+                current_fields.push(format!("\"mesh16_t4_slack5_speedup\": {speedup:.3}"));
+                if let Some(info) = report.shard.as_ref() {
+                    current_fields.push(format!("\"mesh16_cut_links\": {}", info.cut_links));
+                }
+            }
+            "mesh32_seq" => seq32_cps = cps,
+            "mesh32_t4_slack5" => {
+                let speedup = cps / seq32_cps;
+                println!("    -> slack5 speedup over sequential: {speedup:.2}x");
+                current_fields.push(format!("\"mesh32_t4_slack5_speedup\": {speedup:.3}"));
+            }
+            _ => {}
+        }
+    }
+
+    let baseline = baseline_path
+        .and_then(|p| std::fs::read_to_string(&p).ok())
+        .and_then(|c| extract_current_section(&c));
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"shard\",\n");
+    json.push_str(&format!(
+        "  \"config\": \"transpose rate={RATE} seed={SEED} mesh16@10k mesh32@4k cycles\",\n"
+    ));
+    if let Some(b) = baseline {
+        json.push_str(&format!("  \"baseline\": {b},\n"));
+    }
+    json.push_str(&format!(
+        "  \"current\": {{ {} }}\n",
+        current_fields.join(", ")
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write output file");
+    println!("wrote {out_path}");
+}

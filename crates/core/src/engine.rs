@@ -1,59 +1,83 @@
 //! The parallel simulation engine — the paper's primary contribution.
 //!
 //! The simulated system is divided into tiles (router + traffic generators +
-//! private PRNG + private statistics). Tiles are partitioned across worker
-//! threads; a tile is never split between threads, so the only inter-thread
-//! communication is (a) flits crossing tile-to-tile VC buffers (protected by
-//! their head/tail locks) and (b) the synchronization barrier.
+//! private PRNG + private statistics). A topology-aware partitioner
+//! ([`hornet_shard::Partitioner`]) assigns contiguous sub-mesh blocks of
+//! tiles to *shards*, one shard per worker of a persistent thread pool; a
+//! tile is never split between shards. Links cut by the partition are
+//! rewired onto lock-free boundary mailboxes
+//! ([`hornet_net::boundary`]), so the only inter-thread communication is (a)
+//! cycle-stamped flits and credits crossing those mailboxes and (b) per-shard
+//! atomic progress counters that neighboring shards spin on — there is no
+//! global barrier on the simulation path.
 //!
-//! Two synchronization modes are offered:
+//! Three synchronization modes are offered:
 //!
-//! * [`SyncMode::CycleAccurate`] — all threads synchronize on a barrier twice
-//!   per simulated cycle (once after the positive edge, once after the
-//!   negative edge). Results are bit-identical to single-threaded simulation
-//!   with the same seed.
-//! * [`SyncMode::Periodic(n)`] — threads synchronize only every `n` cycles.
-//!   Functional correctness is preserved (flits still arrive in order,
-//!   subject to the original ordering constraints), and because measurements
-//!   ride inside the flits, reported latencies retain near-100 % fidelity;
-//!   only small timing skews are introduced. This trades a little accuracy
-//!   for substantially better scaling across hyperthreads and sockets.
+//! * [`SyncMode::CycleAccurate`] — shards run in lock-step with their
+//!   cut-link neighbors and consume mailbox traffic strictly by cycle stamp.
+//!   Results are bit-identical to single-threaded simulation with the same
+//!   seed, down to the latency histogram.
+//! * [`SyncMode::Slack(k)`] — neighboring shards may drift up to `k` cycles
+//!   apart, using the one-cycle link latency as conservative lookahead.
+//!   Functional correctness is preserved exactly (flits arrive in order,
+//!   credits never overflow a buffer) and, because measurements ride inside
+//!   the flits, reported latencies retain near-100 % fidelity; only timing
+//!   skews bounded by `k` are introduced. `Slack(0)` is identical to
+//!   [`SyncMode::CycleAccurate`].
+//! * [`SyncMode::Periodic(n)`] — shards check the drift condition only every
+//!   `n` cycles (batched synchronization, the paper's loose-sync headline
+//!   configuration). Coarser than `Slack` at equal bound, but cheaper per
+//!   cycle.
 //!
 //! When fast-forwarding is enabled, the engine skips idle periods: if, at a
-//! synchronization boundary, no flit is buffered anywhere and no injector has
-//! pending work, all tile clocks jump to the next injection event.
+//! synchronization boundary, no flit is buffered anywhere (including boundary
+//! mailboxes) and no injector has pending work, all tile clocks jump to the
+//! next injection event.
 
+use hornet_net::geometry::Topology;
 use hornet_net::ids::Cycle;
 use hornet_net::network::{Network, NetworkNode};
 use hornet_net::stats::NetworkStats;
+use hornet_shard::{Partitioner, RunParams, ShardRuntime};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
 
-/// How often simulation threads synchronize.
+/// How simulation shards synchronize.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SyncMode {
-    /// Barrier twice per cycle; parallel results are identical to sequential
+    /// Lock-step neighbor synchronization with strict cycle-stamped mailbox
+    /// consumption; parallel results are bit-identical to sequential
     /// simulation.
     CycleAccurate,
-    /// Barrier once every `n` cycles; faster, slightly lossy timing.
+    /// Drift check once every `n` cycles; faster, slightly lossy timing.
     Periodic(u64),
+    /// Neighboring shards may drift up to `k` cycles apart; timing skew is
+    /// bounded by `k`, functional behaviour is exact. `Slack(0)` ≡
+    /// [`SyncMode::CycleAccurate`].
+    Slack(u64),
 }
 
 impl SyncMode {
-    /// The number of cycles between barriers.
-    pub fn period(self) -> u64 {
-        match self {
-            SyncMode::CycleAccurate => 1,
-            SyncMode::Periodic(n) => n.max(1),
-        }
-    }
-
     /// A short label for reports.
     pub fn label(self) -> String {
         match self {
             SyncMode::CycleAccurate => "cycle-accurate".to_string(),
             SyncMode::Periodic(n) => format!("sync-every-{n}"),
+            SyncMode::Slack(k) => format!("slack-{k}"),
+        }
+    }
+
+    /// The shard-runtime parameters this mode maps onto:
+    /// `(slack, quantum, strict, barrier_batches)`.
+    fn shard_params(self) -> (u64, u64, bool, bool) {
+        match self {
+            SyncMode::CycleAccurate => (0, 1, true, false),
+            SyncMode::Slack(k) => (k, 1, k == 0, false),
+            SyncMode::Periodic(n) => {
+                let n = n.max(1);
+                // Periodic keeps its classic rendezvous-per-batch profile;
+                // Periodic(1) degenerates to the bit-exact lock-step mode.
+                (0, n, n == 1, n > 1)
+            }
         }
     }
 }
@@ -81,19 +105,19 @@ impl Default for EngineConfig {
     }
 }
 
-/// Shared coordination state between worker threads.
-struct Shared {
-    barrier: Barrier,
-    /// Per-worker: buffered flits + pending injections in its shard.
-    busy: Vec<AtomicU64>,
-    /// Per-worker: earliest next event in its shard (`u64::MAX` = none).
-    next_event: Vec<AtomicU64>,
-    /// Per-worker: all agents in the shard report completion.
-    finished: Vec<AtomicBool>,
-    /// Cycle to jump to (fast-forward), or 0 for "no jump".
-    skip_to: AtomicU64,
-    /// Set when the simulation should stop (completion detected).
-    stop: AtomicBool,
+/// Summary of the shard layout and per-shard results of the last parallel
+/// run.
+#[derive(Clone, Debug)]
+pub struct ShardRunInfo {
+    /// Number of shards the tiles were partitioned into.
+    pub shards: usize,
+    /// Tiles per shard, in shard order.
+    pub tiles_per_shard: Vec<usize>,
+    /// Physical links cut by the partition (each rewired onto boundary
+    /// mailboxes for the duration of the run).
+    pub cut_links: usize,
+    /// Statistics merged per shard by its worker (no cross-thread atomics).
+    pub per_shard_stats: Vec<NetworkStats>,
 }
 
 /// The parallel cycle-level simulation engine.
@@ -101,6 +125,14 @@ pub struct ParallelEngine {
     nodes: Vec<NetworkNode>,
     config: EngineConfig,
     cycle: Cycle,
+    /// `(width, height)` of the row-major mesh the tiles came from, when
+    /// known; drives the topology-aware partitioner.
+    mesh_dims: Option<(usize, usize)>,
+    /// The persistent worker pool, created on the first parallel run and
+    /// reused (threads and all) across subsequent `run()` calls.
+    runtime: Option<ShardRuntime>,
+    /// Shard layout and per-shard statistics of the last parallel run.
+    shard_info: Option<ShardRunInfo>,
 }
 
 impl std::fmt::Debug for ParallelEngine {
@@ -114,19 +146,46 @@ impl std::fmt::Debug for ParallelEngine {
 }
 
 impl ParallelEngine {
-    /// Creates an engine over an assembled network.
+    /// Creates an engine over an assembled network, inheriting the network's
+    /// geometry so the partitioner can align shard boundaries to mesh rows.
     pub fn from_network(network: Network, config: EngineConfig) -> Self {
+        let mesh_dims = match *network.geometry().topology() {
+            Topology::Mesh2D { width, height } | Topology::Torus2D { width, height } => {
+                Some((width, height))
+            }
+            // Row-major 3-D meshes stack layers of rows; partitioning the
+            // flattened `height × layers` rows keeps blocks contiguous.
+            Topology::Mesh3D {
+                width,
+                height,
+                layers,
+                ..
+            } => Some((width, height * layers)),
+            Topology::Line { .. } | Topology::Ring { .. } | Topology::Custom { .. } => None,
+        };
         let (nodes, _store) = network.into_nodes();
-        Self::new(nodes, config)
+        let mut engine = Self::new(nodes, config);
+        engine.mesh_dims = mesh_dims;
+        engine
     }
 
-    /// Creates an engine over a set of tiles.
+    /// Creates an engine over a set of tiles (no topology hint: the
+    /// partitioner falls back to balanced contiguous index ranges).
     pub fn new(nodes: Vec<NetworkNode>, config: EngineConfig) -> Self {
         Self {
             nodes,
             config,
             cycle: 0,
+            mesh_dims: None,
+            runtime: None,
+            shard_info: None,
         }
+    }
+
+    /// Shard layout and per-shard statistics of the most recent parallel
+    /// run, if any.
+    pub fn shard_info(&self) -> Option<&ShardRunInfo> {
+        self.shard_info.as_ref()
     }
 
     /// The engine configuration.
@@ -205,7 +264,7 @@ impl ParallelEngine {
         if threads == 1 {
             self.run_sequential(cycles, detect_completion);
         } else {
-            self.run_parallel(cycles, detect_completion, threads);
+            self.run_sharded(cycles, detect_completion, threads);
         }
     }
 
@@ -253,134 +312,47 @@ impl ParallelEngine {
         }
     }
 
-    fn run_parallel(&mut self, cycles: Cycle, detect_completion: bool, threads: usize) {
-        let start = self.cycle;
-        let end = start + cycles;
-        let period = self.config.sync.period();
-        let cycle_accurate = matches!(self.config.sync, SyncMode::CycleAccurate);
-        let fast_forward = self.config.fast_forward;
-        let check_at_boundary = fast_forward || detect_completion;
-
-        // The number of spawned workers is the number of chunks, which may be
-        // smaller than the requested thread count when tiles do not divide
-        // evenly; the barrier must match the worker count exactly.
-        let chunk_size = self.nodes.len().div_ceil(threads);
-        let workers = self.nodes.len().div_ceil(chunk_size);
-
-        let shared = Shared {
-            barrier: Barrier::new(workers),
-            busy: (0..workers).map(|_| AtomicU64::new(1)).collect(),
-            next_event: (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
-            finished: (0..workers).map(|_| AtomicBool::new(false)).collect(),
-            skip_to: AtomicU64::new(0),
-            stop: AtomicBool::new(false),
-        };
-        let final_cycle = AtomicU64::new(end);
-        std::thread::scope(|scope| {
-            for (tid, chunk) in self.nodes.chunks_mut(chunk_size).enumerate() {
-                let shared = &shared;
-                let final_cycle = &final_cycle;
-                scope.spawn(move || {
-                    let mut now = start;
-                    loop {
-                        if now >= end || shared.stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let batch_end = (now + period).min(end);
-                        if cycle_accurate {
-                            // Two barriers per cycle: posedge | barrier | negedge | barrier.
-                            while now < batch_end {
-                                now += 1;
-                                for tile in chunk.iter_mut() {
-                                    tile.posedge(now);
-                                }
-                                shared.barrier.wait();
-                                for tile in chunk.iter_mut() {
-                                    tile.negedge(now);
-                                }
-                                shared.barrier.wait();
-                            }
-                        } else {
-                            // Loose synchronization: run the whole batch
-                            // locally, then meet the other threads.
-                            while now < batch_end {
-                                now += 1;
-                                for tile in chunk.iter_mut() {
-                                    tile.posedge(now);
-                                }
-                                for tile in chunk.iter_mut() {
-                                    tile.negedge(now);
-                                }
-                            }
-                            shared.barrier.wait();
-                        }
-
-                        if check_at_boundary {
-                            // Publish this shard's idle / completion state.
-                            // Both probes are O(1) per tile: the router's
-                            // buffered-flit count is one aggregate atomic
-                            // load, so this boundary check stays cheap even
-                            // at 1000 tiles per shard.
-                            let busy: u64 = chunk
-                                .iter()
-                                .map(|t| t.buffered_flits() as u64 + u64::from(!t.is_idle()))
-                                .sum();
-                            let next = chunk
-                                .iter()
-                                .filter_map(|t| t.next_event(now))
-                                .min()
-                                .unwrap_or(u64::MAX);
-                            let fin = chunk.iter().all(NetworkNode::finished);
-                            shared.busy[tid].store(busy, Ordering::Release);
-                            shared.next_event[tid].store(next, Ordering::Release);
-                            shared.finished[tid].store(fin, Ordering::Release);
-                            shared.barrier.wait();
-                            if tid == 0 {
-                                let all_idle =
-                                    shared.busy.iter().all(|b| b.load(Ordering::Acquire) == 0);
-                                let all_finished =
-                                    shared.finished.iter().all(|f| f.load(Ordering::Acquire));
-                                if detect_completion && all_idle && all_finished {
-                                    shared.stop.store(true, Ordering::Release);
-                                    final_cycle.store(now, Ordering::Release);
-                                }
-                                let mut skip = 0;
-                                if fast_forward && all_idle {
-                                    let next = shared
-                                        .next_event
-                                        .iter()
-                                        .map(|e| e.load(Ordering::Acquire))
-                                        .min()
-                                        .unwrap_or(u64::MAX);
-                                    if next == u64::MAX {
-                                        skip = end;
-                                    } else if next > now + 1 {
-                                        skip = next.min(end) - 1;
-                                    }
-                                }
-                                shared.skip_to.store(skip, Ordering::Release);
-                            }
-                            shared.barrier.wait();
-                            let skip = shared.skip_to.load(Ordering::Acquire);
-                            if skip > now {
-                                let skipped = skip - now;
-                                for tile in chunk.iter_mut() {
-                                    tile.set_cycle(skip);
-                                    tile.router_mut().stats_mut().fast_forwarded_cycles += skipped;
-                                }
-                                now = skip;
-                            }
-                        }
-                    }
-                });
+    /// Runs the tiles on the sharded runtime: topology-aware partition,
+    /// boundary mailboxes on cut links, slack-based neighbor synchronization.
+    fn run_sharded(&mut self, cycles: Cycle, detect_completion: bool, threads: usize) {
+        let partition = {
+            let partitioner = Partitioner::new(threads);
+            match self.mesh_dims {
+                Some((w, h)) => partitioner.mesh(w, h),
+                None => partitioner.linear(self.nodes.len()),
             }
-        });
-
-        self.cycle = if shared.stop.load(Ordering::Acquire) {
-            final_cycle.load(Ordering::Acquire)
-        } else {
-            end
         };
+        if partition.shard_count() == 1 {
+            // One shard means no cross-thread communication at all; the
+            // sequential path is strictly faster.
+            return self.run_sequential(cycles, detect_completion);
+        }
+        let (slack, quantum, strict, barrier_batches) = self.config.sync.shard_params();
+        let params = RunParams {
+            start: self.cycle,
+            cycles,
+            slack,
+            quantum,
+            strict,
+            barrier_batches,
+            fast_forward: self.config.fast_forward,
+            detect_completion,
+        };
+        let runtime = self
+            .runtime
+            .get_or_insert_with(|| ShardRuntime::new(partition.shard_count()));
+        let nodes = std::mem::take(&mut self.nodes);
+        let outcome = runtime.run(nodes, &partition, params);
+        self.nodes = outcome.nodes;
+        self.cycle = outcome.final_cycle;
+        self.shard_info = Some(ShardRunInfo {
+            shards: partition.shard_count(),
+            tiles_per_shard: (0..partition.shard_count())
+                .map(|s| partition.tiles(s))
+                .collect(),
+            cut_links: outcome.cut_links,
+            per_shard_stats: outcome.per_shard_stats,
+        });
     }
 }
 
@@ -474,6 +446,66 @@ mod tests {
         // fidelity-vs-period curve itself is measured by `repro_fig6b`.)
         let accuracy = p.latency_accuracy_vs(&s);
         assert!(accuracy > 0.6, "loose-sync accuracy {accuracy} too low");
+    }
+
+    #[test]
+    fn slack_zero_is_bit_identical_to_sequential() {
+        let mut seq = build_engine(1, SyncMode::CycleAccurate, 41, 0.05);
+        seq.run(3_000);
+        let s = seq.stats();
+        for threads in [2, 4] {
+            let mut par = build_engine(threads, SyncMode::Slack(0), 41, 0.05);
+            par.run(3_000);
+            let p = par.stats();
+            assert_eq!(
+                p.delivered_packets, s.delivered_packets,
+                "{threads} threads"
+            );
+            assert_eq!(
+                p.total_packet_latency, s.total_packet_latency,
+                "{threads} threads"
+            );
+            assert_eq!(
+                p.latency_histogram, s.latency_histogram,
+                "{threads} threads"
+            );
+            assert_eq!(p.busy_cycles, s.busy_cycles, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn slack_preserves_functional_correctness_with_bounded_drift() {
+        let mut seq = build_engine(1, SyncMode::CycleAccurate, 7, 0.05);
+        seq.run_to_completion(100_000);
+        let s = seq.stats();
+
+        let mut par = build_engine(4, SyncMode::Slack(5), 7, 0.05);
+        assert!(par.run_to_completion(100_000));
+        let p = par.stats();
+        // Every offered packet is still delivered exactly once.
+        assert_eq!(p.delivered_packets, s.delivered_packets);
+        assert_eq!(p.delivered_flits, s.delivered_flits);
+        assert_eq!(p.routing_failures, 0);
+        // Timing skew is bounded by the 5-cycle slack per hop; on this tiny
+        // mesh the relative deviation still stays moderate.
+        let accuracy = p.latency_accuracy_vs(&s);
+        assert!(accuracy > 0.6, "slack-sync accuracy {accuracy} too low");
+    }
+
+    #[test]
+    fn shard_info_reports_layout_and_per_shard_stats() {
+        let mut par = build_engine(4, SyncMode::CycleAccurate, 99, 0.05);
+        par.run(1_000);
+        let info = par.shard_info().expect("parallel run records shard info");
+        assert_eq!(info.shards, 4, "4×4 mesh, 4 threads: one row per shard");
+        assert_eq!(info.tiles_per_shard, vec![4, 4, 4, 4]);
+        assert_eq!(info.cut_links, 12, "three row boundaries × four links");
+        let merged: u64 = info
+            .per_shard_stats
+            .iter()
+            .map(|s| s.delivered_packets)
+            .sum();
+        assert_eq!(merged, par.stats().delivered_packets);
     }
 
     #[test]

@@ -66,6 +66,19 @@ impl ThermalReport {
     }
 }
 
+/// Shard layout of a parallel run: how the tiles were partitioned and how
+/// much of the topology the partition cut.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// Number of shards (worker threads actually used).
+    pub shards: usize,
+    /// Tiles per shard, in shard order.
+    pub tiles_per_shard: Vec<usize>,
+    /// Physical links cut by the partition (each carried by lock-free
+    /// boundary mailboxes during the run).
+    pub cut_links: usize,
+}
+
 /// The complete result of one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct SimReport {
@@ -85,6 +98,8 @@ pub struct SimReport {
     pub power: Option<PowerReport>,
     /// Thermal results, if thermal modeling was enabled.
     pub thermal: Option<ThermalReport>,
+    /// Shard layout of the run, when it executed on the sharded runtime.
+    pub shard: Option<ShardSummary>,
 }
 
 impl SimReport {

@@ -7,7 +7,7 @@
 //! [`Simulation`] whose [`run`](Simulation::run) yields a [`SimReport`].
 
 use crate::engine::{EngineConfig, ParallelEngine, SyncMode};
-use crate::report::{PowerReport, SimReport, ThermalReport};
+use crate::report::{PowerReport, ShardSummary, SimReport, ThermalReport};
 use hornet_net::agent::NodeAgent;
 use hornet_net::config::{ConfigError, NetworkConfig};
 use hornet_net::geometry::Geometry;
@@ -409,6 +409,15 @@ impl SimulationBuilder {
     }
 }
 
+/// The shard layout of the engine's last parallel run, for the report.
+fn shard_summary(engine: &ParallelEngine) -> Option<ShardSummary> {
+    engine.shard_info().map(|info| ShardSummary {
+        shards: info.shards,
+        tiles_per_shard: info.tiles_per_shard.clone(),
+        cut_links: info.cut_links,
+    })
+}
+
 /// A fully assembled simulation, ready to run.
 pub struct Simulation {
     engine: ParallelEngine,
@@ -452,6 +461,7 @@ impl Simulation {
         let wall_time = start.elapsed();
         let network = self.engine.stats();
         let per_node = self.engine.per_node_stats();
+        let shard = shard_summary(&self.engine);
         Ok(SimReport {
             network,
             per_node,
@@ -461,6 +471,7 @@ impl Simulation {
             sync_label: self.engine.config().sync.label(),
             power,
             thermal,
+            shard,
         })
     }
 
@@ -480,6 +491,7 @@ impl Simulation {
             )));
         }
         let wall_time = start.elapsed();
+        let shard = shard_summary(&self.engine);
         Ok(SimReport {
             network: self.engine.stats(),
             per_node: self.engine.per_node_stats(),
@@ -489,6 +501,7 @@ impl Simulation {
             sync_label: self.engine.config().sync.label(),
             power: None,
             thermal: None,
+            shard,
         })
     }
 

@@ -1,0 +1,550 @@
+//! Cross-shard boundary channels: lock-free SPSC mailboxes for flits and
+//! credits crossing a cut link.
+//!
+//! When the sharded runtime (the `hornet-shard` crate) partitions the tiles of
+//! a network across worker threads, every link whose endpoints land in
+//! different shards — a *cut link* — is rewired. The downstream ingress
+//! [`VcBuffer`]s stay entirely shard-local (only the owning worker touches
+//! them); in their place the upstream router's egress port is given a
+//! [`BoundaryLink`] per virtual channel:
+//!
+//! * **flits** travel through a fixed-capacity lock-free SPSC ring
+//!   ([`Spsc`]), written by the sender's negative clock edge and drained by
+//!   the receiving worker at the top of each of its cycles. Each flit already
+//!   carries its `visible_at` cycle stamp, so the receiver can consume
+//!   *conservatively* (only flits whose stamp has come due) when bit-exact
+//!   reproduction of the sequential schedule is required, or *greedily* under
+//!   slack synchronization;
+//! * **credits** return through a second SPSC ring of cycle-stamped
+//!   [`CreditMsg`] records, emitted by the receiving worker after its negative
+//!   edge (one message summarizing the flits its router drained that cycle)
+//!   and folded into the sender-side `outstanding` counter before the
+//!   sender's next positive edge.
+//!
+//! The sender's credit check — `free_space()` on the [`BoundaryLink`] — is a
+//! single atomic load of `outstanding` (flits sent minus credits applied), so
+//! cross-shard traffic never touches a lock of any kind, let alone a global
+//! one. Because `outstanding` is only decremented *after* a credit message is
+//! consumed, `flits-in-ring + flits-in-downstream-buffer ≤ capacity` holds at
+//! all times; a ring sized to the VC capacity can therefore never overflow,
+//! and a drained flit always fits in the downstream buffer.
+//!
+//! [`EgressChannel`] is the small enum that lets a router's egress port face
+//! either a local shared [`VcBuffer`] (sequential and intra-shard links) or a
+//! [`BoundaryLink`] (cut links) with identical credit semantics.
+
+use crate::flit::Flit;
+use crate::ids::Cycle;
+use crate::vcbuf::VcBuffer;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A fixed-capacity lock-free single-producer single-consumer ring.
+///
+/// `head` is owned by the consumer, `tail` by the producer; each side only
+/// ever stores to its own cursor (with `Release`) and reads the other side's
+/// with `Acquire`. Slot `i` is written exactly once per lap by the producer
+/// (who proved `tail - head < capacity`) and read exactly once by the consumer
+/// (who proved `head < tail`), so the accesses never overlap.
+///
+/// The single-producer / single-consumer discipline is a *protocol* contract:
+/// the sharded runtime hands the producer end to exactly one worker (the
+/// sender shard) and the consumer end to exactly one worker (the receiver
+/// shard), with hand-offs between runs ordered by channel sends.
+pub struct Spsc<T: Copy> {
+    capacity: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Consumer cursor: items popped so far.
+    head: AtomicU64,
+    /// Producer cursor: items pushed so far.
+    tail: AtomicU64,
+}
+
+// SAFETY: see the struct-level synchronization argument; `T: Copy` means no
+// drop obligations for slots that are overwritten a lap later.
+unsafe impl<T: Copy + Send> Send for Spsc<T> {}
+unsafe impl<T: Copy + Send> Sync for Spsc<T> {}
+
+impl<T: Copy> std::fmt::Debug for Spsc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spsc")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T: Copy> Spsc<T> {
+    /// Creates a ring holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an SPSC ring needs capacity for one item");
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            capacity,
+            slots,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of items the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently in the ring (racy but monotone-consistent: safe for
+    /// occupancy/idle accounting from either end).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// True if the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer side: appends an item. Returns `false` if the ring is full.
+    #[must_use]
+    pub fn push(&self, value: T) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail - head >= self.capacity as u64 {
+            return false;
+        }
+        // SAFETY: `tail - head < capacity` proves the consumer has finished
+        // with this slot (it will not read it again until tail advances past
+        // it), and we are the only producer.
+        unsafe {
+            (*self.slots[(tail % self.capacity as u64) as usize].get()).write(value);
+        }
+        self.tail.store(tail + 1, Ordering::Release);
+        true
+    }
+
+    /// Consumer side: pops the head item if `pred` accepts it.
+    pub fn pop_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head >= tail {
+            return None;
+        }
+        // SAFETY: `head < tail` with the acquire load above proves the
+        // producer published this slot; we are the only consumer.
+        let value =
+            unsafe { (*self.slots[(head % self.capacity as u64) as usize].get()).assume_init() };
+        if pred(&value) {
+            self.head.store(head + 1, Ordering::Release);
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Consumer side: pops the head item unconditionally.
+    pub fn pop(&self) -> Option<T> {
+        self.pop_if(|_| true)
+    }
+}
+
+/// A cycle-stamped credit return: `count` flits left the downstream ingress
+/// buffer during the receiver's cycle `cycle`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CreditMsg {
+    /// Receiver-local cycle whose negative edge freed the buffer slots.
+    pub cycle: Cycle,
+    /// Number of slots freed.
+    pub count: u32,
+}
+
+/// One virtual channel of one *directed* cut link: the flit mailbox, the
+/// credit mailbox, and the sender-side credit state.
+#[derive(Debug)]
+pub struct BoundaryLink {
+    capacity: usize,
+    /// Sender-side view of the downstream VC occupancy: flits pushed minus
+    /// credits applied. Includes flits still in flight in the mailbox, which
+    /// is exactly what makes the credit check conservative.
+    outstanding: AtomicUsize,
+    flits: Spsc<Flit>,
+    credits: Spsc<CreditMsg>,
+}
+
+impl BoundaryLink {
+    /// Creates a boundary link mirroring a downstream VC of `capacity` flits.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Self::with_resident(capacity, 0)
+    }
+
+    /// Creates a boundary link for a downstream VC that already holds
+    /// `resident` flits (wiring mid-simulation): the sender's credit view
+    /// must start at the real occupancy or it would oversubscribe the buffer
+    /// and diverge from the sequential schedule.
+    pub fn with_resident(capacity: usize, resident: usize) -> Arc<Self> {
+        let capacity = capacity.max(1);
+        Arc::new(Self {
+            capacity,
+            outstanding: AtomicUsize::new(resident.min(capacity)),
+            flits: Spsc::new(capacity),
+            // One slot more than the credit count bound: in lock-step the
+            // receiver's emission for cycle c+1 can race ahead of the
+            // sender's consumption of the cycle-c message, so up to
+            // `capacity + 1` messages may momentarily coexist. A full ring
+            // would defer (and re-stamp) a credit, silently breaking strict
+            //-mode bit-identity for capacity-1 VCs.
+            credits: Spsc::new(capacity + 1),
+        })
+    }
+
+    /// Downstream VC capacity, in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sender-side occupancy view (downstream-resident plus in-flight flits).
+    pub fn occupancy(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Free space as seen by the sender's credit check.
+    pub fn free_space(&self) -> usize {
+        self.capacity.saturating_sub(self.occupancy())
+    }
+
+    /// Flits currently in flight in the mailbox (not yet drained by the
+    /// receiver); used for idle detection at synchronization boundaries.
+    pub fn in_flight(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Sender side: sends a flit across the cut link. Returns `false` without
+    /// sending if no credit is available (callers have already performed a
+    /// credit check, so `false` indicates a flow-control bug upstream).
+    #[must_use]
+    pub fn push(&self, flit: Flit) -> bool {
+        let prev = self.outstanding.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.capacity {
+            self.outstanding.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        // `outstanding ≤ capacity` now holds, which bounds ring occupancy by
+        // `capacity`: this push cannot fail.
+        let ok = self.flits.push(flit);
+        debug_assert!(ok, "boundary flit ring overflow despite credit check");
+        ok
+    }
+
+    /// Sender side: folds returned credits into the outstanding counter.
+    /// With `limit = Some(c)` only credits stamped `≤ c` are consumed (the
+    /// bit-exact schedule: the sender observes exactly the pops the global
+    /// barrier would have made visible); with `None` every queued credit is
+    /// consumed.
+    pub fn apply_credits(&self, limit: Option<Cycle>) {
+        while let Some(msg) = self.credits.pop_if(|m| limit.is_none_or(|c| m.cycle <= c)) {
+            self.outstanding
+                .fetch_sub(msg.count as usize, Ordering::AcqRel);
+        }
+    }
+}
+
+/// The receiver-side endpoint of one boundary link: drains the flit mailbox
+/// into the real (shard-local) ingress [`VcBuffer`] and emits credits for the
+/// flits the router has consumed. Owned by exactly one worker at a time.
+#[derive(Debug)]
+pub struct BoundaryRx {
+    link: Arc<BoundaryLink>,
+    target: Arc<VcBuffer>,
+    /// Flits resident in `target` when the link was wired (their pops must
+    /// produce credits too, since they are part of the sender's initial
+    /// `outstanding`).
+    baseline: u64,
+    /// Flits moved from the mailbox into `target` so far.
+    forwarded: u64,
+    /// Credits successfully enqueued so far.
+    credited: u64,
+    /// Credits computed but not yet enqueued (ring momentarily full).
+    pending: u64,
+}
+
+impl BoundaryRx {
+    /// Creates the receiver endpoint draining `link` into `target`. The
+    /// buffer's current occupancy becomes the credit baseline and must match
+    /// the `resident` count the link was created with.
+    pub fn new(link: Arc<BoundaryLink>, target: Arc<VcBuffer>) -> Self {
+        let baseline = target.occupancy() as u64;
+        Self {
+            link,
+            target,
+            baseline,
+            forwarded: 0,
+            credited: 0,
+            pending: 0,
+        }
+    }
+
+    /// The downstream ingress buffer this endpoint feeds.
+    pub fn target(&self) -> &Arc<VcBuffer> {
+        &self.target
+    }
+
+    /// Flits still in flight in the mailbox.
+    pub fn in_flight(&self) -> usize {
+        self.link.in_flight()
+    }
+
+    /// Moves mailbox flits into the ingress buffer. With `limit = Some(c)`
+    /// only flits whose `visible_at ≤ c` are moved (flit stamps are
+    /// nondecreasing, so this consumes exactly the prefix the sequential
+    /// schedule would have delivered by cycle `c`); with `None` everything in
+    /// the ring is moved. Returns the number of flits delivered.
+    pub fn deliver(&mut self, limit: Option<Cycle>) -> usize {
+        let mut moved = 0usize;
+        while let Some(flit) = self
+            .link
+            .flits
+            .pop_if(|f| limit.is_none_or(|c| f.visible_at <= c) && self.target.free_space() > 0)
+        {
+            let ok = self.target.push(flit);
+            debug_assert!(ok, "boundary delivery overflowed the ingress buffer");
+            self.forwarded += 1;
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Emits one cycle-stamped credit message covering every flit the router
+    /// has popped from the ingress buffer since the last emission. Called
+    /// after the shard's negative edge of cycle `now`.
+    pub fn emit_credits(&mut self, now: Cycle) {
+        let resident = self.target.occupancy() as u64;
+        let freed = (self.baseline + self.forwarded).saturating_sub(resident);
+        self.pending += freed.saturating_sub(self.credited + self.pending);
+        if self.pending > 0 {
+            let msg = CreditMsg {
+                cycle: now,
+                count: self.pending.min(u32::MAX as u64) as u32,
+            };
+            if self.link.credits.push(msg) {
+                self.credited += msg.count as u64;
+                self.pending -= msg.count as u64;
+            }
+        }
+    }
+
+    /// Drains every remaining mailbox flit into the ingress buffer (used when
+    /// unwiring boundaries at the end of a parallel run; the credit invariant
+    /// guarantees everything fits).
+    pub fn flush(mut self) {
+        self.deliver(None);
+        debug_assert!(self.link.flits.is_empty(), "boundary flush left flits");
+    }
+}
+
+/// What a router egress port pushes into: a shared downstream [`VcBuffer`]
+/// (sequential and intra-shard links) or a cross-shard [`BoundaryLink`].
+/// Both expose the same credit interface, so the router pipeline is agnostic.
+#[derive(Clone, Debug)]
+pub enum EgressChannel {
+    /// Directly shared downstream ingress buffer.
+    Local(Arc<VcBuffer>),
+    /// Cross-shard boundary mailbox.
+    Boundary(Arc<BoundaryLink>),
+}
+
+impl EgressChannel {
+    /// Downstream VC capacity, in flits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        match self {
+            EgressChannel::Local(b) => b.capacity(),
+            EgressChannel::Boundary(l) => l.capacity(),
+        }
+    }
+
+    /// Downstream occupancy as seen by the sender's credit loop.
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        match self {
+            EgressChannel::Local(b) => b.occupancy(),
+            EgressChannel::Boundary(l) => l.occupancy(),
+        }
+    }
+
+    /// Free space as seen by the sender's credit loop.
+    #[inline]
+    pub fn free_space(&self) -> usize {
+        match self {
+            EgressChannel::Local(b) => b.free_space(),
+            EgressChannel::Boundary(l) => l.free_space(),
+        }
+    }
+
+    /// Sends a flit downstream. `false` indicates a flow-control violation.
+    #[inline]
+    #[must_use]
+    pub fn push(&self, flit: Flit) -> bool {
+        match self {
+            EgressChannel::Local(b) => b.push(flit),
+            EgressChannel::Boundary(l) => l.push(flit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlitStats};
+    use crate::ids::{FlowId, NodeId, PacketId};
+
+    fn flit(seq: u32, visible_at: Cycle) -> Flit {
+        Flit {
+            packet: PacketId::new(1),
+            flow: FlowId::new(1),
+            original_flow: FlowId::new(1),
+            kind: FlitKind::Body,
+            seq,
+            packet_len: 8,
+            dst: NodeId::new(1),
+            src: NodeId::new(0),
+            visible_at,
+            stats: FlitStats::default(),
+        }
+    }
+
+    #[test]
+    fn spsc_is_a_bounded_fifo() {
+        let ring: Spsc<u32> = Spsc::new(3);
+        assert!(ring.push(1) && ring.push(2) && ring.push(3));
+        assert!(!ring.push(4), "full ring must reject");
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.pop(), Some(1));
+        assert!(ring.push(4));
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
+        assert_eq!(ring.pop(), Some(4));
+        assert_eq!(ring.pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn spsc_pop_if_leaves_rejected_head_in_place() {
+        let ring: Spsc<u32> = Spsc::new(2);
+        assert!(ring.push(7));
+        assert_eq!(ring.pop_if(|&v| v > 10), None);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.pop_if(|&v| v == 7), Some(7));
+    }
+
+    #[test]
+    fn spsc_survives_concurrent_producer_consumer() {
+        let ring = Arc::new(Spsc::<u32>::new(4));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut sent = 0u32;
+                while sent < 10_000 {
+                    if ring.push(sent) {
+                        sent += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        let mut expect = 0u32;
+        while expect < 10_000 {
+            if let Some(v) = ring.pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn boundary_credit_loop_round_trips() {
+        let link = BoundaryLink::new(2);
+        let target = Arc::new(VcBuffer::new(2));
+        let mut rx = BoundaryRx::new(Arc::clone(&link), Arc::clone(&target));
+
+        // Sender fills its credit window.
+        assert!(link.push(flit(0, 1)));
+        assert!(link.push(flit(1, 1)));
+        assert!(!link.push(flit(2, 1)), "no credit left");
+        assert_eq!(link.free_space(), 0);
+        assert_eq!(link.in_flight(), 2);
+
+        // Receiver drains the mailbox into the real buffer.
+        assert_eq!(rx.deliver(Some(1)), 2);
+        assert_eq!(target.occupancy(), 2);
+        // Nothing popped yet: no credits flow, sender still blocked.
+        rx.emit_credits(1);
+        link.apply_credits(Some(1));
+        assert_eq!(link.free_space(), 0);
+
+        // The router consumes one flit; the credit returns.
+        target.absorb_tail();
+        assert!(target.pop_if(5, |_| true).is_some());
+        rx.emit_credits(2);
+        link.apply_credits(Some(2));
+        assert_eq!(link.free_space(), 1);
+        assert!(link.push(flit(2, 3)));
+    }
+
+    #[test]
+    fn strict_delivery_respects_cycle_stamps() {
+        let link = BoundaryLink::new(4);
+        let target = Arc::new(VcBuffer::new(4));
+        let mut rx = BoundaryRx::new(Arc::clone(&link), Arc::clone(&target));
+        assert!(link.push(flit(0, 3)));
+        assert!(link.push(flit(1, 5)));
+        // At cycle 3 only the first flit is due.
+        assert_eq!(rx.deliver(Some(3)), 1);
+        assert_eq!(link.in_flight(), 1);
+        // At cycle 5 the rest follows.
+        assert_eq!(rx.deliver(Some(5)), 1);
+        assert_eq!(link.in_flight(), 0);
+    }
+
+    #[test]
+    fn strict_credit_application_respects_cycle_stamps() {
+        let link = BoundaryLink::new(4);
+        let target = Arc::new(VcBuffer::new(4));
+        let mut rx = BoundaryRx::new(Arc::clone(&link), Arc::clone(&target));
+        assert!(link.push(flit(0, 1)));
+        rx.deliver(None);
+        target.absorb_tail();
+        assert!(target.pop_if(9, |_| true).is_some());
+        rx.emit_credits(7);
+        // The credit is stamped cycle 7: invisible at 6, visible at 7.
+        link.apply_credits(Some(6));
+        assert_eq!(link.occupancy(), 1);
+        link.apply_credits(Some(7));
+        assert_eq!(link.occupancy(), 0);
+    }
+
+    #[test]
+    fn flush_moves_every_leftover_flit() {
+        let link = BoundaryLink::new(3);
+        let target = Arc::new(VcBuffer::new(3));
+        let rx = BoundaryRx::new(Arc::clone(&link), Arc::clone(&target));
+        assert!(link.push(flit(0, 100)));
+        assert!(link.push(flit(1, 200)));
+        rx.flush();
+        assert_eq!(link.in_flight(), 0);
+        assert_eq!(target.occupancy(), 2);
+    }
+}

@@ -14,11 +14,27 @@ use crate::vcbuf::VcBuffer;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-/// Reassembly state for one in-flight inbound packet.
+/// One slot of the reassembly slab: the flits of one in-flight inbound
+/// packet. `expected == 0` marks a free slot whose `flits` allocation is
+/// retained for reuse, so steady-state reassembly never allocates — the slab
+/// only grows to the high-water mark of *concurrently* reassembling packets
+/// (bounded by the router's ingress VC count, since flits of one packet
+/// arrive on one VC in order).
 #[derive(Debug)]
-struct Reassembly {
-    flits: Vec<Flit>,
+struct ReassemblySlot {
+    packet: PacketId,
     expected: u32,
+    flits: Vec<Flit>,
+}
+
+impl Default for ReassemblySlot {
+    fn default() -> Self {
+        Self {
+            packet: PacketId::new(0),
+            expected: 0,
+            flits: Vec::new(),
+        }
+    }
 }
 
 /// Injection state: the flits of the packet currently being pushed into one
@@ -41,8 +57,11 @@ pub struct Bridge {
     /// Per-VC packet currently being injected (wormhole: one packet at a time
     /// per VC).
     slots: Vec<Option<InjectionSlot>>,
-    /// Reassembly of inbound packets, keyed by packet id.
-    reassembly: HashMap<PacketId, Reassembly>,
+    /// Reassembly slab for inbound packets: a handful of reusable slots
+    /// searched linearly by packet id (cheaper than hashing at the small
+    /// concurrency the ejection port can sustain, and allocation-free in
+    /// steady state).
+    reassembly: Vec<ReassemblySlot>,
     /// Original packets by id, so payloads survive the trip (the network only
     /// carries flits; a real chip would DMA the payload).
     in_flight_payloads: HashMap<PacketId, Packet>,
@@ -65,7 +84,7 @@ impl Bridge {
             injection_bandwidth: injection_bandwidth.max(1),
             pending: VecDeque::new(),
             slots,
-            reassembly: HashMap::new(),
+            reassembly: Vec::new(),
             in_flight_payloads: HashMap::new(),
             delivered: VecDeque::new(),
             next_packet_seq: 0,
@@ -200,28 +219,50 @@ impl Bridge {
     /// drained in place so its allocation survives into the next cycle.
     pub fn accept(&mut self, flits: &mut Vec<Flit>, now: Cycle, stats: &mut NetworkStats) {
         for flit in flits.drain(..) {
-            let entry = self
-                .reassembly
-                .entry(flit.packet)
-                .or_insert_with(|| Reassembly {
-                    flits: Vec::with_capacity(flit.packet_len as usize),
-                    expected: flit.packet_len,
+            // Find the packet's slab slot (or claim a free one). Linear
+            // search: the slab holds at most one entry per ingress VC.
+            let mut slot_idx = None;
+            let mut free_idx = None;
+            for (i, slot) in self.reassembly.iter().enumerate() {
+                if slot.expected != 0 {
+                    if slot.packet == flit.packet {
+                        slot_idx = Some(i);
+                        break;
+                    }
+                } else if free_idx.is_none() {
+                    free_idx = Some(i);
+                }
+            }
+            let idx = slot_idx.unwrap_or_else(|| {
+                let idx = free_idx.unwrap_or_else(|| {
+                    self.reassembly.push(ReassemblySlot::default());
+                    self.reassembly.len() - 1
                 });
+                let slot = &mut self.reassembly[idx];
+                slot.packet = flit.packet;
+                slot.expected = flit.packet_len;
+                debug_assert!(slot.flits.is_empty());
+                idx
+            });
+            let entry = &mut self.reassembly[idx];
             entry.flits.push(flit);
             if entry.flits.len() as u32 == entry.expected {
-                let done = self.reassembly.remove(&flit.packet).expect("present");
-                let head = done
+                let head = entry
                     .flits
                     .iter()
                     .find(|f| f.seq == 0)
                     .copied()
                     .expect("head flit present");
-                let tail = done
+                let tail = entry
                     .flits
                     .iter()
                     .max_by_key(|f| f.seq)
                     .copied()
                     .expect("tail flit present");
+                let expected = entry.expected;
+                // Release the slot but keep its flit vector's allocation.
+                entry.expected = 0;
+                entry.flits.clear();
                 let packet = self
                     .in_flight_payloads
                     .remove(&flit.packet)
@@ -242,7 +283,7 @@ impl Bridge {
                     });
                 stats.record_delivery(
                     packet.flow,
-                    done.expected as u64,
+                    expected as u64,
                     head.stats.accumulated_latency,
                     tail.stats.accumulated_latency,
                     tail.stats.hops,

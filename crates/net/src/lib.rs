@@ -15,6 +15,8 @@
 //!   phase-separated, EDVCA, FAA, explicit tables);
 //! * [`router`] — the RC/VA/SA/ST router pipeline with randomized arbitration;
 //! * [`vcbuf`] — the dual-lock ingress VC buffer shared between tiles;
+//! * [`boundary`] — lock-free SPSC flit/credit mailboxes for links cut
+//!   between two shards of a partitioned parallel simulation;
 //! * [`link`] — bandwidth-adaptive bidirectional links;
 //! * [`bridge`] / [`agent`] — the packet-level interface between routers and
 //!   attached cores, injectors and memory controllers;
@@ -40,6 +42,7 @@
 //! ```
 
 pub mod agent;
+pub mod boundary;
 pub mod bridge;
 pub mod config;
 pub mod flit;

@@ -11,6 +11,7 @@ use crate::agent::{NodeAgent, NodeIo};
 use crate::bridge::Bridge;
 use crate::config::{ConfigError, NetworkConfig};
 use crate::flit::{DeliveredPacket, Packet};
+use crate::geometry::Geometry;
 use crate::ids::{Cycle, NodeId, PacketId};
 use crate::link::BidirLink;
 use crate::payload::PayloadStore;
@@ -96,6 +97,12 @@ impl NetworkNode {
         &mut self.router
     }
 
+    /// The router-facing neighbours of this tile (used by the sharded
+    /// runtime to derive the cut set of a partition).
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.router.neighbors()
+    }
+
     /// This tile's statistics.
     pub fn stats(&self) -> &NetworkStats {
         self.router.stats()
@@ -172,6 +179,7 @@ impl NetworkNode {
 pub struct Network {
     nodes: Vec<NetworkNode>,
     payload_store: Arc<PayloadStore>,
+    geometry: Geometry,
     cycle: Cycle,
     fast_forward: bool,
 }
@@ -271,9 +279,16 @@ impl Network {
         Ok(Self {
             nodes,
             payload_store,
+            geometry: config.geometry.clone(),
             cycle: 0,
             fast_forward: false,
         })
+    }
+
+    /// The geometry this network was assembled from (used by the sharded
+    /// engine to build a topology-aware partition).
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
     }
 
     /// Enables or disables fast-forwarding of idle periods (paper §IV-B).

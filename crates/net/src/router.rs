@@ -37,6 +37,7 @@
 //!
 //! [`buffered_flits`]: Router::buffered_flits
 
+use crate::boundary::EgressChannel;
 use crate::flit::Flit;
 use crate::ids::{Cycle, FlowId, NodeId, PacketId, VcId};
 use crate::link::BidirLink;
@@ -114,12 +115,13 @@ struct OutVcState {
     resident_flow: Option<FlowId>,
 }
 
-/// One egress port: the downstream ingress buffers (owned by the neighbour)
-/// plus sender-side allocation state.
+/// One egress port: the downstream channels (shared ingress buffers, or
+/// boundary mailboxes when the link is cut between two shards) plus
+/// sender-side allocation state.
 #[derive(Debug)]
 struct EgressPort {
     downstream: NodeId,
-    buffers: Vec<Arc<VcBuffer>>,
+    buffers: Vec<EgressChannel>,
     out_state: Vec<OutVcState>,
     /// Bandwidth-adaptive link shared with the neighbour, if enabled.
     bidir: Option<(Arc<BidirLink>, usize)>,
@@ -350,7 +352,46 @@ impl Router {
         let idx = self.egress_of(to);
         self.max_out_vcs = self.max_out_vcs.max(buffers.len());
         self.egress[idx].out_state = vec![OutVcState::default(); buffers.len()];
-        self.egress[idx].buffers = buffers;
+        self.egress[idx].buffers = buffers.into_iter().map(EgressChannel::Local).collect();
+    }
+
+    /// Swaps the downstream channels of the egress port toward `to`,
+    /// returning the previous ones. Used by the sharded runtime to replace
+    /// the shared ingress buffers of a cut link with boundary mailboxes (and
+    /// back). When the channel count is unchanged, the sender-side VC
+    /// allocation state (`owner` / `resident_flow`) is preserved, so swapping
+    /// mid-simulation does not perturb allocation decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbour of this router.
+    pub fn swap_egress_channels(
+        &mut self,
+        to: NodeId,
+        channels: Vec<EgressChannel>,
+    ) -> Vec<EgressChannel> {
+        let idx = self.egress_of(to);
+        self.max_out_vcs = self.max_out_vcs.max(channels.len());
+        if self.egress[idx].out_state.len() != channels.len() {
+            self.egress[idx].out_state = vec![OutVcState::default(); channels.len()];
+        }
+        std::mem::replace(&mut self.egress[idx].buffers, channels)
+    }
+
+    /// The router-facing neighbours of this router, in egress-port order.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.egress_nodes
+    }
+
+    /// True if a bandwidth-adaptive bidirectional link is attached toward
+    /// `to`. The sharded runtime uses this to detect cut links whose demand
+    /// arbitration needs stricter phase ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbour of this router.
+    pub fn has_bidir_toward(&self, to: NodeId) -> bool {
+        self.egress[self.egress_of(to)].bidir.is_some()
     }
 
     /// Attaches a bandwidth-adaptive bidirectional link toward `to`.

@@ -84,8 +84,22 @@ pub struct NetworkStats {
     pub busy_cycles: u64,
     /// Per-flow delivery records.
     pub per_flow: HashMap<u64, FlowRecord>,
+    /// Log₂-bucketed packet-latency histogram: bucket `i` counts delivered
+    /// packets whose tail-flit latency `l` satisfies `2^i ≤ l < 2^(i+1)`
+    /// (bucket 0 also counts `l = 0`). Bit-identical parallel runs must
+    /// reproduce this histogram exactly, which makes it the cheapest strong
+    /// fingerprint of the full latency distribution.
+    pub latency_histogram: Vec<u64>,
     /// Highest cycle this tile has simulated.
     pub last_cycle: Cycle,
+}
+
+/// Number of log₂ latency buckets (covers latencies up to 2^31 cycles).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// The histogram bucket for a packet latency.
+fn latency_bucket(latency: u64) -> usize {
+    ((64 - latency.max(1).leading_zeros() as usize) - 1).min(LATENCY_BUCKETS - 1)
 }
 
 impl NetworkStats {
@@ -112,6 +126,10 @@ impl NetworkStats {
         self.total_packet_latency += tail_latency;
         self.total_head_latency += head_latency;
         self.total_hops += hops as u64;
+        if self.latency_histogram.is_empty() {
+            self.latency_histogram = vec![0; LATENCY_BUCKETS];
+        }
+        self.latency_histogram[latency_bucket(tail_latency)] += 1;
         let rec = self.per_flow.entry(flow.base()).or_default();
         rec.packets += 1;
         rec.flits += flits;
@@ -177,6 +195,18 @@ impl NetworkStats {
             mine.packets += rec.packets;
             mine.flits += rec.flits;
             mine.total_packet_latency += rec.total_packet_latency;
+        }
+        if !other.latency_histogram.is_empty() {
+            if self.latency_histogram.is_empty() {
+                self.latency_histogram = vec![0; LATENCY_BUCKETS];
+            }
+            for (mine, theirs) in self
+                .latency_histogram
+                .iter_mut()
+                .zip(&other.latency_histogram)
+            {
+                *mine += *theirs;
+            }
         }
     }
 

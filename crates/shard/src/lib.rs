@@ -1,0 +1,33 @@
+//! # hornet-shard
+//!
+//! The sharded execution runtime of HORNET-RS: the layer that scales the
+//! cycle-level simulation across host threads (and, in future PRs, sockets
+//! and machines) without a global barrier.
+//!
+//! Three pieces compose the subsystem:
+//!
+//! * [`partition`] — a topology-aware [`Partitioner`](partition::Partitioner)
+//!   assigns contiguous sub-mesh blocks of tiles to shards (row-aligned on
+//!   meshes, which minimizes the cut among contiguous partitions and balances
+//!   shards to within one row) and reports the cut set;
+//! * boundary mailboxes — every cut link is rewired onto lock-free SPSC
+//!   flit/credit rings ([`hornet_net::boundary`]), so cross-shard traffic
+//!   never touches a lock;
+//! * [`runtime`] — a persistent worker pool (one run queue per shard, threads
+//!   spawned once and reused across runs) executes the shards under
+//!   *slack-based synchronization*: a shard only waits until its cut-link
+//!   neighbors are within `k` cycles, using the one-cycle link latency as
+//!   conservative lookahead. `k = 0` with strict cycle-stamped mailbox
+//!   consumption reproduces the sequential simulation bit-exactly; `k > 0`
+//!   trades bounded timing skew for scaling, exactly the accuracy/speed knob
+//!   of the paper's loose synchronization, but pairwise instead of global.
+//!
+//! The `hornet-core` engine maps its `SyncMode` onto [`runtime::RunParams`]:
+//! `CycleAccurate` → `{slack: 0, quantum: 1, strict}`, `Slack(k)` →
+//! `{slack: k, quantum: 1}`, `Periodic(n)` → `{slack: 0, quantum: n}`.
+
+pub mod partition;
+pub mod runtime;
+
+pub use partition::{Partition, Partitioner};
+pub use runtime::{RunOutcome, RunParams, ShardRuntime};

@@ -1,0 +1,259 @@
+//! Topology-aware partitioning of tiles onto shards.
+//!
+//! A [`Partition`] assigns every tile to exactly one shard as a *contiguous
+//! block of node indices*. For row-major meshes (the paper's topology),
+//! [`Partitioner::mesh`] aligns block boundaries to mesh rows, which is the
+//! minimum-cut contiguous partition of a mesh: every shard boundary then cuts
+//! exactly `width` links, the fewest any horizontal division can achieve, and
+//! the blocks are balanced to within one row. For geometries without a
+//! natural row structure, [`Partitioner::linear`] falls back to balanced
+//! contiguous index ranges (±1 tile).
+//!
+//! The cut set — the links whose endpoints land in different shards — is what
+//! the runtime turns into boundary mailboxes; [`Partition::cut_links`]
+//! computes and reports it for any edge list.
+
+use hornet_net::ids::NodeId;
+use std::ops::Range;
+
+/// Splits tiles into contiguous shards.
+#[derive(Copy, Clone, Debug)]
+pub struct Partitioner {
+    shards: usize,
+}
+
+impl Partitioner {
+    /// Creates a partitioner targeting `shards` shards (at least one). The
+    /// actual shard count may come out lower when the topology cannot feed
+    /// that many shards (fewer rows / tiles than requested shards).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Row-aligned partition of a `width × height` row-major mesh: each shard
+    /// receives a contiguous band of complete rows, band heights differing by
+    /// at most one row. This is the minimum-cut contiguous partition of a
+    /// mesh — every inter-shard boundary cuts exactly `width` vertical links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn mesh(&self, width: usize, height: usize) -> Partition {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        let shards = self.shards.min(height);
+        let base = height / shards;
+        let extra = height % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut row = 0usize;
+        for s in 0..shards {
+            let rows = base + usize::from(s < extra);
+            ranges.push((row * width)..((row + rows) * width));
+            row += rows;
+        }
+        debug_assert_eq!(row, height);
+        Partition::from_ranges(ranges)
+    }
+
+    /// Balanced contiguous index-range partition of `node_count` tiles
+    /// (shard sizes differ by at most one tile). The fallback for geometries
+    /// without a row structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count == 0`.
+    pub fn linear(&self, node_count: usize) -> Partition {
+        assert!(node_count > 0, "cannot partition zero tiles");
+        let shards = self.shards.min(node_count);
+        let base = node_count / shards;
+        let extra = node_count % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            ranges.push(start..(start + len));
+            start += len;
+        }
+        debug_assert_eq!(start, node_count);
+        Partition::from_ranges(ranges)
+    }
+}
+
+/// An assignment of tiles to shards as contiguous index blocks.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    ranges: Vec<Range<usize>>,
+    /// `assignment[node] = shard`.
+    assignment: Vec<u32>,
+}
+
+impl Partition {
+    fn from_ranges(ranges: Vec<Range<usize>>) -> Self {
+        let node_count = ranges.last().map_or(0, |r| r.end);
+        let mut assignment = vec![0u32; node_count];
+        for (s, r) in ranges.iter().enumerate() {
+            for slot in &mut assignment[r.clone()] {
+                *slot = s as u32;
+            }
+        }
+        Self { ranges, assignment }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total number of tiles covered.
+    pub fn node_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The shard a tile belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the partitioned range.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.assignment[node.index()] as usize
+    }
+
+    /// The contiguous node-index range of one shard.
+    pub fn range(&self, shard: usize) -> Range<usize> {
+        self.ranges[shard].clone()
+    }
+
+    /// All shard ranges, in shard order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Number of tiles in one shard.
+    pub fn tiles(&self, shard: usize) -> usize {
+        self.ranges[shard].len()
+    }
+
+    /// The cut set: every edge whose endpoints land in different shards,
+    /// reported as normalized `(low, high)` node pairs in input order.
+    /// `edges` is the undirected link list of the topology (each physical
+    /// link once).
+    pub fn cut_links(
+        &self,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Vec<(NodeId, NodeId)> {
+        edges
+            .into_iter()
+            .filter(|&(a, b)| self.shard_of(a) != self.shard_of(b))
+            .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+            .collect()
+    }
+
+    /// The pairs of shards that share at least one cut link — the neighbor
+    /// relation the slack synchronization protocol waits on.
+    pub fn shard_adjacency(
+        &self,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.shard_count()];
+        for (a, b) in edges {
+            let (sa, sb) = (self.shard_of(a), self.shard_of(b));
+            if sa != sb {
+                if !adj[sa].contains(&sb) {
+                    adj[sa].push(sb);
+                }
+                if !adj[sb].contains(&sa) {
+                    adj[sb].push(sa);
+                }
+            }
+        }
+        for n in &mut adj {
+            n.sort_unstable();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh_edges(w: usize, h: usize) -> Vec<(NodeId, NodeId)> {
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let id = y * w + x;
+                if x + 1 < w {
+                    edges.push((NodeId::from(id), NodeId::from(id + 1)));
+                }
+                if y + 1 < h {
+                    edges.push((NodeId::from(id), NodeId::from(id + w)));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn mesh_partition_is_row_aligned_and_balanced() {
+        let p = Partitioner::new(4).mesh(8, 8);
+        assert_eq!(p.shard_count(), 4);
+        for s in 0..4 {
+            assert_eq!(p.tiles(s), 16, "two rows of eight");
+            assert_eq!(p.range(s).start % 8, 0, "row-aligned start");
+        }
+        // Three boundaries × eight links each.
+        assert_eq!(p.cut_links(mesh_edges(8, 8)).len(), 24);
+    }
+
+    #[test]
+    fn uneven_rows_differ_by_at_most_one() {
+        let p = Partitioner::new(3).mesh(4, 7);
+        let rows: Vec<usize> = (0..3).map(|s| p.tiles(s) / 4).collect();
+        assert_eq!(rows.iter().sum::<usize>(), 7);
+        assert!(rows.iter().max().unwrap() - rows.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_rows() {
+        let p = Partitioner::new(64).mesh(4, 4);
+        assert_eq!(p.shard_count(), 4);
+        assert_eq!(p.node_count(), 16);
+    }
+
+    #[test]
+    fn linear_partition_covers_everything_contiguously() {
+        let p = Partitioner::new(3).linear(10);
+        assert_eq!(p.shard_count(), 3);
+        let sizes: Vec<usize> = (0..3).map(|s| p.tiles(s)).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        let mut covered = 0;
+        for s in 0..3 {
+            assert_eq!(p.range(s).start, covered, "contiguous");
+            covered = p.range(s).end;
+        }
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn cut_links_only_cross_shards() {
+        let p = Partitioner::new(2).mesh(3, 4);
+        let edges = mesh_edges(3, 4);
+        let cuts = p.cut_links(edges.iter().copied());
+        assert_eq!(cuts.len(), 3, "one boundary × three links");
+        for (a, b) in cuts {
+            assert_ne!(p.shard_of(a), p.shard_of(b));
+        }
+    }
+
+    #[test]
+    fn shard_adjacency_links_neighbouring_bands() {
+        let p = Partitioner::new(4).mesh(4, 8);
+        let adj = p.shard_adjacency(mesh_edges(4, 8));
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1, 3]);
+        assert_eq!(adj[3], vec![2]);
+    }
+}

@@ -1,0 +1,586 @@
+//! The sharded execution runtime: a persistent worker pool driving one
+//! partition shard per worker, with boundary mailboxes on cut links and
+//! slack-based neighbor synchronization instead of a global barrier.
+//!
+//! # Execution model
+//!
+//! Tiles are split into contiguous shards by a [`Partition`]; each shard is
+//! owned by one worker of a pool spawned once and reused across `run()`
+//! calls (jobs arrive on one run queue per worker). Before a run, every cut
+//! link is rewired: the sender router's egress port gets a
+//! [`BoundaryLink`] mailbox per VC and the receiving worker gets the matching
+//! [`BoundaryRx`] endpoints, so a worker's simulated cycle touches only
+//! shard-local state plus lock-free SPSC rings.
+//!
+//! # Synchronization
+//!
+//! Every worker publishes its progress in a per-shard atomic (`negedge_done`
+//! = last cycle whose negative edge completed). Before simulating cycle `c`,
+//! a worker spins until every *neighboring* shard (shards sharing a cut
+//! link — no global rendezvous) has published `c - 1 - slack`:
+//!
+//! * `slack = 0`, strict stamps — the sequential schedule is reproduced
+//!   bit-exactly: mailbox flits are consumed only once their `visible_at`
+//!   stamp is due and credits only once their emission cycle has passed, so
+//!   a neighbor racing one cycle ahead cannot leak state early. This is how
+//!   `SyncMode::CycleAccurate` and `Slack(0)` run.
+//! * `slack = k > 0` — neighboring shards may drift up to `k` cycles apart.
+//!   The one-cycle link latency acts as conservative lookahead: flits carry
+//!   their stamps, so functional behaviour (delivery, ordering, credit
+//!   safety) is unaffected and only timing skews by at most `k` cycles.
+//! * `quantum = n` — the worker checks the drift condition only at `n`-cycle
+//!   batch boundaries; with `barrier_batches` every shard additionally meets
+//!   at each boundary so drift re-zeroes per batch (the reimplementation of
+//!   `SyncMode::Periodic(n)` with its classic fidelity profile).
+//!
+//! Fast-forward and completion detection need a *global* consensus and keep
+//! the classic rendezvous: when either is enabled, workers meet on a barrier
+//! every `max(quantum, slack, 1)` cycles, publish per-shard idle/next-event
+//! state (including flits still in flight inside boundary mailboxes), and a
+//! leader decides whether to stop or jump the clocks.
+
+use crate::partition::Partition;
+use hornet_net::boundary::{BoundaryLink, BoundaryRx, EgressChannel};
+use hornet_net::ids::Cycle;
+use hornet_net::network::NetworkNode;
+use hornet_net::stats::NetworkStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+/// Parameters of one sharded run.
+#[derive(Copy, Clone, Debug)]
+pub struct RunParams {
+    /// First cycle already completed (the run simulates `start+1 ..= start+cycles`).
+    pub start: Cycle,
+    /// Number of cycles to simulate.
+    pub cycles: Cycle,
+    /// Maximum cycles a shard may run ahead of its neighbors.
+    pub slack: u64,
+    /// Cycles between drift checks (batch size; 1 = check every cycle).
+    pub quantum: u64,
+    /// Consume mailbox flits/credits strictly by cycle stamp (bit-exact
+    /// reproduction of the sequential schedule). Only meaningful with
+    /// `slack == 0` and `quantum == 1`.
+    pub strict: bool,
+    /// Rendezvous all shards on a barrier at every `quantum`-cycle batch
+    /// boundary (classic periodic synchronization: drift re-zeroes each
+    /// batch). `false` leaves batches purely neighbor-synchronized.
+    pub barrier_batches: bool,
+    /// Skip idle periods by jumping all clocks to the next event.
+    pub fast_forward: bool,
+    /// Stop early once every agent reports completion and the network drains.
+    pub detect_completion: bool,
+}
+
+/// Result of one sharded run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The tiles, in their original order.
+    pub nodes: Vec<NetworkNode>,
+    /// The cycle the simulation stopped at (equals `start + cycles` unless
+    /// completion detection stopped it earlier).
+    pub final_cycle: Cycle,
+    /// Statistics merged per shard by each worker (no cross-thread atomics:
+    /// each worker folds its own tiles' counters locally).
+    pub per_shard_stats: Vec<NetworkStats>,
+    /// Number of physical links cut by the partition.
+    pub cut_links: usize,
+}
+
+/// Shared synchronization state of one run.
+struct SyncShared {
+    /// Per shard: last cycle whose negative edge completed.
+    negedge_done: Vec<AtomicU64>,
+    /// Per shard: last cycle whose positive edge completed (consulted only
+    /// for cut links that carry bandwidth-adaptive bidirectional links).
+    posedge_done: Vec<AtomicU64>,
+    /// Rendezvous for fast-forward / completion consensus and end-of-run.
+    barrier: Barrier,
+    /// Per shard: buffered + in-flight flits and injector backlog.
+    busy: Vec<AtomicU64>,
+    /// Per shard: earliest next event (`u64::MAX` = none).
+    next_event: Vec<AtomicU64>,
+    /// Per shard: all agents report completion.
+    finished: Vec<AtomicBool>,
+    /// Cycle to jump to (fast-forward), or 0 for "no jump".
+    skip_to: AtomicU64,
+    /// Set when completion is detected.
+    stop: AtomicBool,
+    /// Cycle at which the simulation stopped.
+    final_cycle: AtomicU64,
+}
+
+impl SyncShared {
+    fn new(shards: usize, start: Cycle, end: Cycle) -> Self {
+        Self {
+            negedge_done: (0..shards).map(|_| AtomicU64::new(start)).collect(),
+            posedge_done: (0..shards).map(|_| AtomicU64::new(start)).collect(),
+            barrier: Barrier::new(shards),
+            busy: (0..shards).map(|_| AtomicU64::new(1)).collect(),
+            next_event: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            finished: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            skip_to: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            final_cycle: AtomicU64::new(end),
+        }
+    }
+}
+
+/// One unit of work for a worker: simulate one shard for one run.
+struct Job {
+    shard: usize,
+    tiles: Vec<NetworkNode>,
+    /// Receiver endpoints of the boundary links feeding this shard.
+    inbound: Vec<BoundaryRx>,
+    /// Sender-side boundary links whose credits this shard applies.
+    outbound: Vec<Arc<BoundaryLink>>,
+    /// Shards sharing a cut link with this one.
+    neighbors: Vec<usize>,
+    /// Cut links of this shard carry bandwidth-adaptive bidirectional links,
+    /// whose demand arbitration needs posedge/negedge phase separation.
+    phase_wait: bool,
+    sync: Arc<SyncShared>,
+    params: RunParams,
+    done: Sender<JobResult>,
+}
+
+struct JobResult {
+    shard: usize,
+    tiles: Vec<NetworkNode>,
+    stats: NetworkStats,
+}
+
+/// Spins until every listed shard's counter reaches `floor`.
+fn wait_for(counters: &[AtomicU64], neighbors: &[usize], floor: u64) {
+    for &n in neighbors {
+        let counter = &counters[n];
+        let mut spins = 0u32;
+        while counter.load(Ordering::Acquire) < floor {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(128) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// The per-worker simulation loop for one shard.
+fn run_shard(job: Job) -> JobResult {
+    let Job {
+        shard,
+        mut tiles,
+        mut inbound,
+        outbound,
+        neighbors,
+        phase_wait,
+        sync,
+        params: p,
+        done: _done,
+    } = job;
+    let end = p.start + p.cycles;
+    let quantum = p.quantum.max(1);
+    let check_every = if p.fast_forward || p.detect_completion {
+        quantum.max(p.slack).max(1)
+    } else {
+        0
+    };
+    let mut now = p.start;
+
+    loop {
+        if now >= end || sync.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let check_end = if check_every > 0 {
+            (now + check_every).min(end)
+        } else {
+            end
+        };
+        while now < check_end {
+            let batch_end = (now + quantum).min(check_end);
+            // Drift gate at the batch boundary: neighbors must have finished
+            // the negative edge of `now - slack` before we simulate `now+1`.
+            wait_for(&sync.negedge_done, &neighbors, now.saturating_sub(p.slack));
+            while now < batch_end {
+                let next = now + 1;
+                // Drain boundary mailboxes. Strict mode consumes exactly the
+                // prefix the sequential schedule would have made visible by
+                // this cycle; loose modes take everything available.
+                let (flit_limit, credit_limit) = if p.strict {
+                    (Some(next), Some(next - 1))
+                } else {
+                    (None, None)
+                };
+                for link in &outbound {
+                    link.apply_credits(credit_limit);
+                }
+                for rx in &mut inbound {
+                    rx.deliver(flit_limit);
+                }
+                for tile in &mut tiles {
+                    tile.posedge(next);
+                }
+                sync.posedge_done[shard].store(next, Ordering::Release);
+                if phase_wait {
+                    // Bandwidth-adaptive links publish demand at the negative
+                    // edge into a single shared slot; hold our negedge until
+                    // the neighbors' posedges have read the previous value.
+                    wait_for(&sync.posedge_done, &neighbors, next);
+                }
+                for tile in &mut tiles {
+                    tile.negedge(next);
+                }
+                for rx in &mut inbound {
+                    rx.emit_credits(next);
+                }
+                sync.negedge_done[shard].store(next, Ordering::Release);
+                now = next;
+            }
+            if p.barrier_batches {
+                // Classic periodic synchronization: every shard meets at the
+                // batch boundary, so clock drift re-zeroes each batch instead
+                // of sitting persistently at the bound.
+                sync.barrier.wait();
+            }
+        }
+
+        if check_every > 0 {
+            // Rendezvous first: neighbor-synchronized shards may be several
+            // cycles apart inside the check interval, and a shard must not
+            // snapshot its idle state while a slower neighbor is still
+            // pushing flits into its inbound mailboxes.
+            sync.barrier.wait();
+            // Publish this shard's idle / completion state. Tile probes are
+            // O(1) (aggregate occupancy counters); in-flight mailbox flits
+            // count as busy so a pending cross-shard delivery blocks both
+            // fast-forward jumps and completion.
+            let busy: u64 = tiles
+                .iter()
+                .map(|t| t.buffered_flits() as u64 + u64::from(!t.is_idle()))
+                .sum::<u64>()
+                + inbound.iter().map(|rx| rx.in_flight() as u64).sum::<u64>();
+            let next = tiles
+                .iter()
+                .filter_map(|t| t.next_event(now))
+                .min()
+                .unwrap_or(u64::MAX);
+            let fin = tiles.iter().all(NetworkNode::finished);
+            sync.busy[shard].store(busy, Ordering::Release);
+            sync.next_event[shard].store(next, Ordering::Release);
+            sync.finished[shard].store(fin, Ordering::Release);
+            sync.barrier.wait();
+            if shard == 0 {
+                let all_idle = sync.busy.iter().all(|b| b.load(Ordering::Acquire) == 0);
+                let all_finished = sync.finished.iter().all(|f| f.load(Ordering::Acquire));
+                if p.detect_completion && all_idle && all_finished {
+                    sync.stop.store(true, Ordering::Release);
+                    sync.final_cycle.store(now, Ordering::Release);
+                }
+                let mut skip = 0;
+                if p.fast_forward && all_idle {
+                    let next = sync
+                        .next_event
+                        .iter()
+                        .map(|e| e.load(Ordering::Acquire))
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    if next == u64::MAX {
+                        skip = end;
+                    } else if next > now + 1 {
+                        skip = next.min(end) - 1;
+                    }
+                }
+                sync.skip_to.store(skip, Ordering::Release);
+            }
+            sync.barrier.wait();
+            let skip = sync.skip_to.load(Ordering::Acquire);
+            if skip > now {
+                let skipped = skip - now;
+                for tile in &mut tiles {
+                    tile.set_cycle(skip);
+                    tile.router_mut().stats_mut().fast_forwarded_cycles += skipped;
+                }
+                now = skip;
+                sync.posedge_done[shard].store(skip, Ordering::Release);
+                sync.negedge_done[shard].store(skip, Ordering::Release);
+            }
+        }
+    }
+
+    // End-of-run rendezvous: every sender has completed its final negative
+    // edge once all shards pass this barrier, so flushing the inbound
+    // mailboxes into the real ingress buffers is race-free and complete.
+    sync.barrier.wait();
+    for rx in inbound.drain(..) {
+        rx.flush();
+    }
+
+    let mut stats = NetworkStats::new();
+    for tile in &tiles {
+        stats.merge(tile.stats());
+    }
+    JobResult {
+        shard,
+        tiles,
+        stats,
+    }
+}
+
+/// A persistent pool of shard workers, spawned once and fed one job per shard
+/// per `run()` call.
+pub struct ShardRuntime {
+    workers: Vec<WorkerHandle>,
+}
+
+struct WorkerHandle {
+    jobs: Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Default for ShardRuntime {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl ShardRuntime {
+    /// Creates a runtime with `workers` persistent worker threads (more are
+    /// spawned on demand when a run needs them).
+    pub fn new(workers: usize) -> Self {
+        let mut rt = Self {
+            workers: Vec::new(),
+        };
+        rt.ensure_workers(workers);
+        rt
+    }
+
+    /// Number of live worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Spawns additional workers until at least `count` exist.
+    pub fn ensure_workers(&mut self, count: usize) {
+        while self.workers.len() < count {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
+            let idx = self.workers.len();
+            let handle = std::thread::Builder::new()
+                .name(format!("hornet-shard-{idx}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let done = job.done.clone();
+                        let result = run_shard(job);
+                        let _ = done.send(result);
+                    }
+                })
+                .expect("spawn shard worker");
+            self.workers.push(WorkerHandle {
+                jobs: tx,
+                handle: Some(handle),
+            });
+        }
+    }
+
+    /// Runs the tiles for `params.cycles` cycles under `partition`, returning
+    /// them (in their original order) together with the final cycle and
+    /// per-shard statistics. Boundary links are wired before and unwired
+    /// after the run, so the returned tiles are indistinguishable from tiles
+    /// simulated sequentially — including, in strict mode, bit-identical
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` does not cover exactly `nodes.len()` tiles, or
+    /// if a worker thread died.
+    pub fn run(
+        &mut self,
+        nodes: Vec<NetworkNode>,
+        partition: &Partition,
+        params: RunParams,
+    ) -> RunOutcome {
+        assert_eq!(
+            partition.node_count(),
+            nodes.len(),
+            "partition must cover every tile exactly once"
+        );
+        let shards = partition.shard_count();
+        self.ensure_workers(shards);
+
+        let mut nodes = nodes;
+        let wiring = wire_boundaries(&mut nodes, partition);
+
+        // Split the tiles into per-shard vectors (ranges are contiguous and
+        // ascending, so concatenation restores the original order).
+        let mut per_shard_tiles: Vec<Vec<NetworkNode>> = Vec::with_capacity(shards);
+        {
+            let mut iter = nodes.into_iter();
+            for range in partition.ranges() {
+                per_shard_tiles.push(iter.by_ref().take(range.len()).collect());
+            }
+        }
+
+        let end = params.start + params.cycles;
+        let sync = Arc::new(SyncShared::new(shards, params.start, end));
+        let (done_tx, done_rx) = channel::<JobResult>();
+        let mut inbound = wiring.inbound;
+        let mut outbound = wiring.outbound;
+        let mut neighbors = wiring.neighbors;
+        for (shard, tiles) in per_shard_tiles.into_iter().enumerate() {
+            let job = Job {
+                shard,
+                tiles,
+                inbound: std::mem::take(&mut inbound[shard]),
+                outbound: std::mem::take(&mut outbound[shard]),
+                neighbors: std::mem::take(&mut neighbors[shard]),
+                phase_wait: wiring.phase_wait[shard],
+                sync: Arc::clone(&sync),
+                params,
+                done: done_tx.clone(),
+            };
+            self.workers[shard].jobs.send(job).expect("worker alive");
+        }
+        drop(done_tx);
+
+        let mut results: Vec<Option<JobResult>> = (0..shards).map(|_| None).collect();
+        for _ in 0..shards {
+            let result = done_rx.recv().expect("shard worker died");
+            let slot = result.shard;
+            results[slot] = Some(result);
+        }
+
+        let mut nodes = Vec::with_capacity(partition.node_count());
+        let mut per_shard_stats = Vec::with_capacity(shards);
+        for result in results.into_iter().map(|r| r.expect("all shards report")) {
+            nodes.extend(result.tiles);
+            per_shard_stats.push(result.stats);
+        }
+
+        unwire_boundaries(&mut nodes, &wiring.directed);
+
+        let final_cycle = if sync.stop.load(Ordering::Acquire) {
+            sync.final_cycle.load(Ordering::Acquire)
+        } else {
+            end
+        };
+        RunOutcome {
+            nodes,
+            final_cycle,
+            per_shard_stats,
+            cut_links: wiring.cut_count,
+        }
+    }
+}
+
+impl Drop for ShardRuntime {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Replacing the sender closes the channel; the worker's recv()
+            // then errors out and the thread exits.
+            let (dead_tx, _) = channel::<Job>();
+            w.jobs = dead_tx;
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Everything `run` needs to hand boundary endpoints to workers and restore
+/// the direct wiring afterwards.
+struct Wiring {
+    /// Directed cut links as `(src_index, dst_index)` node-index pairs.
+    directed: Vec<(usize, usize)>,
+    inbound: Vec<Vec<BoundaryRx>>,
+    outbound: Vec<Vec<Arc<BoundaryLink>>>,
+    neighbors: Vec<Vec<usize>>,
+    phase_wait: Vec<bool>,
+    cut_count: usize,
+}
+
+/// Replaces the shared ingress buffers of every cut link with boundary
+/// mailboxes and collects the per-shard endpoint lists.
+fn wire_boundaries(nodes: &mut [NetworkNode], partition: &Partition) -> Wiring {
+    let shards = partition.shard_count();
+    // The topology's edge list, as the routers see it; the partitioner turns
+    // it into the cut set and the shard-neighbor relation (one source of
+    // truth for both the wiring and the reported layout).
+    let edges = nodes
+        .iter()
+        .flat_map(|node| {
+            let id = node.node();
+            node.neighbors()
+                .iter()
+                .filter(move |nb| nb.index() > id.index())
+                .map(move |&nb| (id, nb))
+        })
+        .collect::<Vec<_>>();
+    let cuts = partition.cut_links(edges.iter().copied());
+    let neighbors = partition.shard_adjacency(edges.iter().copied());
+
+    let mut wiring = Wiring {
+        directed: Vec::with_capacity(cuts.len() * 2),
+        inbound: (0..shards).map(|_| Vec::new()).collect(),
+        outbound: (0..shards).map(|_| Vec::new()).collect(),
+        neighbors,
+        phase_wait: vec![false; shards],
+        cut_count: cuts.len(),
+    };
+    for &(a, b) in &cuts {
+        let (a, b) = (a.index(), b.index());
+        for (src, dst) in [(a, b), (b, a)] {
+            let src_id = nodes[src].node();
+            let dst_id = nodes[dst].node();
+            let (s_src, s_dst) = (partition.shard_of(src_id), partition.shard_of(dst_id));
+            let targets = nodes[dst].router().ingress_buffers_from(src_id);
+            // Seed the sender's credit view with the buffer's current
+            // occupancy: wiring may happen mid-simulation, with flits from a
+            // previous run still resident downstream.
+            let links: Vec<Arc<BoundaryLink>> = targets
+                .iter()
+                .map(|t| BoundaryLink::with_resident(t.capacity(), t.occupancy()))
+                .collect();
+            let channels: Vec<EgressChannel> = links
+                .iter()
+                .map(|l| EgressChannel::Boundary(Arc::clone(l)))
+                .collect();
+            nodes[src]
+                .router_mut()
+                .swap_egress_channels(dst_id, channels);
+            if nodes[src].router().has_bidir_toward(dst_id) {
+                wiring.phase_wait[s_src] = true;
+                wiring.phase_wait[s_dst] = true;
+            }
+            wiring.outbound[s_src].extend(links.iter().cloned());
+            wiring.inbound[s_dst].extend(
+                links
+                    .into_iter()
+                    .zip(targets)
+                    .map(|(link, target)| BoundaryRx::new(link, target)),
+            );
+            wiring.directed.push((src, dst));
+        }
+    }
+    wiring
+}
+
+/// Restores direct shared-buffer wiring on every previously cut link. The
+/// workers flushed all in-flight mailbox flits into the real ingress buffers
+/// before returning, so this is a pure pointer swap.
+fn unwire_boundaries(nodes: &mut [NetworkNode], directed: &[(usize, usize)]) {
+    for &(src, dst) in directed {
+        let src_id = nodes[src].node();
+        let dst_id = nodes[dst].node();
+        let channels: Vec<EgressChannel> = nodes[dst]
+            .router()
+            .ingress_buffers_from(src_id)
+            .into_iter()
+            .map(EgressChannel::Local)
+            .collect();
+        nodes[src]
+            .router_mut()
+            .swap_egress_channels(dst_id, channels);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the partitioner's invariants: every tile is
+//! covered exactly once, shards are contiguous index blocks, mesh partitions
+//! are row-aligned and balanced to within one row, and the reported cut set
+//! is exactly the set of edges crossing shard boundaries.
+
+use hornet_net::ids::NodeId;
+use hornet_shard::Partitioner;
+use proptest::prelude::*;
+
+fn mesh_edges(w: usize, h: usize) -> Vec<(NodeId, NodeId)> {
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let id = y * w + x;
+            if x + 1 < w {
+                edges.push((NodeId::from(id), NodeId::from(id + 1)));
+            }
+            if y + 1 < h {
+                edges.push((NodeId::from(id), NodeId::from(id + w)));
+            }
+        }
+    }
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Mesh partitions cover every tile exactly once, in contiguous
+    /// row-aligned blocks balanced to within one row.
+    #[test]
+    fn mesh_partition_covers_contiguously_and_balances_rows(
+        width in 1usize..20,
+        height in 1usize..20,
+        shards in 1usize..12,
+    ) {
+        let p = Partitioner::new(shards).mesh(width, height);
+        prop_assert!(p.shard_count() >= 1);
+        prop_assert!(p.shard_count() <= shards.min(height));
+        prop_assert_eq!(p.node_count(), width * height);
+
+        // Coverage: the ranges tile 0..n contiguously, in order.
+        let mut covered = 0usize;
+        for s in 0..p.shard_count() {
+            let r = p.range(s);
+            prop_assert_eq!(r.start, covered, "shards must be contiguous");
+            prop_assert!(!r.is_empty(), "no shard may be empty");
+            covered = r.end;
+            // Row alignment: block boundaries sit on row boundaries.
+            prop_assert_eq!(r.start % width, 0);
+            prop_assert_eq!(r.end % width, 0);
+            // Every tile in the range maps back to this shard.
+            for i in r {
+                prop_assert_eq!(p.shard_of(NodeId::from(i)), s);
+            }
+        }
+        prop_assert_eq!(covered, width * height, "every tile exactly once");
+
+        // Balance: shard heights (in rows) differ by at most one.
+        let rows: Vec<usize> = (0..p.shard_count()).map(|s| p.tiles(s) / width).collect();
+        let max = rows.iter().max().unwrap();
+        let min = rows.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "row balance violated: {:?}", rows);
+    }
+
+    /// The reported cut set is exactly the set of mesh links that cross a
+    /// shard boundary; for a row-aligned partition that is `width` links per
+    /// boundary, the minimum any contiguous partition can achieve.
+    #[test]
+    fn mesh_cut_set_is_exact_and_minimal(
+        width in 1usize..16,
+        height in 2usize..16,
+        shards in 2usize..8,
+    ) {
+        let p = Partitioner::new(shards).mesh(width, height);
+        let edges = mesh_edges(width, height);
+        let cuts = p.cut_links(edges.iter().copied());
+        for &(a, b) in &cuts {
+            prop_assert!(p.shard_of(a) != p.shard_of(b), "cut link must cross shards");
+        }
+        let crossing = edges
+            .iter()
+            .filter(|&&(a, b)| p.shard_of(a) != p.shard_of(b))
+            .count();
+        prop_assert_eq!(cuts.len(), crossing, "cut set must be exhaustive");
+        // Row-aligned blocks: one boundary per adjacent shard pair, each
+        // cutting exactly `width` vertical links.
+        prop_assert_eq!(cuts.len(), (p.shard_count() - 1) * width);
+    }
+
+    /// Linear partitions cover every tile exactly once in contiguous blocks
+    /// balanced to within one tile.
+    #[test]
+    fn linear_partition_covers_contiguously_and_balances_tiles(
+        nodes in 1usize..200,
+        shards in 1usize..17,
+    ) {
+        let p = Partitioner::new(shards).linear(nodes);
+        prop_assert_eq!(p.node_count(), nodes);
+        let mut covered = 0usize;
+        let mut sizes = Vec::new();
+        for s in 0..p.shard_count() {
+            let r = p.range(s);
+            prop_assert_eq!(r.start, covered);
+            prop_assert!(!r.is_empty());
+            sizes.push(r.len());
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, nodes);
+        prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+}

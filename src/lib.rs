@@ -16,6 +16,9 @@
 //! * [`cpu`] — the built-in MIPS-like core model, its assembler, the network
 //!   syscall interface, and the Pin-like native frontend.
 //! * [`power`] — ORION-like energy accounting and a HOTSPOT-like thermal grid.
+//! * [`shard`] — the sharded execution runtime: topology-aware partitioning,
+//!   lock-free boundary mailboxes on cut links, and slack-based neighbor
+//!   synchronization.
 //! * [`sim`] — the parallel simulation engine and the top-level
 //!   [`sim::SimulationBuilder`] façade.
 //!
@@ -46,6 +49,7 @@ pub use hornet_cpu as cpu;
 pub use hornet_mem as mem;
 pub use hornet_net as net;
 pub use hornet_power as power;
+pub use hornet_shard as shard;
 pub use hornet_traffic as traffic;
 
 /// Commonly used types, re-exported for convenient glob import.

@@ -1,0 +1,130 @@
+//! Integration tests of the sharded execution runtime's central correctness
+//! claims on the paper's canonical 8×8 mesh:
+//!
+//! * multi-thread `CycleAccurate` and `Slack(0)` are *bit-identical* to
+//!   sequential simulation — same packet count, same latency totals, same
+//!   latency histogram — under both uniform-random and transpose traffic;
+//! * `Slack(k)` with `k > 0` preserves functional correctness exactly (every
+//!   packet delivered once, no routing failures) with only bounded timing
+//!   skew;
+//! * the report surfaces the shard layout (row-aligned partition, cut set).
+
+use hornet::prelude::*;
+use hornet::traffic::pattern::SyntheticPattern;
+
+fn run(
+    threads: usize,
+    sync: SyncMode,
+    pattern: SyntheticPattern,
+    seed: u64,
+) -> hornet::net::NetworkStats {
+    SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(8, 8))
+        .routing(RoutingKind::Xy)
+        .traffic(TrafficKind::pattern(pattern, 0.03))
+        .warmup_cycles(200)
+        .measured_cycles(2_500)
+        .threads(threads)
+        .sync(sync)
+        .seed(seed)
+        .build()
+        .expect("valid configuration")
+        .run()
+        .expect("runs")
+        .network
+}
+
+fn assert_bit_identical(
+    seq: &hornet::net::NetworkStats,
+    par: &hornet::net::NetworkStats,
+    what: &str,
+) {
+    assert_eq!(
+        par.delivered_packets, seq.delivered_packets,
+        "{what}: packets"
+    );
+    assert_eq!(par.delivered_flits, seq.delivered_flits, "{what}: flits");
+    assert_eq!(par.injected_flits, seq.injected_flits, "{what}: injected");
+    assert_eq!(
+        par.total_packet_latency, seq.total_packet_latency,
+        "{what}: latency"
+    );
+    assert_eq!(par.total_hops, seq.total_hops, "{what}: hops");
+    assert_eq!(
+        par.latency_histogram, seq.latency_histogram,
+        "{what}: latency histogram"
+    );
+    assert_eq!(par.busy_cycles, seq.busy_cycles, "{what}: busy cycles");
+}
+
+#[test]
+fn cycle_accurate_and_slack0_are_bit_identical_on_8x8() {
+    for pattern in [SyntheticPattern::UniformRandom, SyntheticPattern::Transpose] {
+        let seq = run(1, SyncMode::CycleAccurate, pattern.clone(), 42);
+        for threads in [2usize, 4] {
+            for sync in [SyncMode::CycleAccurate, SyncMode::Slack(0)] {
+                let par = run(threads, sync, pattern.clone(), 42);
+                assert_bit_identical(
+                    &seq,
+                    &par,
+                    &format!("{pattern:?} {threads} threads {sync:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn slack_bounds_timing_skew_without_losing_packets() {
+    let seq = run(1, SyncMode::CycleAccurate, SyntheticPattern::Transpose, 7);
+    let par = run(4, SyncMode::Slack(5), SyntheticPattern::Transpose, 7);
+    assert_eq!(par.routing_failures, 0, "no flit may ever be lost");
+    // At a fixed horizon, up to a handful of packets may straddle the window
+    // edge differently under bounded drift; delivery counts stay within a
+    // fraction of a percent and latency fidelity stays high.
+    let diff = par.delivered_packets.abs_diff(seq.delivered_packets);
+    assert!(
+        diff as f64 <= (seq.delivered_packets as f64 * 0.03).max(8.0),
+        "delivered {} vs {}",
+        par.delivered_packets,
+        seq.delivered_packets
+    );
+    // The skew each shard can accumulate is bounded by the slack, but which
+    // packets land inside the fixed measurement window still depends on host
+    // scheduling; keep the fidelity bound loose enough for busy CI runners.
+    let accuracy = par.latency_accuracy_vs(&seq);
+    assert!(
+        accuracy > 0.7,
+        "slack-5 latency accuracy {accuracy} too low"
+    );
+}
+
+#[test]
+fn report_surfaces_row_aligned_shard_layout() {
+    let report = SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(8, 8))
+        .traffic(TrafficKind::pattern(SyntheticPattern::Transpose, 0.03))
+        .measured_cycles(500)
+        .threads(4)
+        .seed(1)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let shard = report.shard.expect("parallel run records shard layout");
+    assert_eq!(shard.shards, 4);
+    assert_eq!(shard.tiles_per_shard, vec![16, 16, 16, 16], "two rows each");
+    assert_eq!(shard.cut_links, 24, "three row boundaries × eight links");
+    // Sequential runs have no shard layout.
+    let seq = SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(4, 4))
+        .traffic(TrafficKind::pattern(SyntheticPattern::Transpose, 0.03))
+        .measured_cycles(200)
+        .threads(1)
+        .seed(1)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(seq.shard.is_none());
+}

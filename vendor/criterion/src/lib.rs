@@ -8,6 +8,12 @@
 //! also appended as CSV to `target/criterion-lite.csv` so successive runs can
 //! be diffed.
 //!
+//! Like real criterion, sub-millisecond routines are *batched*: when a probe
+//! call finishes faster than [`MIN_SAMPLE_TIME`], `Bencher::iter` runs enough
+//! back-to-back iterations per sample to exceed it and reports the mean
+//! per-iteration time, so timer resolution and call overhead do not swamp
+//! fast benches (e.g. `router_pipeline` at low injection rates).
+//!
 //! This is intentionally small — no statistical outlier analysis, no HTML
 //! reports — but the numbers are honest wall-clock medians and stable enough
 //! to track the ≥1.3× regressions/improvements the repo's bench trajectory
@@ -94,19 +100,38 @@ impl BenchmarkGroup<'_> {
     }
 }
 
+/// A sample below this duration is re-measured as a batch of iterations.
+pub const MIN_SAMPLE_TIME: Duration = Duration::from_millis(1);
+
+/// Upper bound on the batch size (keeps pathological nanosecond routines
+/// from running forever).
+const MAX_BATCH: u128 = 65_536;
+
 /// Timer handle passed to the closure of `bench_function`.
 pub struct Bencher {
     sample: Duration,
 }
 
 impl Bencher {
-    /// Times one execution of `routine` (per sample, criterion-style batching
-    /// is not implemented — each sample is a single call).
+    /// Times `routine`, batching sub-millisecond routines: a probe call that
+    /// finishes under [`MIN_SAMPLE_TIME`] is followed by a timed batch sized
+    /// to take roughly twice that, and the recorded sample is the mean
+    /// per-iteration duration of the batch.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         let start = Instant::now();
-        let out = routine();
-        self.sample = start.elapsed();
-        black_box(out);
+        black_box(routine());
+        let probe = start.elapsed();
+        if probe >= MIN_SAMPLE_TIME {
+            self.sample = probe;
+            return;
+        }
+        let target = (2 * MIN_SAMPLE_TIME).as_nanos();
+        let batch = (target / probe.as_nanos().max(1)).clamp(1, MAX_BATCH) as u32;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.sample = start.elapsed() / batch;
     }
 }
 
@@ -196,8 +221,40 @@ mod tests {
             })
         });
         group.finish();
-        // 1 warm-up + 3 samples.
-        assert_eq!(runs, 4);
+        // 1 warm-up + 3 samples, each a probe call plus a batch: a noop
+        // routine is far below MIN_SAMPLE_TIME, so batching must kick in.
+        assert!(
+            runs > 4,
+            "sub-millisecond bench must be batched, ran {runs}"
+        );
+    }
+
+    #[test]
+    fn slow_routines_are_not_batched() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0u32;
+        group.sample_size(2).bench_function("slow", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::thread::sleep(MIN_SAMPLE_TIME);
+            })
+        });
+        group.finish();
+        // 1 warm-up + 2 samples, one call each.
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn batched_samples_report_per_iteration_time() {
+        let mut b = Bencher {
+            sample: Duration::ZERO,
+        };
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        // The recorded sample is per-iteration: near the 50 µs sleep, far
+        // below the ~2 ms total the batch took.
+        assert!(b.sample >= Duration::from_micros(40), "{:?}", b.sample);
+        assert!(b.sample < Duration::from_micros(1_000), "{:?}", b.sample);
     }
 
     #[test]
