@@ -1,0 +1,193 @@
+//! Distributed-backend throughput emitter: measures simulated cycles per
+//! second with shards in separate OS processes and writes `BENCH_dist.json`
+//! so successive PRs can track multi-process scaling deltas.
+//!
+//! Scenarios (16×16 mesh, transpose, rate 0.05):
+//!
+//! * `seq` — single-process, single-thread baseline;
+//! * `dist4_unix_ca` — 4 worker processes over Unix sockets in bit-exact
+//!   CycleAccurate mode. The emitter *asserts* the identical packet count
+//!   and latency histogram as the sequential baseline — the distributed
+//!   backend's core correctness claim — and records the verdict;
+//! * `dist4_unix_slack5` — 4 processes with 5-cycle slack (the
+//!   accuracy-vs-speed knob across process boundaries);
+//! * `dist2_shm_ca` — 2 processes over a shared-memory segment (skipped
+//!   fail-soft where shared mappings are unavailable).
+//!
+//! The worker binary (`hornet-dist`) is looked up next to this executable;
+//! scenarios degrade fail-soft (recorded as absent) when it is missing, so
+//! the emitter never breaks a build.
+//!
+//! Usage: `cargo run --release -p hornet-bench --bin bench_dist
+//! [--baseline FILE] [--out FILE]`.
+
+use hornet_bench::extract_current_section;
+use hornet_dist::spec::{DistSpec, DistSync, RunKind};
+use hornet_dist::{run_distributed, DistOutcome, HostOptions, TransportKind};
+use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const CYCLES: u64 = 3_000;
+const SEED: u64 = 1;
+
+fn spec(sync: DistSync) -> DistSpec {
+    DistSpec {
+        width: 16,
+        height: 16,
+        pattern: SyntheticPattern::Transpose,
+        process: InjectionProcess::Bernoulli { rate: 0.05 },
+        packet_len: 4,
+        seed: SEED,
+        sync,
+        run: RunKind::Cycles(CYCLES),
+        ..DistSpec::default()
+    }
+}
+
+fn worker_bin() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe.parent()?.join(if cfg!(windows) {
+        "hornet-dist.exe"
+    } else {
+        "hornet-dist"
+    });
+    bin.exists().then_some(bin)
+}
+
+fn run_dist(
+    sync: DistSync,
+    workers: usize,
+    transport: TransportKind,
+) -> Option<(f64, DistOutcome)> {
+    let opts = HostOptions {
+        workers,
+        transport,
+        worker_cmd: Some(worker_bin()?),
+        verbose: false,
+    };
+    let s = spec(sync);
+    let start = Instant::now();
+    match run_distributed(&s, &opts) {
+        Ok(outcome) => {
+            let secs = start.elapsed().as_secs_f64();
+            Some((CYCLES as f64 / secs, outcome))
+        }
+        Err(e) => {
+            eprintln!("bench_dist: scenario failed fail-soft: {e}");
+            None
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    let mut out_path = "BENCH_dist.json".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next(),
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut current_fields = Vec::new();
+
+    // Sequential baseline.
+    let s = spec(DistSync::CycleAccurate);
+    let start = Instant::now();
+    let (seq_stats, _, _) = s.run_sequential().expect("sequential baseline");
+    let seq_secs = start.elapsed().as_secs_f64();
+    let seq_cps = CYCLES as f64 / seq_secs;
+    println!(
+        "{:<22} {:>12.0} cycles/sec ({} packets delivered)",
+        "seq", seq_cps, seq_stats.delivered_packets
+    );
+    current_fields.push(format!("\"seq_cycles_per_sec\": {seq_cps:.0}"));
+    current_fields.push(format!(
+        "\"seq_delivered_packets\": {}",
+        seq_stats.delivered_packets
+    ));
+
+    // 4 processes, Unix sockets, bit-exact.
+    if let Some((cps, outcome)) = run_dist(DistSync::CycleAccurate, 4, TransportKind::UnixSocket) {
+        println!(
+            "{:<22} {:>12.0} cycles/sec ({} packets delivered)",
+            "dist4_unix_ca", cps, outcome.stats.delivered_packets
+        );
+        let identical = outcome.stats.delivered_packets == seq_stats.delivered_packets
+            && outcome.stats.total_packet_latency == seq_stats.total_packet_latency
+            && outcome.stats.latency_histogram == seq_stats.latency_histogram;
+        assert!(
+            identical,
+            "4-process CycleAccurate must deliver the identical packet count and \
+             latency histogram as sequential (got {} vs {} packets)",
+            outcome.stats.delivered_packets, seq_stats.delivered_packets
+        );
+        current_fields.push(format!("\"dist4_unix_ca_cycles_per_sec\": {cps:.0}"));
+        current_fields.push(format!("\"dist4_unix_ca_bit_identical\": {identical}"));
+        current_fields.push(format!("\"dist4_cut_links\": {}", outcome.cut_links));
+    }
+
+    // 4 processes, 5-cycle slack.
+    if let Some((cps, outcome)) = run_dist(DistSync::Slack(5), 4, TransportKind::UnixSocket) {
+        println!(
+            "{:<22} {:>12.0} cycles/sec ({} packets delivered)",
+            "dist4_unix_slack5", cps, outcome.stats.delivered_packets
+        );
+        current_fields.push(format!("\"dist4_unix_slack5_cycles_per_sec\": {cps:.0}"));
+        current_fields.push(format!(
+            "\"dist4_unix_slack5_speedup\": {:.3}",
+            cps / seq_cps
+        ));
+    }
+
+    // 2 processes over shared memory (fail-soft where unavailable).
+    if hornet_shard::sys::shared_mappings_available() {
+        if let Some((cps, outcome)) = run_dist(DistSync::CycleAccurate, 2, TransportKind::Shm) {
+            println!(
+                "{:<22} {:>12.0} cycles/sec ({} packets delivered)",
+                "dist2_shm_ca", cps, outcome.stats.delivered_packets
+            );
+            let identical = outcome.stats.delivered_packets == seq_stats.delivered_packets
+                && outcome.stats.latency_histogram == seq_stats.latency_histogram;
+            assert!(
+                identical,
+                "2-process shm CycleAccurate must be bit-identical"
+            );
+            current_fields.push(format!("\"dist2_shm_ca_cycles_per_sec\": {cps:.0}"));
+            current_fields.push(format!("\"dist2_shm_ca_bit_identical\": {identical}"));
+        }
+    } else {
+        println!("dist2_shm_ca           skipped (no shared mappings on this platform)");
+    }
+
+    let baseline = baseline_path
+        .and_then(|p| std::fs::read_to_string(&p).ok())
+        .and_then(|c| extract_current_section(&c));
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"dist\",\n");
+    json.push_str(&format!(
+        "  \"config\": \"transpose rate=0.05 seed={SEED} mesh16@{CYCLES} cycles, multi-process\",\n"
+    ));
+    if let Some(b) = baseline {
+        json.push_str(&format!("  \"baseline\": {b},\n"));
+    }
+    json.push_str(&format!(
+        "  \"current\": {{ {} }}\n",
+        current_fields.join(", ")
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write output file");
+    println!("wrote {out_path}");
+}

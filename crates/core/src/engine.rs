@@ -38,7 +38,7 @@ use hornet_net::geometry::Topology;
 use hornet_net::ids::Cycle;
 use hornet_net::network::{Network, NetworkNode};
 use hornet_net::stats::NetworkStats;
-use hornet_shard::{Partitioner, RunParams, ShardRuntime};
+use hornet_shard::{Partitioner, RunParams, ShardConfig, ShardRuntime};
 use serde::{Deserialize, Serialize};
 
 /// How simulation shards synchronize.
@@ -93,6 +93,10 @@ pub struct EngineConfig {
     /// Skip idle periods (no buffered flits, no pending injections) by
     /// advancing all clocks to the next injection event.
     pub fast_forward: bool,
+    /// Pin each shard worker thread to one host core (Linux
+    /// `sched_setaffinity`; a no-op elsewhere). Takes effect when the worker
+    /// pool is created, i.e. on the first parallel run.
+    pub pin_threads: bool,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +105,7 @@ impl Default for EngineConfig {
             threads: 1,
             sync: SyncMode::CycleAccurate,
             fast_forward: false,
+            pin_threads: false,
         }
     }
 }
@@ -338,9 +343,10 @@ impl ParallelEngine {
             fast_forward: self.config.fast_forward,
             detect_completion,
         };
-        let runtime = self
-            .runtime
-            .get_or_insert_with(|| ShardRuntime::new(partition.shard_count()));
+        let pin = self.config.pin_threads;
+        let runtime = self.runtime.get_or_insert_with(|| {
+            ShardRuntime::with_config(partition.shard_count(), ShardConfig { pin_to_cores: pin })
+        });
         let nodes = std::mem::take(&mut self.nodes);
         let outcome = runtime.run(nodes, &partition, params);
         self.nodes = outcome.nodes;
@@ -397,6 +403,7 @@ mod tests {
                 threads,
                 sync,
                 fast_forward: false,
+                pin_threads: false,
             },
         )
     }
@@ -549,6 +556,7 @@ mod tests {
                     threads: 2,
                     sync: SyncMode::CycleAccurate,
                     fast_forward: ff,
+                    pin_threads: false,
                 },
             );
             engine.run(2_000);
@@ -602,6 +610,7 @@ mod tests {
                     threads,
                     sync,
                     fast_forward: true,
+                    pin_threads: false,
                 },
             );
             assert!(engine.run_to_completion(1_000_000), "must complete");

@@ -77,6 +77,33 @@ pub struct ShardSummary {
     /// Physical links cut by the partition (each carried by lock-free
     /// boundary mailboxes during the run).
     pub cut_links: usize,
+    /// Per-shard statistics, merged by each shard's worker (feeds
+    /// load-imbalance diagnostics and, for distributed runs, per-process
+    /// reporting).
+    pub per_shard: Vec<NetworkStats>,
+}
+
+impl ShardSummary {
+    /// Delivered packets per shard — the quickest load-balance signal.
+    pub fn per_shard_delivered(&self) -> Vec<u64> {
+        self.per_shard.iter().map(|s| s.delivered_packets).collect()
+    }
+
+    /// Ratio of the busiest shard's busy cycles to the average (1.0 =
+    /// perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.per_shard.is_empty() {
+            return 1.0;
+        }
+        let busy: Vec<u64> = self.per_shard.iter().map(|s| s.busy_cycles).collect();
+        let max = *busy.iter().max().unwrap() as f64;
+        let avg = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
 }
 
 /// The complete result of one simulation run.

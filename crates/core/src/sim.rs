@@ -143,6 +143,7 @@ pub struct SimulationBuilder {
     threads: usize,
     sync: SyncMode,
     fast_forward: bool,
+    pin_threads: bool,
     power: Option<PowerOptions>,
 }
 
@@ -173,6 +174,7 @@ impl SimulationBuilder {
             threads: 1,
             sync: SyncMode::CycleAccurate,
             fast_forward: false,
+            pin_threads: false,
             power: None,
         }
     }
@@ -271,6 +273,13 @@ impl SimulationBuilder {
     /// Enables fast-forwarding of idle periods.
     pub fn fast_forward(mut self, enabled: bool) -> Self {
         self.fast_forward = enabled;
+        self
+    }
+
+    /// Pins shard worker threads to host cores (Linux `sched_setaffinity`;
+    /// a no-op elsewhere).
+    pub fn pin_threads(mut self, enabled: bool) -> Self {
+        self.pin_threads = enabled;
         self
     }
 
@@ -397,6 +406,7 @@ impl SimulationBuilder {
                 threads: self.threads,
                 sync: self.sync,
                 fast_forward: self.fast_forward,
+                pin_threads: self.pin_threads,
             },
         );
         Ok(Simulation {
@@ -415,6 +425,7 @@ fn shard_summary(engine: &ParallelEngine) -> Option<ShardSummary> {
         shards: info.shards,
         tiles_per_shard: info.tiles_per_shard.clone(),
         cut_links: info.cut_links,
+        per_shard: info.per_shard_stats.clone(),
     })
 }
 

@@ -1,0 +1,185 @@
+//! The distributed simulation host binary.
+//!
+//! ```text
+//! hornet-dist host --workers 4 --transport unix --mesh 16x16 \
+//!     --pattern transpose --rate 0.05 --cycles 10000 [--sync ca|slack:K|periodic:N]
+//! hornet-dist host --workers 4 --to-completion 1000000 --max-packets 50 --fast-forward
+//! hornet-dist worker --connect ADDR --family unix|tcp     (internal)
+//! ```
+//!
+//! `host` partitions the mesh, spawns N copies of this binary in `worker`
+//! mode, wires the cut links onto the chosen transport, runs the workload
+//! and prints the merged report (optionally as JSON with `--json`).
+
+use hornet_dist::spec::{DistSpec, DistSync, RunKind};
+use hornet_dist::{run_distributed, HostOptions, TransportKind};
+use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hornet-dist host [--workers N] [--transport unix|tcp|shm] [--mesh WxH]\n    \
+         [--pattern transpose|uniform|bitcomp|shuffle|tornado|neighbor] [--rate F]\n    \
+         [--cycles N | --to-completion MAX] [--packet-len N] [--max-packets N]\n    \
+         [--seed N] [--sync ca|slack:K|periodic:N] [--fast-forward] [--json] [--verbose]\n  \
+         hornet-dist worker --connect ADDR --family unix|tcp  (internal)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("worker") => worker(&args[1..]),
+        Some("host") => host(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn worker(args: &[String]) -> ExitCode {
+    let mut connect = None;
+    let mut family = "unix".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = it.next().cloned(),
+            "--family" => {
+                if let Some(f) = it.next() {
+                    family = f.clone();
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(connect) = connect else {
+        return usage();
+    };
+    match hornet_dist::worker::worker_main(&connect, &family) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("[worker] error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn host(args: &[String]) -> ExitCode {
+    let mut spec = DistSpec {
+        width: 16,
+        height: 16,
+        run: RunKind::Cycles(10_000),
+        ..DistSpec::default()
+    };
+    let mut opts = HostOptions {
+        workers: 4,
+        ..HostOptions::default()
+    };
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().cloned().unwrap_or_default();
+        match a.as_str() {
+            "--workers" => opts.workers = next().parse().unwrap_or(4),
+            "--transport" => {
+                let t = next();
+                match TransportKind::parse(&t) {
+                    Some(k) => opts.transport = k,
+                    None => return usage(),
+                }
+            }
+            "--mesh" => {
+                let m = next();
+                let Some((w, h)) = m.split_once('x') else {
+                    return usage();
+                };
+                spec.width = w.parse().unwrap_or(16);
+                spec.height = h.parse().unwrap_or(16);
+            }
+            "--pattern" => {
+                spec.pattern = match next().as_str() {
+                    "transpose" => SyntheticPattern::Transpose,
+                    "uniform" => SyntheticPattern::UniformRandom,
+                    "bitcomp" => SyntheticPattern::BitComplement,
+                    "shuffle" => SyntheticPattern::Shuffle,
+                    "tornado" => SyntheticPattern::Tornado,
+                    "neighbor" => SyntheticPattern::NearestNeighbor,
+                    _ => return usage(),
+                }
+            }
+            "--rate" => {
+                spec.process = InjectionProcess::Bernoulli {
+                    rate: next().parse().unwrap_or(0.05),
+                }
+            }
+            "--cycles" => spec.run = RunKind::Cycles(next().parse().unwrap_or(10_000)),
+            "--to-completion" => {
+                spec.run = RunKind::ToCompletion {
+                    max: next().parse().unwrap_or(1_000_000),
+                }
+            }
+            "--packet-len" => spec.packet_len = next().parse().unwrap_or(4),
+            "--max-packets" => spec.max_packets = next().parse().ok(),
+            "--seed" => spec.seed = next().parse().unwrap_or(1),
+            "--sync" => {
+                let s = next();
+                spec.sync = if s == "ca" {
+                    DistSync::CycleAccurate
+                } else if let Some(k) = s.strip_prefix("slack:") {
+                    DistSync::Slack(k.parse().unwrap_or(0))
+                } else if let Some(n) = s.strip_prefix("periodic:") {
+                    DistSync::Periodic(n.parse().unwrap_or(1))
+                } else {
+                    return usage();
+                };
+            }
+            "--fast-forward" => spec.fast_forward = true,
+            "--json" => json = true,
+            "--verbose" => opts.verbose = true,
+            _ => return usage(),
+        }
+    }
+
+    let start = std::time::Instant::now();
+    match run_distributed(&spec, &opts) {
+        Ok(outcome) => {
+            let secs = start.elapsed().as_secs_f64();
+            let cps = outcome.final_cycle as f64 / secs.max(1e-9);
+            if json {
+                println!(
+                    "{{ \"shards\": {}, \"cut_links\": {}, \"final_cycle\": {}, \
+                     \"completed\": {}, \"delivered_packets\": {}, \"avg_packet_latency\": {:.3}, \
+                     \"cycles_per_sec\": {:.0} }}",
+                    outcome.shards,
+                    outcome.cut_links,
+                    outcome.final_cycle,
+                    outcome.completed,
+                    outcome.stats.delivered_packets,
+                    outcome.stats.avg_packet_latency(),
+                    cps
+                );
+            } else {
+                println!(
+                    "mesh {}x{} | {} shards ({:?}) | {} cut links | sync {}",
+                    spec.width,
+                    spec.height,
+                    outcome.shards,
+                    opts.transport,
+                    outcome.cut_links,
+                    spec.sync.label()
+                );
+                println!(
+                    "cycle {} | {} packets delivered | avg latency {:.2} | {:.0} cycles/sec",
+                    outcome.final_cycle,
+                    outcome.stats.delivered_packets,
+                    outcome.stats.avg_packet_latency(),
+                    cps
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[host] error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,728 @@
+//! The distributed host (coordinator): spawns worker processes, runs the
+//! topology-aware partitioner, ships each worker its shard of the workload,
+//! wires the data plane, and drives credit-counting termination detection
+//! over probe rounds.
+//!
+//! The coordinator never touches simulation state: it only orchestrates.
+//! Quiescence is decided exactly like the in-process detector — two probe
+//! waves over the workers' ledgers; wave two must observe unchanged ledger
+//! versions, which makes wave one a consistent global snapshot (the rounds
+//! are serialized through the coordinator, so every wave-one value was
+//! simultaneously current between the waves).
+
+use crate::protocol::{CtrlMsg, TransportKind};
+use crate::shm::{ShmSegment, ShmTransport};
+use crate::spec::{DistSpec, RunKind};
+use crate::transport::{InProcTransport, Stream};
+use crate::wire::{read_frame, write_frame};
+use crate::wiring::{build_shards, cut_channels, cut_pairs, partition_for};
+use crate::worker::{ShardWorker, WorkerControl};
+use hornet_net::stats::NetworkStats;
+use hornet_shard::termination::{credits_balance, LedgerState, Quiescence, QuiescenceScan};
+use hornet_shard::Partition;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Options of a distributed run.
+#[derive(Clone, Debug)]
+pub struct HostOptions {
+    /// Worker process count (clamped to the partition's shard count).
+    pub workers: usize,
+    /// Data-plane transport.
+    pub transport: TransportKind,
+    /// Worker executable (defaults to the current executable, which must
+    /// understand the `worker` subcommand — the `hornet-dist` binary does).
+    pub worker_cmd: Option<PathBuf>,
+    /// Print orchestration progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for HostOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            transport: TransportKind::UnixSocket,
+            worker_cmd: None,
+            verbose: false,
+        }
+    }
+}
+
+/// The merged result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistOutcome {
+    /// Statistics merged over all shards.
+    pub stats: NetworkStats,
+    /// Per-shard statistics, in shard order.
+    pub per_shard: Vec<NetworkStats>,
+    /// The cycle the run stopped at (max over shards).
+    pub final_cycle: u64,
+    /// For completion runs: every agent finished and the network drained.
+    pub completed: bool,
+    /// Physical links cut by the partition.
+    pub cut_links: usize,
+    /// Number of shards (worker processes) used.
+    pub shards: usize,
+}
+
+fn proto_err(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("protocol: {msg}"))
+}
+
+/// One worker connection from the coordinator's side. (The control
+/// connection is identified by shard id — accept order — which need not
+/// match the spawn order of the child processes, so the `Child` handles are
+/// kept separately and only reaped after every socket is shut down.)
+struct WorkerConn {
+    writer: Stream,
+}
+
+impl WorkerConn {
+    fn send(&mut self, msg: &CtrlMsg) -> io::Result<()> {
+        write_frame(&mut self.writer, &msg.encode())?;
+        self.writer.flush()
+    }
+}
+
+/// What the per-connection reader threads forward to the main loop.
+enum Event {
+    Msg(usize, CtrlMsg),
+    Gone(usize),
+}
+
+/// Scratch directory for this run's sockets/segments.
+fn scratch_dir() -> io::Result<PathBuf> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut dir = std::env::temp_dir();
+    dir.push(format!(
+        "hornet-dist-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Runs `spec` across worker processes. Returns the merged outcome; every
+/// spawned process, socket and segment is cleaned up on all paths.
+pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOutcome> {
+    let partition = partition_for(spec, opts.workers);
+    let shards = partition.shard_count();
+    if shards < 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a distributed run needs at least two shards",
+        ));
+    }
+    let dir = scratch_dir()?;
+    let result = run_distributed_inner(spec, opts, &partition, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_distributed_inner(
+    spec: &DistSpec,
+    opts: &HostOptions,
+    partition: &Partition,
+    dir: &std::path::Path,
+) -> io::Result<DistOutcome> {
+    let shards = partition.shard_count();
+    let geometry = spec.network_config().geometry;
+    let cut_links = cut_pairs(&geometry, partition).len();
+
+    // Control plane listener.
+    #[allow(dead_code)] // the Tcp arm is the non-unix fallback
+    enum CtrlListener {
+        #[cfg(unix)]
+        Unix(UnixListener),
+        Tcp(TcpListener),
+    }
+    let (listener, ctrl_addr, ctrl_family) = {
+        #[cfg(unix)]
+        {
+            let path = dir.join("control.sock");
+            let l = UnixListener::bind(&path)?;
+            (
+                CtrlListener::Unix(l),
+                path.to_string_lossy().into_owned(),
+                "unix",
+            )
+        }
+        #[cfg(not(unix))]
+        {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            let addr = l.local_addr()?.to_string();
+            (CtrlListener::Tcp(l), addr, "tcp")
+        }
+    };
+
+    // Spawn the workers.
+    let worker_cmd = match &opts.worker_cmd {
+        Some(p) => p.clone(),
+        None => std::env::current_exe()?,
+    };
+    let mut children: Vec<Child> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let child = Command::new(&worker_cmd)
+            .arg("worker")
+            .arg("--connect")
+            .arg(&ctrl_addr)
+            .arg("--family")
+            .arg(ctrl_family)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        children.push(child);
+    }
+    // From here on, kill the children on any error path.
+    let run = (|| -> io::Result<DistOutcome> {
+        // Accept one control connection per worker (order = shard id).
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut conns: Vec<WorkerConn> = Vec::with_capacity(shards);
+        let mut readers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let stream = loop {
+                let res = match &listener {
+                    #[cfg(unix)]
+                    CtrlListener::Unix(l) => {
+                        l.set_nonblocking(true)?;
+                        l.accept().map(|(s, _)| Stream::Unix(s))
+                    }
+                    CtrlListener::Tcp(l) => {
+                        l.set_nonblocking(true)?;
+                        l.accept().map(|(s, _)| Stream::Tcp(s))
+                    }
+                };
+                match res {
+                    Ok(s) => break s,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if Instant::now() > deadline {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "workers did not connect",
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            set_stream_blocking(&stream)?;
+            let mut reader = BufReader::new(stream.try_clone()?);
+            let CtrlMsg::Hello { version } = CtrlMsg::decode(&read_frame(&mut reader)?)? else {
+                return Err(proto_err("expected Hello"));
+            };
+            if version != crate::wire::WIRE_VERSION {
+                return Err(proto_err("wire version mismatch"));
+            }
+            if opts.verbose {
+                eprintln!("[host] worker {shard} connected");
+            }
+            conns.push(WorkerConn { writer: stream });
+            readers.push(reader);
+        }
+
+        // Assign shards.
+        for (shard, conn) in conns.iter_mut().enumerate() {
+            let listen = match opts.transport {
+                TransportKind::UnixSocket => dir
+                    .join(format!("data-{shard}.sock"))
+                    .to_string_lossy()
+                    .into_owned(),
+                _ => String::new(),
+            };
+            conn.send(&CtrlMsg::Assign {
+                shard: shard as u32,
+                shards: shards as u32,
+                spec: spec.clone(),
+                transport: opts.transport,
+                listen,
+            })?;
+        }
+
+        // Collect data-plane addresses, then broadcast the map.
+        let mut addrs: Vec<String> = Vec::with_capacity(shards);
+        for reader in readers.iter_mut() {
+            let CtrlMsg::Listening { addr } = CtrlMsg::decode(&read_frame(reader)?)? else {
+                return Err(proto_err("expected Listening"));
+            };
+            addrs.push(addr);
+        }
+        // Shared-memory segments must exist before the map is broadcast.
+        let mut segments: Vec<Arc<ShmSegment>> = Vec::new();
+        match opts.transport {
+            TransportKind::Shm => {
+                let channels = cut_channels(
+                    &geometry,
+                    partition,
+                    spec.vcs_per_port as usize,
+                    spec.vc_capacity as usize,
+                );
+                let mut pair_paths: Vec<(u32, u32, String)> = Vec::new();
+                let mut pairs: Vec<(usize, usize)> = channels
+                    .iter()
+                    .map(|c| (c.src_shard.min(c.dst_shard), c.src_shard.max(c.dst_shard)))
+                    .collect();
+                pairs.sort_unstable();
+                pairs.dedup();
+                for (lo, hi) in pairs {
+                    let lo_caps: Vec<usize> = channels
+                        .iter()
+                        .filter(|c| c.src_shard == lo && c.dst_shard == hi)
+                        .map(|c| c.capacity)
+                        .collect();
+                    let hi_caps: Vec<usize> = channels
+                        .iter()
+                        .filter(|c| c.src_shard == hi && c.dst_shard == lo)
+                        .map(|c| c.capacity)
+                        .collect();
+                    let layout = ShmTransport::layout(lo_caps, hi_caps);
+                    let path = dir.join(format!("seg-{lo}-{hi}.shm"));
+                    segments.push(ShmSegment::create(&path, &layout)?);
+                    pair_paths.push((lo as u32, hi as u32, path.to_string_lossy().into_owned()));
+                }
+                for conn in conns.iter_mut() {
+                    conn.send(&CtrlMsg::ShmMap {
+                        entries: pair_paths.clone(),
+                    })?;
+                }
+            }
+            _ => {
+                let entries: Vec<(u32, String)> = addrs
+                    .iter()
+                    .enumerate()
+                    .map(|(s, a)| (s as u32, a.clone()))
+                    .collect();
+                for conn in conns.iter_mut() {
+                    conn.send(&CtrlMsg::PeerMap {
+                        entries: entries.clone(),
+                    })?;
+                }
+            }
+        }
+
+        for conn in conns.iter_mut() {
+            conn.send(&CtrlMsg::Start)?;
+        }
+        if opts.verbose {
+            eprintln!("[host] started {shards} workers ({:?})", opts.transport);
+        }
+
+        // Post-start: reader threads feed one event queue.
+        let (tx, rx): (Sender<Event>, Receiver<Event>) = channel();
+        let mut reader_threads = Vec::new();
+        for (shard, mut reader) in readers.into_iter().enumerate() {
+            let tx = tx.clone();
+            reader_threads.push(std::thread::spawn(move || loop {
+                match read_frame(&mut reader) {
+                    Ok(frame) => match CtrlMsg::decode(&frame) {
+                        Ok(msg) => {
+                            if tx.send(Event::Msg(shard, msg)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => {
+                            let _ = tx.send(Event::Gone(shard));
+                            return;
+                        }
+                    },
+                    Err(_) => {
+                        let _ = tx.send(Event::Gone(shard));
+                        return;
+                    }
+                }
+            }));
+        }
+        drop(tx);
+
+        let outcome = supervise(spec, &mut conns, &rx, shards, cut_links)?;
+        let dbg = std::env::var_os("HORNET_DIST_DEBUG").is_some();
+        if dbg {
+            eprintln!("[host] supervise complete");
+        }
+
+        // Shut every control socket down first (drop alone is not enough:
+        // the reader threads hold clones, so the workers would never see
+        // EOF), and only then reap the children — a control connection's
+        // shard id is its accept order, which need not match spawn order.
+        for conn in conns.iter_mut() {
+            conn.writer.shutdown();
+        }
+        for child in children.iter_mut() {
+            let _ = child.wait();
+        }
+        children.clear();
+        drop(conns);
+        for t in reader_threads {
+            let _ = t.join();
+        }
+        if dbg {
+            eprintln!("[host] workers reaped, readers joined");
+        }
+        Ok(outcome)
+    })();
+
+    // Cleanup on error: kill any child still tracked.
+    if run.is_err() {
+        for child in &mut children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    run
+}
+
+/// The post-start supervision loop: collects Done reports and, when the run
+/// needs it, drives probe-round termination detection.
+fn supervise(
+    spec: &DistSpec,
+    conns: &mut [WorkerConn],
+    rx: &Receiver<Event>,
+    shards: usize,
+    cut_links: usize,
+) -> io::Result<DistOutcome> {
+    let detector = spec.needs_detector();
+    let mut done: Vec<Option<(u64, bool, NetworkStats)>> = (0..shards).map(|_| None).collect();
+    let mut n_done = 0usize;
+    let mut round = 0u64;
+    let mut stopped = false;
+    let mut last_skip = 0u64;
+    let mut pending: Vec<(usize, CtrlMsg)> = Vec::new();
+
+    // Collects one probe round's replies; `pending` buffers unrelated
+    // messages (Done reports) that arrive interleaved.
+    let collect_round = |round: u64,
+                         done: &mut Vec<Option<(u64, bool, NetworkStats)>>,
+                         n_done: &mut usize,
+                         pending: &mut Vec<(usize, CtrlMsg)>|
+     -> io::Result<Option<Vec<(u64, LedgerState)>>> {
+        let mut replies: Vec<Option<(u64, LedgerState)>> = (0..shards).map(|_| None).collect();
+        let mut got = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got < shards {
+            let timeout = deadline
+                .checked_duration_since(Instant::now())
+                .unwrap_or(Duration::ZERO);
+            match rx.recv_timeout(timeout) {
+                Ok(Event::Msg(
+                    shard,
+                    CtrlMsg::Ledger {
+                        round: r,
+                        version,
+                        state,
+                    },
+                )) if r == round => {
+                    if replies[shard].replace((version, state)).is_none() {
+                        got += 1;
+                    }
+                }
+                Ok(Event::Msg(_, CtrlMsg::Ledger { .. })) => {} // stale round
+                Ok(Event::Msg(
+                    shard,
+                    CtrlMsg::Done {
+                        final_now,
+                        completed,
+                        stats,
+                    },
+                )) => {
+                    if done[shard]
+                        .replace((final_now, completed, *stats))
+                        .is_none()
+                    {
+                        *n_done += 1;
+                    }
+                }
+                Ok(Event::Msg(shard, msg)) => pending.push((shard, msg)),
+                Ok(Event::Gone(shard)) => {
+                    if done[shard].is_none() {
+                        return Err(proto_err("worker exited before reporting"));
+                    }
+                    // A finished worker's channel closing is not an error,
+                    // but it can no longer answer probes.
+                    return Ok(None);
+                }
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => return Err(proto_err("all workers gone")),
+            }
+        }
+        Ok(Some(replies.into_iter().map(|r| r.unwrap()).collect()))
+    };
+
+    while n_done < shards {
+        // Drain buffered and fresh events.
+        for (shard, msg) in pending.drain(..) {
+            if let CtrlMsg::Done {
+                final_now,
+                completed,
+                stats,
+            } = msg
+            {
+                if done[shard]
+                    .replace((final_now, completed, *stats))
+                    .is_none()
+                {
+                    n_done += 1;
+                }
+            }
+        }
+        if n_done >= shards {
+            break;
+        }
+        if detector && !stopped {
+            // Wave one.
+            round += 1;
+            for conn in conns.iter_mut() {
+                let _ = conn.send(&CtrlMsg::Probe { round });
+            }
+            let wave1 = collect_round(round, &mut done, &mut n_done, &mut pending)?;
+            if let Some(wave1) = wave1 {
+                let states: Vec<LedgerState> = wave1.iter().map(|&(_, s)| s).collect();
+                if credits_balance(&states) {
+                    // Wave two: versions must not have moved.
+                    round += 1;
+                    for conn in conns.iter_mut() {
+                        let _ = conn.send(&CtrlMsg::Probe { round });
+                    }
+                    let wave2 = collect_round(round, &mut done, &mut n_done, &mut pending)?;
+                    if let Some(wave2) = wave2 {
+                        let verdict = QuiescenceScan::run(shards, |i| wave1[i], |i| wave2[i].0);
+                        if let Quiescence::Idle {
+                            finished,
+                            next_event,
+                            cycle,
+                        } = verdict
+                        {
+                            let completion = matches!(spec.run, RunKind::ToCompletion { .. });
+                            if completion && finished {
+                                stopped = true;
+                                for conn in conns.iter_mut() {
+                                    let _ = conn.send(&CtrlMsg::Stop);
+                                }
+                            } else if spec.fast_forward {
+                                let end = spec.cycle_budget();
+                                let target = if next_event == u64::MAX {
+                                    end
+                                } else {
+                                    next_event.saturating_sub(1).min(end)
+                                };
+                                if target > cycle && target > last_skip {
+                                    last_skip = target;
+                                    for conn in conns.iter_mut() {
+                                        let _ = conn.send(&CtrlMsg::Skip { target });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Gentle pacing between probe rounds.
+            std::thread::sleep(Duration::from_micros(500));
+        } else {
+            match rx.recv_timeout(Duration::from_secs(300)) {
+                Ok(Event::Msg(
+                    shard,
+                    CtrlMsg::Done {
+                        final_now,
+                        completed,
+                        stats,
+                    },
+                )) => {
+                    if std::env::var_os("HORNET_DIST_DEBUG").is_some() {
+                        eprintln!("[host] Done from w{shard} at {final_now}");
+                    }
+                    if done[shard]
+                        .replace((final_now, completed, *stats))
+                        .is_none()
+                    {
+                        n_done += 1;
+                    }
+                }
+                Ok(Event::Msg(..)) => {}
+                Ok(Event::Gone(shard)) => {
+                    if std::env::var_os("HORNET_DIST_DEBUG").is_some() {
+                        eprintln!("[host] Gone from w{shard}");
+                    }
+                    if done[shard].is_none() {
+                        return Err(proto_err("worker exited before reporting"));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "workers made no progress for 300 s",
+                    ))
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(proto_err("all workers gone")),
+            }
+        }
+    }
+
+    let mut merged = NetworkStats::new();
+    let mut per_shard = Vec::with_capacity(shards);
+    let mut final_cycle = 0u64;
+    let mut completed = true;
+    for entry in done.into_iter() {
+        let (final_now, done_completed, stats) = entry.expect("all workers reported");
+        merged.merge(&stats);
+        per_shard.push(stats);
+        final_cycle = final_cycle.max(final_now);
+        completed &= done_completed;
+    }
+    Ok(DistOutcome {
+        stats: merged,
+        per_shard,
+        final_cycle,
+        completed,
+        cut_links,
+        shards,
+    })
+}
+
+fn set_stream_blocking(s: &Stream) -> io::Result<()> {
+    match s {
+        #[cfg(unix)]
+        Stream::Unix(u) => u.set_nonblocking(false),
+        Stream::Tcp(t) => t.set_nonblocking(false),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process reference backend: the same worker loop and transport trait,
+// with shards on threads and the SPSC rings shared directly. This is both
+// the `BoundaryTransport` implementation the thread backend corresponds to
+// and the harness the dist worker loop is unit-tested against.
+// ---------------------------------------------------------------------------
+
+/// Runs `spec` on `workers` in-process threads over [`InProcTransport`]s,
+/// with the caller thread acting as the termination detector. Functionally
+/// equivalent to `run_distributed` minus the process isolation.
+pub fn run_threaded(spec: &DistSpec, workers: usize) -> io::Result<DistOutcome> {
+    let partition = partition_for(spec, workers);
+    let shards = partition.shard_count();
+    if shards < 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "need at least two shards",
+        ));
+    }
+    let geometry = spec.network_config().geometry;
+    let cut_links = cut_pairs(&geometry, &partition).len();
+    let parts = build_shards(spec, &partition)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+
+    let controls: Vec<WorkerControl> = (0..shards).map(|_| WorkerControl::new()).collect();
+    let stop_all: Vec<Arc<AtomicBool>> = controls.iter().map(|c| Arc::clone(&c.stop)).collect();
+    let skip_all: Vec<Arc<AtomicU64>> = controls.iter().map(|c| Arc::clone(&c.skip_to)).collect();
+    let ledgers: Vec<_> = controls.iter().map(|c| Arc::clone(&c.ledger)).collect();
+
+    // One transport pair per adjacency.
+    let mut endpoints: HashMap<(usize, usize), InProcTransport> = HashMap::new();
+    let mut workers_vec = Vec::with_capacity(shards);
+    let mut parts = parts;
+    // Pre-create pairs from each shard's neighbor list.
+    let adjacency: Vec<Vec<usize>> = parts
+        .iter()
+        .map(|p| p.neighbors.iter().map(|n| n.peer).collect())
+        .collect();
+    for (s, peers) in adjacency.iter().enumerate() {
+        for &t in peers {
+            if s < t {
+                let (a, b) = InProcTransport::pair(0);
+                endpoints.insert((s, t), a);
+                endpoints.insert((t, s), b);
+            }
+        }
+    }
+    for part in parts.drain(..) {
+        let shard = part.shard;
+        let mut worker = ShardWorker::from_parts(part, spec, controls[shard].clone());
+        for peer in worker.transports_plan() {
+            let t = endpoints
+                .remove(&(shard, peer))
+                .expect("transport endpoint for adjacency");
+            worker.transports.push(Box::new(t));
+        }
+        workers_vec.push(worker);
+    }
+
+    let budget = spec.cycle_budget();
+    let handles: Vec<_> = workers_vec
+        .into_iter()
+        .map(|w| std::thread::spawn(move || w.run(0, budget)))
+        .collect();
+
+    // Caller thread = detector (when the run needs one; otherwise it just
+    // joins the workers below).
+    let detector = spec.needs_detector();
+    let completion = matches!(spec.run, RunKind::ToCompletion { .. });
+    let mut last_skip = 0u64;
+    while detector && handles.iter().any(|h| !h.is_finished()) {
+        {
+            let verdict =
+                QuiescenceScan::run(shards, |i| ledgers[i].read(), |i| ledgers[i].version());
+            if let Quiescence::Idle {
+                finished,
+                next_event,
+                cycle,
+            } = verdict
+            {
+                if completion && finished {
+                    for stop in &stop_all {
+                        stop.store(true, Ordering::Release);
+                    }
+                } else if spec.fast_forward {
+                    let target = if next_event == u64::MAX {
+                        budget
+                    } else {
+                        next_event.saturating_sub(1).min(budget)
+                    };
+                    if target > cycle && target > last_skip {
+                        last_skip = target;
+                        for skip in &skip_all {
+                            skip.fetch_max(target, Ordering::AcqRel);
+                        }
+                    }
+                }
+            }
+        }
+        // Pace the scan; detection latency is bounded by the sleep while the
+        // workers keep every core.
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let mut merged = NetworkStats::new();
+    let mut per_shard = Vec::with_capacity(shards);
+    let mut final_cycle = 0;
+    let mut completed = true;
+    for handle in handles {
+        let outcome = handle
+            .join()
+            .map_err(|_| proto_err("worker thread panicked"))??;
+        merged.merge(&outcome.stats);
+        final_cycle = final_cycle.max(outcome.final_now);
+        completed &= outcome.completed;
+        per_shard.push(outcome.stats);
+    }
+    if matches!(spec.run, RunKind::Cycles(_)) {
+        completed = true;
+    }
+    Ok(DistOutcome {
+        stats: merged,
+        per_shard,
+        final_cycle,
+        completed,
+        cut_links,
+        shards,
+    })
+}

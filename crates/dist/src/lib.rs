@@ -1,0 +1,45 @@
+//! # hornet-dist
+//!
+//! The distributed execution backend of HORNET-RS: shards of the simulated
+//! system hosted in separate OS processes (and, via TCP, separate machines),
+//! communicating over pluggable boundary transports, with credit-counting
+//! distributed termination detection instead of any global barrier.
+//!
+//! The pieces:
+//!
+//! * [`transport`] — the [`BoundaryTransport`](transport::BoundaryTransport)
+//!   trait abstracting one shard adjacency's cut-link channel (flits forward,
+//!   credits backward, negedge progress alongside), with the in-process SPSC
+//!   ring, shared-memory segment ([`shm`]) and length-prefixed Unix/TCP
+//!   socket implementations;
+//! * [`wiring`] — the canonical cut-channel enumeration every process
+//!   derives independently from `(geometry, partition, router parameters)`,
+//!   which doubles as the wire addressing scheme;
+//! * [`worker`] — the transport-generic conservative shard loop (the same
+//!   algorithm as the thread backend) and the worker process entry point;
+//! * [`host`] — the coordinator: spawns workers, runs the topology-aware
+//!   partitioner, ships each worker the spec, wires the data plane, and
+//!   drives probe-round credit-counting termination
+//!   ([`hornet_shard::termination`]);
+//! * [`spec`] / [`protocol`] / [`wire`] — the workload description and the
+//!   byte-level control/data protocol.
+//!
+//! In `CycleAccurate` (or `Slack(0)`) mode a distributed run is bit-identical
+//! to the sequential simulation of the same spec — same packet count, same
+//! latency totals, same log₂ latency histogram — because flits carry their
+//! visibility stamps and every transport upholds the same delivery contract
+//! as the in-process mailboxes.
+
+pub mod host;
+pub mod protocol;
+pub mod shm;
+pub mod spec;
+pub mod transport;
+pub mod wire;
+pub mod wiring;
+pub mod worker;
+
+pub use host::{run_distributed, run_threaded, DistOutcome, HostOptions};
+pub use protocol::TransportKind;
+pub use spec::{DistSpec, DistSync, RunKind};
+pub use transport::{BoundaryTransport, InProcTransport, SocketTransport};

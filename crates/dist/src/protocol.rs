@@ -1,0 +1,348 @@
+//! The coordinator↔worker control protocol.
+//!
+//! A handful of length-prefixed frames: handshake and shard assignment, data
+//! plane address exchange, the start signal, the credit-counting termination
+//! probe/ledger/directive loop, and the final per-shard report.
+
+use crate::spec::DistSpec;
+use crate::wire::{decode_stats, encode_stats, Dec, Enc, WIRE_VERSION};
+use hornet_net::stats::NetworkStats;
+use hornet_shard::termination::LedgerState;
+use std::io;
+
+/// How worker data planes reach each other.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Unix domain stream sockets (co-located processes).
+    UnixSocket,
+    /// TCP loopback / cross-machine sockets.
+    Tcp,
+    /// Shared-memory segments (co-located processes).
+    Shm,
+}
+
+impl TransportKind {
+    /// Wire tag.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            TransportKind::UnixSocket => 0,
+            TransportKind::Tcp => 1,
+            TransportKind::Shm => 2,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_u8(v: u8) -> io::Result<Self> {
+        Ok(match v {
+            0 => TransportKind::UnixSocket,
+            1 => TransportKind::Tcp,
+            2 => TransportKind::Shm,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad transport kind",
+                ))
+            }
+        })
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "unix" => Some(TransportKind::UnixSocket),
+            "tcp" => Some(TransportKind::Tcp),
+            "shm" => Some(TransportKind::Shm),
+            _ => None,
+        }
+    }
+}
+
+/// A control-plane message.
+#[derive(Debug)]
+pub enum CtrlMsg {
+    /// Worker → coordinator: first frame after connecting.
+    Hello {
+        /// Must equal [`WIRE_VERSION`].
+        version: u32,
+    },
+    /// Coordinator → worker: shard assignment.
+    Assign {
+        /// This worker's shard.
+        shard: u32,
+        /// Total shard count.
+        shards: u32,
+        /// The workload.
+        spec: DistSpec,
+        /// Data-plane transport.
+        transport: TransportKind,
+        /// Unix data-plane listen path for this worker (empty for TCP, which
+        /// binds an ephemeral port, and for shm).
+        listen: String,
+    },
+    /// Worker → coordinator: data plane bound at `addr` (empty for shm).
+    Listening {
+        /// The worker's data-plane address.
+        addr: String,
+    },
+    /// Coordinator → worker: every worker's data-plane address
+    /// (socket transports) as `(shard, addr)`.
+    PeerMap {
+        /// Shard → address pairs.
+        entries: Vec<(u32, String)>,
+    },
+    /// Coordinator → worker: shared-memory segment paths per adjacency as
+    /// `(lo, hi, path)`.
+    ShmMap {
+        /// Adjacency → segment path triples.
+        entries: Vec<(u32, u32, String)>,
+    },
+    /// Coordinator → worker: begin simulating.
+    Start,
+    /// Coordinator → worker: report your termination ledger.
+    Probe {
+        /// Round identifier echoed in the reply.
+        round: u64,
+    },
+    /// Worker → coordinator: ledger reply.
+    Ledger {
+        /// Echoed probe round.
+        round: u64,
+        /// Ledger version at read time.
+        version: u64,
+        /// The ledger state.
+        state: LedgerState,
+    },
+    /// Coordinator → worker: fast-forward every clock to `target`.
+    Skip {
+        /// Jump target cycle.
+        target: u64,
+    },
+    /// Coordinator → worker: completion declared, stop simulating.
+    Stop,
+    /// Worker → coordinator: run finished.
+    Done {
+        /// The cycle the worker stopped at.
+        final_now: u64,
+        /// Every local agent finished and the shard drained.
+        completed: bool,
+        /// Per-shard statistics.
+        stats: Box<NetworkStats>,
+    },
+    /// Worker → worker: identifies the connecting shard on a data socket.
+    PeerHello {
+        /// The connecting shard.
+        from: u32,
+    },
+}
+
+impl CtrlMsg {
+    /// Encodes the message as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            CtrlMsg::Hello { version } => {
+                e.u8(0).u32(*version);
+            }
+            CtrlMsg::Assign {
+                shard,
+                shards,
+                spec,
+                transport,
+                listen,
+            } => {
+                e.u8(1).u32(*shard).u32(*shards).u8(transport.to_u8());
+                e.str(listen);
+                spec.encode(&mut e);
+            }
+            CtrlMsg::Listening { addr } => {
+                e.u8(2).str(addr);
+            }
+            CtrlMsg::PeerMap { entries } => {
+                e.u8(3).u32(entries.len() as u32);
+                for (shard, addr) in entries {
+                    e.u32(*shard).str(addr);
+                }
+            }
+            CtrlMsg::ShmMap { entries } => {
+                e.u8(4).u32(entries.len() as u32);
+                for (lo, hi, path) in entries {
+                    e.u32(*lo).u32(*hi).str(path);
+                }
+            }
+            CtrlMsg::Start => {
+                e.u8(5);
+            }
+            CtrlMsg::Probe { round } => {
+                e.u8(6).u64(*round);
+            }
+            CtrlMsg::Ledger {
+                round,
+                version,
+                state,
+            } => {
+                e.u8(7).u64(*round).u64(*version);
+                e.u64(state.busy)
+                    .u8(u8::from(state.finished))
+                    .u64(state.next_event)
+                    .u64(state.sent)
+                    .u64(state.recv)
+                    .u64(state.cycle);
+            }
+            CtrlMsg::Skip { target } => {
+                e.u8(8).u64(*target);
+            }
+            CtrlMsg::Stop => {
+                e.u8(9);
+            }
+            CtrlMsg::Done {
+                final_now,
+                completed,
+                stats,
+            } => {
+                e.u8(10).u64(*final_now).u8(u8::from(*completed));
+                encode_stats(&mut e, stats);
+            }
+            CtrlMsg::PeerHello { from } => {
+                e.u8(11).u32(*from);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(buf: &[u8]) -> io::Result<CtrlMsg> {
+        let mut d = Dec::new(buf);
+        Ok(match d.u8()? {
+            0 => CtrlMsg::Hello { version: d.u32()? },
+            1 => {
+                let shard = d.u32()?;
+                let shards = d.u32()?;
+                let transport = TransportKind::from_u8(d.u8()?)?;
+                let listen = d.str()?;
+                let spec = DistSpec::decode(&mut d)?;
+                CtrlMsg::Assign {
+                    shard,
+                    shards,
+                    spec,
+                    transport,
+                    listen,
+                }
+            }
+            2 => CtrlMsg::Listening { addr: d.str()? },
+            3 => {
+                let n = d.u32()?;
+                let entries = (0..n)
+                    .map(|_| Ok((d.u32()?, d.str()?)))
+                    .collect::<io::Result<Vec<_>>>()?;
+                CtrlMsg::PeerMap { entries }
+            }
+            4 => {
+                let n = d.u32()?;
+                let entries = (0..n)
+                    .map(|_| Ok((d.u32()?, d.u32()?, d.str()?)))
+                    .collect::<io::Result<Vec<_>>>()?;
+                CtrlMsg::ShmMap { entries }
+            }
+            5 => CtrlMsg::Start,
+            6 => CtrlMsg::Probe { round: d.u64()? },
+            7 => CtrlMsg::Ledger {
+                round: d.u64()?,
+                version: d.u64()?,
+                state: LedgerState {
+                    busy: d.u64()?,
+                    finished: d.u8()? != 0,
+                    next_event: d.u64()?,
+                    sent: d.u64()?,
+                    recv: d.u64()?,
+                    cycle: d.u64()?,
+                },
+            },
+            8 => CtrlMsg::Skip { target: d.u64()? },
+            9 => CtrlMsg::Stop,
+            10 => CtrlMsg::Done {
+                final_now: d.u64()?,
+                completed: d.u8()? != 0,
+                stats: Box::new(decode_stats(&mut d)?),
+            },
+            11 => CtrlMsg::PeerHello { from: d.u32()? },
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad control tag {t}"),
+                ))
+            }
+        })
+    }
+}
+
+/// The hello every worker opens with.
+pub fn hello() -> CtrlMsg {
+    CtrlMsg::Hello {
+        version: WIRE_VERSION,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_messages_round_trip() {
+        let msgs = vec![
+            hello(),
+            CtrlMsg::Assign {
+                shard: 2,
+                shards: 4,
+                spec: DistSpec::default(),
+                transport: TransportKind::UnixSocket,
+                listen: "/tmp/x.sock".into(),
+            },
+            CtrlMsg::Listening {
+                addr: "127.0.0.1:4000".into(),
+            },
+            CtrlMsg::PeerMap {
+                entries: vec![(0, "a".into()), (1, "b".into())],
+            },
+            CtrlMsg::ShmMap {
+                entries: vec![(0, 1, "/dev/shm/x".into())],
+            },
+            CtrlMsg::Start,
+            CtrlMsg::Probe { round: 7 },
+            CtrlMsg::Ledger {
+                round: 7,
+                version: 42,
+                state: LedgerState {
+                    busy: 0,
+                    finished: true,
+                    next_event: u64::MAX,
+                    sent: 100,
+                    recv: 100,
+                    cycle: 500,
+                },
+            },
+            CtrlMsg::Skip { target: 999 },
+            CtrlMsg::Stop,
+            CtrlMsg::Done {
+                final_now: 800,
+                completed: true,
+                stats: Box::new(NetworkStats::new()),
+            },
+            CtrlMsg::PeerHello { from: 3 },
+        ];
+        for msg in msgs {
+            let bytes = msg.encode();
+            let back = CtrlMsg::decode(&bytes).unwrap();
+            // Spot-check round-trip of the discriminant and one payload.
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(&msg),
+                "{msg:?}"
+            );
+            if let (CtrlMsg::Ledger { state: a, .. }, CtrlMsg::Ledger { state: b, .. }) =
+                (&msg, &back)
+            {
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

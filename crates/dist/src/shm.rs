@@ -1,0 +1,453 @@
+//! The shared-memory segment transport for co-located worker processes.
+//!
+//! One segment per shard adjacency, created (zero-filled) by the coordinator
+//! and mapped by both workers. The layout is derived deterministically from
+//! the canonical channel list, so the two sides agree on every offset
+//! without negotiation:
+//!
+//! ```text
+//! [ progress lo→hi : u64 ][ progress hi→lo : u64 ]
+//! then, for direction lo→hi, one block per channel:
+//!     [ flit ring: head u64, tail u64, capacity × FLIT_SLOT bytes ]
+//!     [ credit ring: head u64, tail u64, (capacity+1) × CREDIT_SLOT bytes ]
+//! then the same for direction hi→lo.
+//! ```
+//!
+//! Flit rings carry sender→receiver traffic of their direction; the credit
+//! rings beside them carry the matching receiver→sender credit returns. All
+//! cursors are cross-process atomics with the same acquire/release protocol
+//! as the in-process [`hornet_net::spsc::Spsc`].
+
+use crate::transport::BoundaryTransport;
+use crate::wire::{
+    decode_credit, decode_flit, encode_credit, encode_flit, Dec, Enc, CREDIT_WIRE_BYTES,
+    FLIT_WIRE_BYTES,
+};
+use crate::wiring::NeighborWiring;
+use hornet_net::boundary::BoundaryLink;
+use hornet_net::ids::Cycle;
+use hornet_shard::sys;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bytes per flit slot (wire encoding padded to an 8-byte multiple).
+const FLIT_SLOT: usize = FLIT_WIRE_BYTES.next_multiple_of(8);
+/// Bytes per credit slot.
+const CREDIT_SLOT: usize = CREDIT_WIRE_BYTES.next_multiple_of(8);
+
+/// The deterministic layout of one adjacency segment.
+#[derive(Clone, Debug)]
+pub struct ShmLayout {
+    /// Flit capacities of the lo→hi channels, in canonical order.
+    pub lo_to_hi: Vec<usize>,
+    /// Flit capacities of the hi→lo channels, in canonical order.
+    pub hi_to_lo: Vec<usize>,
+}
+
+fn ring_bytes(capacity: usize, slot: usize) -> usize {
+    16 + capacity * slot
+}
+
+fn channel_bytes(capacity: usize) -> usize {
+    ring_bytes(capacity, FLIT_SLOT) + ring_bytes(capacity + 1, CREDIT_SLOT)
+}
+
+impl ShmLayout {
+    /// Total segment size, in bytes.
+    pub fn total_len(&self) -> usize {
+        16 + self
+            .lo_to_hi
+            .iter()
+            .chain(&self.hi_to_lo)
+            .map(|&c| channel_bytes(c))
+            .sum::<usize>()
+    }
+
+    /// Byte offset of the progress word of a direction (0 = lo→hi).
+    fn progress_offset(dir: usize) -> usize {
+        dir * 8
+    }
+
+    /// Byte offset of channel `ch` of direction `dir`.
+    fn channel_offset(&self, dir: usize, ch: usize) -> usize {
+        let mut off = 16;
+        let (first, caps) = if dir == 0 {
+            (&self.lo_to_hi, &self.lo_to_hi)
+        } else {
+            (&self.lo_to_hi, &self.hi_to_lo)
+        };
+        if dir == 1 {
+            off += first.iter().map(|&c| channel_bytes(c)).sum::<usize>();
+        }
+        off + caps[..ch].iter().map(|&c| channel_bytes(c)).sum::<usize>()
+    }
+}
+
+/// A mapped adjacency segment.
+pub struct ShmSegment {
+    ptr: *mut u8,
+    len: usize,
+    path: PathBuf,
+    /// Keep the backing file open for the mapping's lifetime.
+    _file: File,
+    /// Whether `drop` should unlink the backing file (creator side).
+    owns_file: bool,
+}
+
+// SAFETY: the raw pointer is a shared file mapping; all concurrent access
+// goes through atomics with the SPSC protocol.
+unsafe impl Send for ShmSegment {}
+unsafe impl Sync for ShmSegment {}
+
+impl ShmSegment {
+    /// Creates (and zero-fills) the segment file and maps it.
+    pub fn create(path: &Path, layout: &ShmLayout) -> io::Result<Arc<Self>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        file.set_len(layout.total_len() as u64)?;
+        Self::map(file, path, layout, true)
+    }
+
+    /// Maps an existing segment file created by [`create`](Self::create).
+    pub fn open(path: &Path, layout: &ShmLayout) -> io::Result<Arc<Self>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        if file.metadata()?.len() < layout.total_len() as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "shared segment smaller than its layout",
+            ));
+        }
+        Self::map(file, path, layout, false)
+    }
+
+    fn map(file: File, path: &Path, layout: &ShmLayout, owns_file: bool) -> io::Result<Arc<Self>> {
+        use std::os::fd::AsRawFd;
+        let len = layout.total_len().max(1);
+        let ptr = unsafe { sys::map_shared(file.as_raw_fd(), len) }.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                "shared file mappings unavailable on this platform (use the socket transport)",
+            )
+        })?;
+        Ok(Arc::new(Self {
+            ptr,
+            len,
+            path: path.to_path_buf(),
+            _file: file,
+            owns_file,
+        }))
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn atomic_at(&self, offset: usize) -> &AtomicU64 {
+        debug_assert!(offset + 8 <= self.len && offset.is_multiple_of(8));
+        // SAFETY: in-bounds, 8-aligned, and all cross-process access to this
+        // word is atomic.
+        unsafe { &*(self.ptr.add(offset) as *const AtomicU64) }
+    }
+}
+
+impl Drop for ShmSegment {
+    fn drop(&mut self) {
+        unsafe { sys::unmap(self.ptr, self.len) };
+        if self.owns_file {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// One SPSC ring inside a segment (fixed slot size).
+struct ShmRing {
+    seg: Arc<ShmSegment>,
+    base: usize,
+    capacity: u64,
+    slot: usize,
+}
+
+impl ShmRing {
+    fn head(&self) -> &AtomicU64 {
+        self.seg.atomic_at(self.base)
+    }
+    fn tail(&self) -> &AtomicU64 {
+        self.seg.atomic_at(self.base + 8)
+    }
+
+    fn push(&self, item: &[u8]) -> bool {
+        debug_assert_eq!(item.len(), self.slot);
+        let tail = self.tail().load(Ordering::Relaxed);
+        let head = self.head().load(Ordering::Acquire);
+        if tail - head >= self.capacity {
+            return false;
+        }
+        let off = self.base + 16 + (tail % self.capacity) as usize * self.slot;
+        // SAFETY: in-bounds slot owned by the producer until the tail store.
+        unsafe {
+            std::ptr::copy_nonoverlapping(item.as_ptr(), self.seg.ptr.add(off), self.slot);
+        }
+        self.tail().store(tail + 1, Ordering::Release);
+        true
+    }
+
+    fn pop(&self, out: &mut [u8]) -> bool {
+        debug_assert_eq!(out.len(), self.slot);
+        let head = self.head().load(Ordering::Relaxed);
+        let tail = self.tail().load(Ordering::Acquire);
+        if head >= tail {
+            return false;
+        }
+        let off = self.base + 16 + (head % self.capacity) as usize * self.slot;
+        // SAFETY: in-bounds slot published by the producer's tail store.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.seg.ptr.add(off), out.as_mut_ptr(), self.slot);
+        }
+        self.head().store(head + 1, Ordering::Release);
+        true
+    }
+}
+
+/// The shared-memory implementation of [`BoundaryTransport`].
+pub struct ShmTransport {
+    seg: Arc<ShmSegment>,
+    /// Our send direction's flit rings (we produce) and credit rings (we
+    /// consume credits the peer returned for them).
+    out_flit_rings: Vec<ShmRing>,
+    out_credit_rings: Vec<ShmRing>,
+    /// The peer direction's flit rings (we consume) and credit rings (we
+    /// produce credits for the peer's flits).
+    in_flit_rings: Vec<ShmRing>,
+    in_credit_rings: Vec<ShmRing>,
+    our_progress: usize,
+    peer_progress: usize,
+    out_links: Vec<Arc<BoundaryLink>>,
+    in_links: Vec<Arc<BoundaryLink>>,
+}
+
+impl ShmTransport {
+    /// Builds the transport over `seg` for the side whose shard id is the
+    /// lower (`is_lo`) or higher end of the adjacency.
+    pub fn new(
+        seg: Arc<ShmSegment>,
+        layout: &ShmLayout,
+        is_lo: bool,
+        wiring: &NeighborWiring,
+    ) -> Self {
+        let (our_dir, peer_dir) = if is_lo { (0, 1) } else { (1, 0) };
+        let rings = |dir: usize, caps: &[usize]| -> (Vec<ShmRing>, Vec<ShmRing>) {
+            let mut flits = Vec::with_capacity(caps.len());
+            let mut credits = Vec::with_capacity(caps.len());
+            for (ch, &cap) in caps.iter().enumerate() {
+                let base = layout.channel_offset(dir, ch);
+                flits.push(ShmRing {
+                    seg: Arc::clone(&seg),
+                    base,
+                    capacity: cap as u64,
+                    slot: FLIT_SLOT,
+                });
+                credits.push(ShmRing {
+                    seg: Arc::clone(&seg),
+                    base: base + ring_bytes(cap, FLIT_SLOT),
+                    capacity: cap as u64 + 1,
+                    slot: CREDIT_SLOT,
+                });
+            }
+            (flits, credits)
+        };
+        let our_caps: Vec<usize> = wiring.out_links.iter().map(|l| l.capacity()).collect();
+        let peer_caps: Vec<usize> = wiring.in_links.iter().map(|l| l.capacity()).collect();
+        let (out_flit_rings, out_credit_rings) = rings(our_dir, &our_caps);
+        let (in_flit_rings, in_credit_rings) = rings(peer_dir, &peer_caps);
+        Self {
+            out_flit_rings,
+            out_credit_rings,
+            in_flit_rings,
+            in_credit_rings,
+            our_progress: ShmLayout::progress_offset(our_dir),
+            peer_progress: ShmLayout::progress_offset(peer_dir),
+            out_links: wiring.out_links.clone(),
+            in_links: wiring.in_links.clone(),
+            seg,
+        }
+    }
+
+    /// The layout of the adjacency `(lo, hi)` given each direction's channel
+    /// capacities in canonical order.
+    pub fn layout(lo_to_hi: Vec<usize>, hi_to_lo: Vec<usize>) -> ShmLayout {
+        ShmLayout { lo_to_hi, hi_to_lo }
+    }
+}
+
+impl BoundaryTransport for ShmTransport {
+    fn pump(&mut self, cycle: Cycle) -> io::Result<()> {
+        let mut slot = [0u8; FLIT_SLOT];
+        for (link, ring) in self.out_links.iter().zip(&self.out_flit_rings) {
+            link.drain_staged_flits(|f| {
+                let mut e = Enc::new();
+                encode_flit(&mut e, &f);
+                slot[..FLIT_WIRE_BYTES].copy_from_slice(e.bytes());
+                // End-to-end credits bound occupancy: cannot be full.
+                let ok = ring.push(&slot);
+                debug_assert!(ok, "shm flit ring overflow despite credit window");
+            });
+        }
+        let mut cslot = [0u8; CREDIT_SLOT];
+        for (link, ring) in self.in_links.iter().zip(&self.in_credit_rings) {
+            while let Some(c) = link.take_staged_credit() {
+                let mut e = Enc::new();
+                encode_credit(&mut e, &c);
+                cslot[..CREDIT_WIRE_BYTES].copy_from_slice(e.bytes());
+                let ok = ring.push(&cslot);
+                debug_assert!(ok, "shm credit ring overflow");
+            }
+        }
+        // Progress last: the peer's wait-then-ingest sees everything above.
+        self.seg
+            .atomic_at(self.our_progress)
+            .store(cycle, Ordering::Release);
+        Ok(())
+    }
+
+    fn ingest(&mut self) {
+        let mut slot = [0u8; FLIT_SLOT];
+        for (link, ring) in self.in_links.iter().zip(&self.in_flit_rings) {
+            while ring.pop(&mut slot) {
+                let flit =
+                    decode_flit(&mut Dec::new(&slot[..FLIT_WIRE_BYTES])).expect("shm flit corrupt");
+                let ok = link.inject_flit(flit);
+                debug_assert!(ok, "local staging overflow on shm ingest");
+            }
+        }
+        let mut cslot = [0u8; CREDIT_SLOT];
+        for (link, ring) in self.out_links.iter().zip(&self.out_credit_rings) {
+            while ring.pop(&mut cslot) {
+                let credit = decode_credit(&mut Dec::new(&cslot[..CREDIT_WIRE_BYTES]))
+                    .expect("shm credit corrupt");
+                let ok = link.inject_credit(credit);
+                debug_assert!(ok, "local credit staging overflow on shm ingest");
+            }
+        }
+    }
+
+    fn peer_progress(&self) -> Cycle {
+        self.seg
+            .atomic_at(self.peer_progress)
+            .load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hornet_net::flit::{FlitKind, FlitStats};
+    use hornet_net::ids::{FlowId, NodeId, PacketId};
+
+    fn flit(seq: u32) -> hornet_net::flit::Flit {
+        hornet_net::flit::Flit {
+            packet: PacketId::new(1),
+            flow: FlowId::new(1),
+            original_flow: FlowId::new(1),
+            kind: FlitKind::Body,
+            seq,
+            packet_len: 8,
+            dst: NodeId::new(1),
+            src: NodeId::new(0),
+            visible_at: 9,
+            stats: FlitStats::default(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hornet-shm-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn layout_offsets_are_disjoint_and_in_bounds() {
+        let layout = ShmLayout {
+            lo_to_hi: vec![4, 4, 2],
+            hi_to_lo: vec![3],
+        };
+        let total = layout.total_len();
+        let mut spans: Vec<(usize, usize)> = vec![(0, 16)];
+        for (dir, caps) in [(0usize, &layout.lo_to_hi), (1, &layout.hi_to_lo)] {
+            for (ch, &cap) in caps.iter().enumerate() {
+                let off = layout.channel_offset(dir, ch);
+                spans.push((off, off + channel_bytes(cap)));
+            }
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping spans {spans:?}");
+        }
+        assert_eq!(spans.last().unwrap().1, total);
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn shm_transport_round_trips_flits_and_credits() {
+        use hornet_net::boundary::CreditMsg;
+        let path = tmp("roundtrip");
+        // One channel each way, capacity 4.
+        let layout = ShmTransport::layout(vec![4], vec![4]);
+        let seg_lo = ShmSegment::create(&path, &layout).unwrap();
+        let seg_hi = ShmSegment::open(&path, &layout).unwrap();
+
+        let lo_out: Vec<Arc<BoundaryLink>> = vec![BoundaryLink::new(4)];
+        let lo_in: Vec<Arc<BoundaryLink>> = vec![BoundaryLink::new(4)];
+        let hi_out: Vec<Arc<BoundaryLink>> = vec![BoundaryLink::new(4)];
+        let hi_in: Vec<Arc<BoundaryLink>> = vec![BoundaryLink::new(4)];
+        let mut t_lo = ShmTransport::new(
+            seg_lo,
+            &layout,
+            true,
+            &NeighborWiring {
+                peer: 1,
+                out_links: lo_out.clone(),
+                in_links: lo_in.clone(),
+            },
+        );
+        let mut t_hi = ShmTransport::new(
+            seg_hi,
+            &layout,
+            false,
+            &NeighborWiring {
+                peer: 0,
+                out_links: hi_out.clone(),
+                in_links: hi_in.clone(),
+            },
+        );
+
+        // lo sends two flits, pumps, publishes cycle 3.
+        assert!(lo_out[0].push(flit(0)));
+        assert!(lo_out[0].push(flit(1)));
+        t_lo.pump(3).unwrap();
+        assert_eq!(t_hi.peer_progress(), 3);
+        t_hi.ingest();
+        assert_eq!(hi_in[0].in_flight(), 2);
+
+        // hi returns one credit; lo applies it after ingesting.
+        assert!(hi_in[0].inject_credit(CreditMsg { cycle: 4, count: 2 }));
+        // inject_credit staged it on hi's side? No: staged credits travel via
+        // take_staged_credit during pump — emulate the shard loop by staging
+        // through the same ring the worker uses.
+        t_hi.pump(4).unwrap();
+        assert_eq!(t_lo.peer_progress(), 4);
+        t_lo.ingest();
+        lo_out[0].apply_credits(None);
+        assert_eq!(lo_out[0].occupancy(), 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Pluggable boundary transports.
+//!
+//! A [`BoundaryTransport`] carries everything that crosses one shard-to-shard
+//! adjacency: cycle-stamped flits (forward), credit returns (backward), and
+//! the sender's negedge progress, which is what the conservative
+//! synchronization protocol waits on. Three implementations exist:
+//!
+//! * [`InProcTransport`] — the thread backend's native form: the SPSC
+//!   boundary rings are shared directly between the two shard loops, so
+//!   `pump` only publishes a progress atomic and `ingest` is a no-op. Zero
+//!   additional copies, zero syscalls.
+//! * [`crate::shm::ShmTransport`] — co-located processes share a mapped
+//!   segment holding one SPSC ring per channel plus the progress words;
+//!   `pump`/`ingest` copy between the local staging rings and the segment.
+//! * [`SocketTransport`] — one length-prefixed frame per cycle per direction
+//!   over a Unix or TCP stream; a reader thread drains the socket into the
+//!   local staging rings and publishes the peer's progress mirror.
+//!
+//! The contract every implementation upholds, which is what makes
+//! CycleAccurate bit-identity hold across processes: *all flits and credits a
+//! shard emitted up to and including its negedge of cycle `c` are visible to
+//! the peer's `ingest` before the peer observes `peer_progress() ≥ c`.*
+
+use crate::wire::{
+    decode_credit, decode_flit, encode_credit, encode_flit, read_frame, write_frame, Dec, Enc,
+};
+use crate::wiring::NeighborWiring;
+use hornet_net::boundary::{BoundaryLink, CreditMsg};
+use hornet_net::flit::Flit;
+use hornet_net::ids::Cycle;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One directed shard adjacency's channel: flits forward, credits backward,
+/// progress alongside. See the module docs for the visibility contract.
+pub trait BoundaryTransport: Send {
+    /// Called after the local negedge of `cycle`: make every staged outbound
+    /// flit and credit visible to the peer, then publish `cycle` as this
+    /// side's progress.
+    fn pump(&mut self, cycle: Cycle) -> io::Result<()>;
+
+    /// Called after the progress wait, before mailbox consumption: move
+    /// everything the peer has made visible into the local staging rings.
+    /// No-op for transports whose rings are shared directly.
+    fn ingest(&mut self) {}
+
+    /// The peer's last published negedge progress (`u64::MAX` once the peer
+    /// has finished its run and closed the channel).
+    fn peer_progress(&self) -> Cycle;
+}
+
+/// Spin-pushes with backoff; panics after an implausible number of retries
+/// (end-to-end credits bound ring occupancy, so a persistently full ring is a
+/// protocol violation, not backpressure).
+fn push_or_die(mut push: impl FnMut() -> bool, what: &str) {
+    let mut spins = 0u64;
+    while !push() {
+        spins += 1;
+        if spins == 1_000_000 {
+            eprintln!("[transport] ring full for a while ({what})");
+        }
+        if spins.is_multiple_of(128) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+        assert!(
+            spins < 1 << 30,
+            "boundary transport ring stuck full ({what}): protocol violation"
+        );
+    }
+}
+
+/// The in-process transport: both shard loops share the staging rings, so
+/// the data plane needs no pumping at all — only the progress word.
+pub struct InProcTransport {
+    local: Arc<AtomicU64>,
+    peer: Arc<AtomicU64>,
+}
+
+impl InProcTransport {
+    /// Creates the transport pair for one adjacency `(a→b, b→a)`, starting
+    /// both progress words at `start`.
+    pub fn pair(start: Cycle) -> (InProcTransport, InProcTransport) {
+        let a = Arc::new(AtomicU64::new(start));
+        let b = Arc::new(AtomicU64::new(start));
+        (
+            InProcTransport {
+                local: Arc::clone(&a),
+                peer: Arc::clone(&b),
+            },
+            InProcTransport { local: b, peer: a },
+        )
+    }
+}
+
+impl BoundaryTransport for InProcTransport {
+    fn pump(&mut self, cycle: Cycle) -> io::Result<()> {
+        self.local.store(cycle, Ordering::Release);
+        Ok(())
+    }
+
+    fn peer_progress(&self) -> Cycle {
+        self.peer.load(Ordering::Acquire)
+    }
+}
+
+/// A bidirectional byte stream: Unix domain or TCP.
+pub enum Stream {
+    /// Unix domain stream socket.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// TCP stream (loopback or cross-machine).
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Clones the underlying socket handle.
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Disables Nagle batching on TCP (cycle frames are latency-critical).
+    pub fn tune(&self) {
+        if let Stream::Tcp(s) = self {
+            let _ = s.set_nodelay(true);
+        }
+    }
+
+    /// Shuts the socket down (both halves, affecting every cloned handle) —
+    /// the only reliable way to signal EOF when reader threads hold clones.
+    pub fn shutdown(&self) {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// The socket transport: one frame per simulated cycle per direction,
+/// carrying `(progress, flits, credits)`. A reader thread drains the peer's
+/// frames into the local staging rings — flits and credits strictly before
+/// the progress store, which is what keeps strict-mode consumption exact.
+pub struct SocketTransport {
+    writer: BufWriter<Stream>,
+    /// Outbound halves (drained into frames).
+    out_links: Vec<Arc<BoundaryLink>>,
+    /// Inbound halves (their staged credits are drained into frames).
+    in_links: Vec<Arc<BoundaryLink>>,
+    peer_progress: Arc<AtomicU64>,
+    reader: Option<JoinHandle<()>>,
+    /// Reusable frame scratch.
+    flits: Vec<(u32, Flit)>,
+    credits: Vec<(u32, CreditMsg)>,
+}
+
+impl SocketTransport {
+    /// Wraps `stream` as the transport for one adjacency described by
+    /// `wiring`. Spawns the reader thread immediately.
+    pub fn new(stream: Stream, wiring: &NeighborWiring, start: Cycle) -> io::Result<Self> {
+        stream.tune();
+        let writer = BufWriter::new(stream.try_clone()?);
+        let peer_progress = Arc::new(AtomicU64::new(start));
+        let reader = {
+            let progress = Arc::clone(&peer_progress);
+            let in_links: Vec<Arc<BoundaryLink>> = wiring.in_links.clone();
+            let out_links: Vec<Arc<BoundaryLink>> = wiring.out_links.clone();
+            let mut reader = BufReader::new(stream);
+            std::thread::Builder::new()
+                .name("hornet-dist-rx".into())
+                .spawn(move || loop {
+                    let frame = match read_frame(&mut reader) {
+                        Ok(f) => f,
+                        Err(_) => {
+                            // Peer closed: it has finished its run; nothing
+                            // we could still wait on.
+                            progress.store(u64::MAX, Ordering::Release);
+                            return;
+                        }
+                    };
+                    if decode_cycle_frame(&frame, &in_links, &out_links, &progress).is_err() {
+                        progress.store(u64::MAX, Ordering::Release);
+                        return;
+                    }
+                })?
+        };
+        Ok(Self {
+            writer,
+            out_links: wiring.out_links.clone(),
+            in_links: wiring.in_links.clone(),
+            peer_progress,
+            reader: Some(reader),
+            flits: Vec::new(),
+            credits: Vec::new(),
+        })
+    }
+}
+
+/// Decodes one cycle frame into the staging rings, progress last.
+fn decode_cycle_frame(
+    frame: &[u8],
+    in_links: &[Arc<BoundaryLink>],
+    out_links: &[Arc<BoundaryLink>],
+    progress: &AtomicU64,
+) -> io::Result<()> {
+    let mut d = Dec::new(frame);
+    let cycle = d.u64()?;
+    let n_flits = d.u32()?;
+    for _ in 0..n_flits {
+        let ch = d.u32()? as usize;
+        let flit = decode_flit(&mut d)?;
+        let link = in_links
+            .get(ch)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad channel"))?;
+        push_or_die(|| link.inject_flit(flit), "socket rx flit");
+    }
+    let n_credits = d.u32()?;
+    for _ in 0..n_credits {
+        let ch = d.u32()? as usize;
+        let credit = decode_credit(&mut d)?;
+        let link = out_links
+            .get(ch)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad channel"))?;
+        push_or_die(|| link.inject_credit(credit), "socket rx credit");
+    }
+    progress.store(cycle, Ordering::Release);
+    Ok(())
+}
+
+impl BoundaryTransport for SocketTransport {
+    fn pump(&mut self, cycle: Cycle) -> io::Result<()> {
+        self.flits.clear();
+        self.credits.clear();
+        for (ch, link) in self.out_links.iter().enumerate() {
+            let flits = &mut self.flits;
+            link.drain_staged_flits(|f| flits.push((ch as u32, f)));
+        }
+        for (ch, link) in self.in_links.iter().enumerate() {
+            while let Some(c) = link.take_staged_credit() {
+                self.credits.push((ch as u32, c));
+            }
+        }
+        let mut e = Enc::new();
+        e.u64(cycle);
+        e.u32(self.flits.len() as u32);
+        for (ch, f) in &self.flits {
+            e.u32(*ch);
+            encode_flit(&mut e, f);
+        }
+        e.u32(self.credits.len() as u32);
+        for (ch, c) in &self.credits {
+            e.u32(*ch);
+            encode_credit(&mut e, c);
+        }
+        write_frame(&mut self.writer, e.bytes())?;
+        self.writer.flush()
+    }
+
+    fn peer_progress(&self) -> Cycle {
+        self.peer_progress.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        // Closing the writer half signals EOF to the peer's reader; the
+        // local reader thread exits on its own EOF. Detach rather than join:
+        // the peer may close later.
+        if let Some(handle) = self.reader.take() {
+            drop(handle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hornet_net::flit::{FlitKind, FlitStats};
+    use hornet_net::ids::{FlowId, NodeId, PacketId};
+
+    fn flit(seq: u32, visible_at: Cycle) -> Flit {
+        Flit {
+            packet: PacketId::new(1),
+            flow: FlowId::new(1),
+            original_flow: FlowId::new(1),
+            kind: FlitKind::Body,
+            seq,
+            packet_len: 8,
+            dst: NodeId::new(1),
+            src: NodeId::new(0),
+            visible_at,
+            stats: FlitStats::default(),
+        }
+    }
+
+    fn adjacency(vcs: usize, cap: usize) -> (NeighborWiring, NeighborWiring) {
+        // a→b channels and b→a channels, as two local wiring views.
+        let ab: Vec<Arc<BoundaryLink>> = (0..vcs).map(|_| BoundaryLink::new(cap)).collect();
+        let ba: Vec<Arc<BoundaryLink>> = (0..vcs).map(|_| BoundaryLink::new(cap)).collect();
+        (
+            NeighborWiring {
+                peer: 1,
+                out_links: ab.clone(),
+                in_links: ba.clone(),
+            },
+            NeighborWiring {
+                peer: 0,
+                out_links: ba,
+                in_links: ab,
+            },
+        )
+    }
+
+    #[test]
+    fn in_proc_transport_publishes_progress() {
+        let (mut a, b) = InProcTransport::pair(0);
+        assert_eq!(b.peer_progress(), 0);
+        a.pump(7).unwrap();
+        assert_eq!(b.peer_progress(), 7);
+        assert_eq!(a.peer_progress(), 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_transport_carries_flits_credits_and_progress() {
+        let (sa, sb) = UnixStream::pair().unwrap();
+        // Side A's local halves and side B's local halves are *distinct*
+        // objects; the wire connects them.
+        let (wa, _) = adjacency(2, 4);
+        let (_, wb) = adjacency(2, 4);
+        let mut ta = SocketTransport::new(Stream::Unix(sa), &wa, 0).unwrap();
+        let mut tb = SocketTransport::new(Stream::Unix(sb), &wb, 0).unwrap();
+
+        // A sends two flits on channel 1 (credit-checked push) and pumps.
+        assert!(wa.out_links[1].push(flit(0, 5)));
+        assert!(wa.out_links[1].push(flit(1, 5)));
+        ta.pump(4).unwrap();
+
+        // B sees progress 4 and the flits in its inbound half of channel 1.
+        let mut spins = 0;
+        while tb.peer_progress() < 4 {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 1_000_000, "progress never arrived");
+        }
+        tb.ingest(); // no-op for sockets; reader already delivered
+        assert_eq!(wb.in_links[1].in_flight(), 2);
+
+        // B returns a credit; A folds it in after its reader delivers.
+        push_or_die(
+            || wb.in_links[1].inject_credit(CreditMsg { cycle: 5, count: 2 }),
+            "test credit",
+        );
+        // Move the staged credit onto the wire.
+        tb.pump(5).unwrap();
+        let mut spins = 0;
+        while ta.peer_progress() < 5 {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 1_000_000, "credit frame never arrived");
+        }
+        // The two pushed flits held 2 units of the window; the credit frees
+        // them once applied.
+        wa.out_links[1].apply_credits(None);
+        assert_eq!(wa.out_links[1].occupancy(), 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_peer_close_reads_as_infinite_progress() {
+        let (sa, sb) = UnixStream::pair().unwrap();
+        let (wa, _) = adjacency(1, 2);
+        let ta = SocketTransport::new(Stream::Unix(sa), &wa, 0).unwrap();
+        drop(sb);
+        let mut spins = 0;
+        while ta.peer_progress() != u64::MAX {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 1_000_000, "EOF never observed");
+        }
+    }
+}

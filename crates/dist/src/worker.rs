@@ -1,0 +1,643 @@
+//! The worker side of the distributed backend: a transport-generic shard
+//! loop, and the process entry point that speaks the control protocol.
+//!
+//! The shard loop is the same conservative algorithm as the thread backend's
+//! (`hornet_shard::runtime`), expressed over [`BoundaryTransport`]s instead
+//! of shared atomics: before simulating cycle `c`, wait until every
+//! neighbor's published progress reaches `c - 1 - slack`, ingest what the
+//! transports delivered, consume mailboxes (strictly by cycle stamp in
+//! CycleAccurate mode), simulate the two clock edges, emit credits, publish
+//! the termination ledger, and pump the transports. Directives (stop /
+//! fast-forward jumps) arrive from the coordinator through plain atomics the
+//! control reader thread maintains.
+
+use crate::protocol::{hello, CtrlMsg, TransportKind};
+use crate::shm::{ShmSegment, ShmTransport};
+use crate::spec::{DistSpec, RunKind};
+use crate::transport::{BoundaryTransport, SocketTransport, Stream};
+use crate::wire::{read_frame, write_frame};
+use crate::wiring::{build_shards, partition_for, ShardParts};
+use hornet_net::boundary::{BoundaryLink, BoundaryRx};
+use hornet_net::ids::Cycle;
+use hornet_net::network::NetworkNode;
+use hornet_net::stats::NetworkStats;
+use hornet_shard::termination::{LedgerState, ShardLedger};
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The control-plane shared state between the shard loop and the control
+/// reader thread.
+#[derive(Clone)]
+pub struct WorkerControl {
+    /// This shard's published termination ledger.
+    pub ledger: Arc<ShardLedger>,
+    /// Stop directive (completion declared, or coordinator lost).
+    pub stop: Arc<AtomicBool>,
+    /// Monotone fast-forward target.
+    pub skip_to: Arc<AtomicU64>,
+}
+
+impl Default for WorkerControl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerControl {
+    /// Fresh control state.
+    pub fn new() -> Self {
+        Self {
+            ledger: Arc::new(ShardLedger::new()),
+            stop: Arc::new(AtomicBool::new(false)),
+            skip_to: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Result of one shard's run.
+pub struct WorkerOutcome {
+    /// The cycle the shard stopped at.
+    pub final_now: Cycle,
+    /// Statistics merged over this shard's tiles.
+    pub stats: NetworkStats,
+    /// Every local agent finished and the shard drained.
+    pub completed: bool,
+    /// The tiles (for in-process callers that want to inspect them).
+    pub tiles: Vec<NetworkNode>,
+}
+
+/// One shard's execution state, generic over the boundary transport.
+pub struct ShardWorker {
+    /// The shard index (for diagnostics).
+    pub shard: usize,
+    /// The shard's tiles.
+    pub tiles: Vec<NetworkNode>,
+    /// All outbound boundary halves.
+    pub outbound: Vec<Arc<BoundaryLink>>,
+    /// All inbound receiver endpoints.
+    pub inbound: Vec<BoundaryRx>,
+    /// One transport per neighboring shard (attach in
+    /// [`transports_plan`](Self::transports_plan) order).
+    pub transports: Vec<Box<dyn BoundaryTransport>>,
+    /// Per-neighbor channel wiring, canonical order.
+    neighbors_meta: Vec<crate::wiring::NeighborWiring>,
+    /// Maximum cycles to run ahead of neighbors.
+    pub slack: u64,
+    /// Cycles between drift checks.
+    pub quantum: u64,
+    /// Strict cycle-stamped mailbox consumption (bit-exact mode).
+    pub strict: bool,
+    /// Publish ledgers / honor skip directives.
+    pub track_ledger: bool,
+    /// Compute next-event info for fast-forward.
+    pub fast_forward: bool,
+    /// Control-plane state.
+    pub control: WorkerControl,
+}
+
+impl ShardWorker {
+    /// Builds a worker from wiring parts and the spec's synchronization
+    /// parameters (transports attached separately).
+    pub fn from_parts(parts: ShardParts, spec: &DistSpec, control: WorkerControl) -> Self {
+        let (slack, quantum, strict) = spec.sync.params();
+        Self {
+            shard: parts.shard,
+            tiles: parts.tiles,
+            outbound: parts.outbound,
+            inbound: parts.inbound,
+            transports: Vec::new(),
+            neighbors_meta: parts.neighbors,
+            slack,
+            quantum,
+            strict,
+            track_ledger: spec.needs_detector(),
+            fast_forward: spec.fast_forward,
+            control,
+        }
+    }
+
+    fn wait_peers(&self, floor: Cycle) -> bool {
+        for (ti, t) in self.transports.iter().enumerate() {
+            let mut spins = 0u32;
+            let mut reported = false;
+            while t.peer_progress() < floor {
+                if self.control.stop.load(Ordering::Acquire) {
+                    return false;
+                }
+                if spins > 40_000 && !reported {
+                    // Several seconds without peer progress: likely a stall;
+                    // report once (diagnostics only, normal runs never hit it).
+                    reported = true;
+                    eprintln!(
+                        "[w{}] stalled waiting transport#{ti} floor={floor} mirror={} mirrors={:?}",
+                        self.shard,
+                        t.peer_progress(),
+                        self.transports
+                            .iter()
+                            .map(|x| x.peer_progress())
+                            .collect::<Vec<_>>()
+                    );
+                }
+                // Escalating backoff: spin briefly, then yield, then sleep.
+                // Co-scheduled worker processes (more shards than cores)
+                // starve each other with pure spinning — the peer needs the
+                // CPU this loop is burning.
+                spins = spins.saturating_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else if spins < 256 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros((spins as u64 - 255).min(20) * 10));
+                }
+            }
+        }
+        true
+    }
+
+    fn pump_all(&mut self, cycle: Cycle) -> io::Result<()> {
+        for t in &mut self.transports {
+            t.pump(cycle)?;
+        }
+        Ok(())
+    }
+
+    fn busy_now(&self) -> u64 {
+        self.tiles
+            .iter()
+            .map(|t| t.buffered_flits() as u64 + u64::from(!t.is_idle()))
+            .sum::<u64>()
+            + self
+                .inbound
+                .iter()
+                .map(|rx| rx.in_flight() as u64)
+                .sum::<u64>()
+    }
+
+    /// Runs the shard for `cycles` cycles starting after `start`.
+    pub fn run(mut self, start: Cycle, cycles: Cycle) -> io::Result<WorkerOutcome> {
+        let end = start + cycles;
+        let quantum = self.quantum.max(1);
+        let mut now = start;
+        let mut recv_total = 0u64;
+        let mut last_published = LedgerState::default();
+        let mut published_once = false;
+
+        let debug_stall = std::env::var_os("HORNET_DIST_DEBUG").is_some();
+        'run: while now < end {
+            if self.control.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let batch_end = (now + quantum).min(end);
+            if debug_stall && now.is_multiple_of(100) {
+                eprintln!(
+                    "[w{}] cycle {now} peers={:?}",
+                    self.shard,
+                    self.transports
+                        .iter()
+                        .map(|t| t.peer_progress())
+                        .collect::<Vec<_>>()
+                );
+            }
+            if !self.wait_peers(now.saturating_sub(self.slack)) {
+                break;
+            }
+            for t in &mut self.transports {
+                t.ingest();
+            }
+            while now < batch_end {
+                if self.control.stop.load(Ordering::Acquire) {
+                    break 'run;
+                }
+                if self.track_ledger {
+                    let skip = self.control.skip_to.load(Ordering::Acquire);
+                    if skip > now {
+                        let target = skip.min(end);
+                        let skipped = target - now;
+                        for tile in &mut self.tiles {
+                            tile.set_cycle(target);
+                            tile.router_mut().stats_mut().fast_forwarded_cycles += skipped;
+                        }
+                        now = target;
+                        self.pump_all(now)?;
+                        continue 'run;
+                    }
+                }
+                let next = now + 1;
+                let (flit_limit, credit_limit) = if self.strict {
+                    (Some(next), Some(next - 1))
+                } else {
+                    (None, None)
+                };
+                for link in &self.outbound {
+                    link.apply_credits(credit_limit);
+                }
+                for rx in &mut self.inbound {
+                    recv_total += rx.deliver(flit_limit) as u64;
+                }
+                for tile in &mut self.tiles {
+                    tile.posedge(next);
+                }
+                for tile in &mut self.tiles {
+                    tile.negedge(next);
+                }
+                for rx in &mut self.inbound {
+                    rx.emit_credits(next);
+                }
+                if self.track_ledger {
+                    let state = LedgerState {
+                        busy: self.busy_now(),
+                        finished: self.tiles.iter().all(NetworkNode::finished),
+                        next_event: if self.fast_forward {
+                            self.tiles
+                                .iter()
+                                .filter_map(|t| t.next_event(next))
+                                .min()
+                                .unwrap_or(u64::MAX)
+                        } else {
+                            u64::MAX
+                        },
+                        sent: self.outbound.iter().map(|l| l.flits_pushed()).sum(),
+                        recv: recv_total,
+                        cycle: next,
+                    };
+                    let probe_view = LedgerState {
+                        cycle: last_published.cycle,
+                        ..state
+                    };
+                    let changed = !published_once || probe_view != last_published;
+                    if changed {
+                        // Ledger before progress: when a peer or the
+                        // coordinator sees this cycle complete, the ledger
+                        // already accounts for its flits.
+                        self.control.ledger.publish(&state);
+                        last_published = state;
+                        published_once = true;
+                    }
+                }
+                // Pump publishes progress = `next` after the ledger.
+                self.pump_all(next)?;
+                now = next;
+                if now < batch_end && !self.wait_peers(now.saturating_sub(self.slack)) {
+                    break 'run;
+                }
+                if now < batch_end {
+                    for t in &mut self.transports {
+                        t.ingest();
+                    }
+                }
+            }
+        }
+
+        // Terminal ledger so late coordinator probes see the final state.
+        if self.track_ledger {
+            let state = LedgerState {
+                busy: self.busy_now(),
+                finished: self.tiles.iter().all(NetworkNode::finished),
+                next_event: u64::MAX,
+                sent: self.outbound.iter().map(|l| l.flits_pushed()).sum(),
+                recv: recv_total,
+                cycle: now,
+            };
+            let probe_view = LedgerState {
+                cycle: last_published.cycle,
+                ..state
+            };
+            if !published_once || probe_view != last_published {
+                self.control.ledger.publish(&state);
+            }
+        }
+
+        let completed = self.tiles.iter().all(NetworkNode::finished) && self.busy_now() == 0;
+        let mut stats = NetworkStats::new();
+        for tile in &self.tiles {
+            stats.merge(tile.stats());
+        }
+        Ok(WorkerOutcome {
+            final_now: now,
+            stats,
+            completed,
+            tiles: self.tiles,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker process entry.
+// ---------------------------------------------------------------------------
+
+fn proto_err(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("protocol: {msg}"))
+}
+
+fn set_stream_blocking(s: &Stream) -> io::Result<()> {
+    match s {
+        #[cfg(unix)]
+        Stream::Unix(u) => u.set_nonblocking(false),
+        Stream::Tcp(t) => t.set_nonblocking(false),
+    }
+}
+
+/// Sends one control message over the shared writer.
+fn send_ctrl(writer: &Mutex<Stream>, msg: &CtrlMsg) -> io::Result<()> {
+    let mut w = writer.lock().expect("control writer poisoned");
+    write_frame(&mut *w, &msg.encode())?;
+    use std::io::Write;
+    w.flush()
+}
+
+/// Accepts one data-plane connection with a deadline.
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept_deadline(&self, deadline: Instant) -> io::Result<Stream> {
+        loop {
+            let res = match self {
+                #[cfg(unix)]
+                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            };
+            match res {
+                Ok(s) => return Ok(s),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer connection timed out",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Runs the worker process: connects to the coordinator at `ctrl_addr`,
+/// executes one assigned shard, reports, and exits when the coordinator
+/// closes the control channel.
+pub fn worker_main(ctrl_addr: &str, ctrl_family: &str) -> io::Result<()> {
+    let ctrl = match ctrl_family {
+        #[cfg(unix)]
+        "unix" => Stream::Unix(UnixStream::connect(ctrl_addr)?),
+        "tcp" => Stream::Tcp(TcpStream::connect(ctrl_addr)?),
+        other => return Err(proto_err(&format!("unknown control family {other}"))),
+    };
+    let writer = Arc::new(Mutex::new(ctrl.try_clone()?));
+    let mut reader = BufReader::new(ctrl);
+
+    send_ctrl(&writer, &hello())?;
+    let CtrlMsg::Assign {
+        shard,
+        shards,
+        spec,
+        transport,
+        listen,
+    } = CtrlMsg::decode(&read_frame(&mut reader)?)?
+    else {
+        return Err(proto_err("expected Assign"));
+    };
+    let shard = shard as usize;
+    let shards = shards as usize;
+
+    // Rebuild the full system deterministically; keep our shard.
+    let partition = partition_for(&spec, shards);
+    assert_eq!(
+        partition.shard_count(),
+        shards,
+        "coordinator/worker partition mismatch"
+    );
+    let mut parts = build_shards(&spec, &partition)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let mine = parts.swap_remove(shard);
+    drop(parts);
+
+    // Data plane.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let control = WorkerControl::new();
+    let mut worker = ShardWorker::from_parts(mine, &spec, control.clone());
+    match transport {
+        TransportKind::UnixSocket | TransportKind::Tcp => {
+            let listener = match transport {
+                #[cfg(unix)]
+                TransportKind::UnixSocket => {
+                    let l = UnixListener::bind(&listen)?;
+                    l.set_nonblocking(true)?;
+                    send_ctrl(
+                        &writer,
+                        &CtrlMsg::Listening {
+                            addr: listen.clone(),
+                        },
+                    )?;
+                    Listener::Unix(l)
+                }
+                #[cfg(not(unix))]
+                TransportKind::UnixSocket => {
+                    return Err(proto_err("unix sockets unavailable on this platform"))
+                }
+                _ => {
+                    let l = TcpListener::bind("127.0.0.1:0")?;
+                    let addr = l.local_addr()?.to_string();
+                    l.set_nonblocking(true)?;
+                    send_ctrl(&writer, &CtrlMsg::Listening { addr })?;
+                    Listener::Tcp(l)
+                }
+            };
+            let CtrlMsg::PeerMap { entries } = CtrlMsg::decode(&read_frame(&mut reader)?)? else {
+                return Err(proto_err("expected PeerMap"));
+            };
+            let addrs: HashMap<usize, String> =
+                entries.into_iter().map(|(s, a)| (s as usize, a)).collect();
+            // Initiate to lower-id neighbors, accept from higher-id ones.
+            let mut streams: HashMap<usize, Stream> = HashMap::new();
+            for nb in &worker.transports_plan() {
+                if *nb < shard {
+                    let addr = addrs
+                        .get(nb)
+                        .ok_or_else(|| proto_err("missing peer addr"))?;
+                    let mut s = match transport {
+                        #[cfg(unix)]
+                        TransportKind::UnixSocket => Stream::Unix(UnixStream::connect(addr)?),
+                        _ => Stream::Tcp(TcpStream::connect(addr)?),
+                    };
+                    write_frame(&mut s, &CtrlMsg::PeerHello { from: shard as u32 }.encode())?;
+                    use std::io::Write;
+                    s.flush()?;
+                    streams.insert(*nb, s);
+                }
+            }
+            let expect_higher = worker
+                .transports_plan()
+                .iter()
+                .filter(|&&p| p > shard)
+                .count();
+            for _ in 0..expect_higher {
+                let mut s = listener.accept_deadline(deadline)?;
+                set_stream_blocking(&s)?;
+                let CtrlMsg::PeerHello { from } = CtrlMsg::decode(&read_frame(&mut s)?)? else {
+                    return Err(proto_err("expected PeerHello"));
+                };
+                streams.insert(from as usize, s);
+            }
+            // Attach transports in canonical neighbor order.
+            let plan = worker.transports_plan();
+            for (i, peer) in plan.iter().enumerate() {
+                let stream = streams
+                    .remove(peer)
+                    .ok_or_else(|| proto_err("peer stream missing"))?;
+                let wiring = worker.neighbor_wiring(i);
+                worker
+                    .transports
+                    .push(Box::new(SocketTransport::new(stream, &wiring, 0)?));
+            }
+        }
+        TransportKind::Shm => {
+            send_ctrl(
+                &writer,
+                &CtrlMsg::Listening {
+                    addr: String::new(),
+                },
+            )?;
+            let CtrlMsg::ShmMap { entries } = CtrlMsg::decode(&read_frame(&mut reader)?)? else {
+                return Err(proto_err("expected ShmMap"));
+            };
+            let paths: HashMap<(usize, usize), String> = entries
+                .into_iter()
+                .map(|(lo, hi, p)| ((lo as usize, hi as usize), p))
+                .collect();
+            let plan = worker.transports_plan();
+            for (i, peer) in plan.iter().enumerate() {
+                let (lo, hi) = (shard.min(*peer), shard.max(*peer));
+                let path = paths
+                    .get(&(lo, hi))
+                    .ok_or_else(|| proto_err("missing shm segment"))?;
+                let wiring = worker.neighbor_wiring(i);
+                let is_lo = shard == lo;
+                // Direction lo→hi carries the lo side's out channels.
+                let (lo_caps, hi_caps) = if is_lo {
+                    (
+                        wiring.out_links.iter().map(|l| l.capacity()).collect(),
+                        wiring.in_links.iter().map(|l| l.capacity()).collect(),
+                    )
+                } else {
+                    (
+                        wiring.in_links.iter().map(|l| l.capacity()).collect(),
+                        wiring.out_links.iter().map(|l| l.capacity()).collect(),
+                    )
+                };
+                let layout = ShmTransport::layout(lo_caps, hi_caps);
+                let seg = ShmSegment::open(std::path::Path::new(path), &layout)?;
+                worker
+                    .transports
+                    .push(Box::new(ShmTransport::new(seg, &layout, is_lo, &wiring)));
+            }
+        }
+    }
+
+    let CtrlMsg::Start = CtrlMsg::decode(&read_frame(&mut reader)?)? else {
+        return Err(proto_err("expected Start"));
+    };
+
+    // Control reader: probes, directives, and coordinator-loss detection.
+    let done_flag = Arc::new(AtomicBool::new(false));
+    let ctrl_thread = {
+        let control = control.clone();
+        let done_flag = Arc::clone(&done_flag);
+        let writer = Arc::clone(&writer);
+        std::thread::Builder::new()
+            .name("hornet-dist-ctrl".into())
+            .spawn(move || loop {
+                let frame = match read_frame(&mut reader) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        if !done_flag.load(Ordering::Acquire) {
+                            if std::env::var_os("HORNET_DIST_DEBUG").is_some() {
+                                eprintln!("[ctrl-rx] read failed mid-run: {e}");
+                            }
+                            // Coordinator lost mid-run: unwind.
+                            control.stop.store(true, Ordering::Release);
+                        }
+                        return;
+                    }
+                };
+                match CtrlMsg::decode(&frame) {
+                    Ok(CtrlMsg::Probe { round }) => {
+                        let (version, state) = control.ledger.read();
+                        let _ = send_ctrl(
+                            &writer,
+                            &CtrlMsg::Ledger {
+                                round,
+                                version,
+                                state,
+                            },
+                        );
+                    }
+                    Ok(CtrlMsg::Skip { target }) => {
+                        control.skip_to.fetch_max(target, Ordering::AcqRel);
+                    }
+                    Ok(CtrlMsg::Stop) => {
+                        control.stop.store(true, Ordering::Release);
+                    }
+                    _ => {}
+                }
+            })?
+    };
+
+    let debug = std::env::var_os("HORNET_DIST_DEBUG").is_some();
+    let budget = spec.cycle_budget();
+    let outcome = worker.run(0, budget)?;
+    if debug {
+        eprintln!("[w{shard}] run complete at {}", outcome.final_now);
+    }
+    send_ctrl(
+        &writer,
+        &CtrlMsg::Done {
+            final_now: outcome.final_now,
+            completed: match spec.run {
+                RunKind::Cycles(_) => true,
+                RunKind::ToCompletion { .. } => outcome.completed,
+            },
+            stats: Box::new(outcome.stats),
+        },
+    )?;
+    done_flag.store(true, Ordering::Release);
+    if debug {
+        eprintln!("[w{shard}] done sent");
+    }
+    // Hold every socket open until the coordinator closes the control
+    // channel: peers may still be draining our final frames.
+    let _ = ctrl_thread.join();
+    if debug {
+        eprintln!("[w{shard}] ctrl closed, exiting");
+    }
+    Ok(())
+}
+
+impl ShardWorker {
+    /// The neighbor shard ids, in canonical (ascending) order — one
+    /// transport must be attached per entry, in this order.
+    pub fn transports_plan(&self) -> Vec<usize> {
+        self.neighbors_meta.iter().map(|n| n.peer).collect()
+    }
+
+    /// The wiring of the `i`-th planned neighbor.
+    pub fn neighbor_wiring(&self, i: usize) -> crate::wiring::NeighborWiring {
+        let n = &self.neighbors_meta[i];
+        crate::wiring::NeighborWiring {
+            peer: n.peer,
+            out_links: n.out_links.clone(),
+            in_links: n.in_links.clone(),
+        }
+    }
+}

@@ -36,126 +36,10 @@
 use crate::flit::Flit;
 use crate::ids::Cycle;
 use crate::vcbuf::VcBuffer;
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// A fixed-capacity lock-free single-producer single-consumer ring.
-///
-/// `head` is owned by the consumer, `tail` by the producer; each side only
-/// ever stores to its own cursor (with `Release`) and reads the other side's
-/// with `Acquire`. Slot `i` is written exactly once per lap by the producer
-/// (who proved `tail - head < capacity`) and read exactly once by the consumer
-/// (who proved `head < tail`), so the accesses never overlap.
-///
-/// The single-producer / single-consumer discipline is a *protocol* contract:
-/// the sharded runtime hands the producer end to exactly one worker (the
-/// sender shard) and the consumer end to exactly one worker (the receiver
-/// shard), with hand-offs between runs ordered by channel sends.
-pub struct Spsc<T: Copy> {
-    capacity: usize,
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
-    /// Consumer cursor: items popped so far.
-    head: AtomicU64,
-    /// Producer cursor: items pushed so far.
-    tail: AtomicU64,
-}
-
-// SAFETY: see the struct-level synchronization argument; `T: Copy` means no
-// drop obligations for slots that are overwritten a lap later.
-unsafe impl<T: Copy + Send> Send for Spsc<T> {}
-unsafe impl<T: Copy + Send> Sync for Spsc<T> {}
-
-impl<T: Copy> std::fmt::Debug for Spsc<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Spsc")
-            .field("capacity", &self.capacity)
-            .field("len", &self.len())
-            .finish()
-    }
-}
-
-impl<T: Copy> Spsc<T> {
-    /// Creates a ring holding at most `capacity` items.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity == 0`.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "an SPSC ring needs capacity for one item");
-        let slots = (0..capacity)
-            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        Self {
-            capacity,
-            slots,
-            head: AtomicU64::new(0),
-            tail: AtomicU64::new(0),
-        }
-    }
-
-    /// Maximum number of items the ring can hold.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Items currently in the ring (racy but monotone-consistent: safe for
-    /// occupancy/idle accounting from either end).
-    pub fn len(&self) -> usize {
-        let tail = self.tail.load(Ordering::Acquire);
-        let head = self.head.load(Ordering::Acquire);
-        tail.saturating_sub(head) as usize
-    }
-
-    /// True if the ring holds no items.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Producer side: appends an item. Returns `false` if the ring is full.
-    #[must_use]
-    pub fn push(&self, value: T) -> bool {
-        let tail = self.tail.load(Ordering::Relaxed);
-        let head = self.head.load(Ordering::Acquire);
-        if tail - head >= self.capacity as u64 {
-            return false;
-        }
-        // SAFETY: `tail - head < capacity` proves the consumer has finished
-        // with this slot (it will not read it again until tail advances past
-        // it), and we are the only producer.
-        unsafe {
-            (*self.slots[(tail % self.capacity as u64) as usize].get()).write(value);
-        }
-        self.tail.store(tail + 1, Ordering::Release);
-        true
-    }
-
-    /// Consumer side: pops the head item if `pred` accepts it.
-    pub fn pop_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
-        let head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Acquire);
-        if head >= tail {
-            return None;
-        }
-        // SAFETY: `head < tail` with the acquire load above proves the
-        // producer published this slot; we are the only consumer.
-        let value =
-            unsafe { (*self.slots[(head % self.capacity as u64) as usize].get()).assume_init() };
-        if pred(&value) {
-            self.head.store(head + 1, Ordering::Release);
-            Some(value)
-        } else {
-            None
-        }
-    }
-
-    /// Consumer side: pops the head item unconditionally.
-    pub fn pop(&self) -> Option<T> {
-        self.pop_if(|_| true)
-    }
-}
+pub use crate::spsc::Spsc;
 
 /// A cycle-stamped credit return: `count` flits left the downstream ingress
 /// buffer during the receiver's cycle `cycle`.
@@ -255,6 +139,58 @@ impl BoundaryLink {
                 .fetch_sub(msg.count as usize, Ordering::AcqRel);
         }
     }
+
+    /// Cumulative flits pushed into this link over its lifetime. Monotone;
+    /// this is the sender-side `sent` count the credit-counting termination
+    /// detector balances against the receiver's delivery count.
+    pub fn flits_pushed(&self) -> u64 {
+        self.flits.pushed()
+    }
+
+    // --- transport-side raw endpoints -----------------------------------
+    //
+    // The multi-process backends split one logical cut link into two local
+    // half-links: an *outbound* half whose flit ring is drained to the wire
+    // by a transport pump, and an *inbound* half whose flit ring is filled
+    // from the wire. The pump plays the role of the remote peer, so it needs
+    // ring access that bypasses the sender-side credit accounting (credits
+    // are tracked end-to-end by the shard loops, not per hop).
+
+    /// Transport pump (consumer side of an outbound half): drains every
+    /// staged flit, in order, into `f`. Returns the number drained.
+    pub fn drain_staged_flits(&self, mut f: impl FnMut(Flit)) -> usize {
+        let mut n = 0;
+        while let Some(flit) = self.flits.pop() {
+            f(flit);
+            n += 1;
+        }
+        n
+    }
+
+    /// Transport pump (producer side of an inbound half): appends a flit
+    /// that arrived from the wire *without* touching the credit window — the
+    /// end-to-end credit check already ran on the sending shard. Returns
+    /// `false` if the ring is full (a protocol violation: end-to-end credits
+    /// bound ring occupancy by its capacity).
+    #[must_use]
+    pub fn inject_flit(&self, flit: Flit) -> bool {
+        self.flits.push(flit)
+    }
+
+    /// Transport pump (consumer side of an inbound half): takes one staged
+    /// credit message for forwarding to the wire.
+    pub fn take_staged_credit(&self) -> Option<CreditMsg> {
+        self.credits.pop()
+    }
+
+    /// Transport pump (producer side of an outbound half): appends a credit
+    /// message that arrived from the wire, to be folded in by the sender's
+    /// next [`apply_credits`](Self::apply_credits). Returns `false` if the
+    /// ring is full (retry after the shard loop drains it).
+    #[must_use]
+    pub fn inject_credit(&self, msg: CreditMsg) -> bool {
+        self.credits.push(msg)
+    }
 }
 
 /// The receiver-side endpoint of one boundary link: drains the flit mailbox
@@ -300,6 +236,18 @@ impl BoundaryRx {
     /// Flits still in flight in the mailbox.
     pub fn in_flight(&self) -> usize {
         self.link.in_flight()
+    }
+
+    /// Cumulative flits moved out of the mailbox into the ingress buffer.
+    /// Monotone; this is the receiver-side `recv` count the credit-counting
+    /// termination detector balances against the sender's push count.
+    pub fn delivered_total(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// The underlying link (for transports that pump the mailbox).
+    pub fn link(&self) -> &Arc<BoundaryLink> {
+        &self.link
     }
 
     /// Moves mailbox flits into the ingress buffer. With `limit = Some(c)`

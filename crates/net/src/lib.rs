@@ -54,6 +54,7 @@ pub mod network;
 pub mod payload;
 pub mod router;
 pub mod routing;
+pub mod spsc;
 pub mod stats;
 pub mod vca;
 pub mod vcbuf;

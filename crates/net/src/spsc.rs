@@ -1,0 +1,141 @@
+//! A fixed-capacity lock-free single-producer single-consumer ring.
+//!
+//! This is the primitive under every boundary transport: the in-process
+//! thread backend shares one ring directly between two shard workers, while
+//! the multi-process backends (shared-memory segments, sockets) use rings as
+//! the staging buffers between a shard loop and its transport pump. Split out
+//! of `boundary` so transports can reason about the ring independently of the
+//! credit protocol layered on top.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity lock-free single-producer single-consumer ring.
+///
+/// `head` is owned by the consumer, `tail` by the producer; each side only
+/// ever stores to its own cursor (with `Release`) and reads the other side's
+/// with `Acquire`. Slot `i` is written exactly once per lap by the producer
+/// (who proved `tail - head < capacity`) and read exactly once by the consumer
+/// (who proved `head < tail`), so the accesses never overlap.
+///
+/// The single-producer / single-consumer discipline is a *protocol* contract:
+/// the sharded runtime hands the producer end to exactly one worker (the
+/// sender shard) and the consumer end to exactly one worker (the receiver
+/// shard), with hand-offs between runs ordered by channel sends.
+pub struct Spsc<T: Copy> {
+    capacity: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Consumer cursor: items popped so far.
+    head: AtomicU64,
+    /// Producer cursor: items pushed so far.
+    tail: AtomicU64,
+}
+
+// SAFETY: see the struct-level synchronization argument; `T: Copy` means no
+// drop obligations for slots that are overwritten a lap later.
+unsafe impl<T: Copy + Send> Send for Spsc<T> {}
+unsafe impl<T: Copy + Send> Sync for Spsc<T> {}
+
+impl<T: Copy> std::fmt::Debug for Spsc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spsc")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T: Copy> Spsc<T> {
+    /// Creates a ring holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an SPSC ring needs capacity for one item");
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            capacity,
+            slots,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of items the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently in the ring (racy but monotone-consistent: safe for
+    /// occupancy/idle accounting from either end).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// True if the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative items pushed over the ring's lifetime (the producer cursor).
+    /// Monotone; the credit-counting termination detector reads this as the
+    /// channel's `sent` count.
+    pub fn pushed(&self) -> u64 {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    /// Cumulative items popped over the ring's lifetime (the consumer
+    /// cursor). Monotone.
+    pub fn popped(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Producer side: appends an item. Returns `false` if the ring is full.
+    #[must_use]
+    pub fn push(&self, value: T) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail - head >= self.capacity as u64 {
+            return false;
+        }
+        // SAFETY: `tail - head < capacity` proves the consumer has finished
+        // with this slot (it will not read it again until tail advances past
+        // it), and we are the only producer.
+        unsafe {
+            (*self.slots[(tail % self.capacity as u64) as usize].get()).write(value);
+        }
+        self.tail.store(tail + 1, Ordering::Release);
+        true
+    }
+
+    /// Consumer side: pops the head item if `pred` accepts it.
+    pub fn pop_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head >= tail {
+            return None;
+        }
+        // SAFETY: `head < tail` with the acquire load above proves the
+        // producer published this slot; we are the only consumer.
+        let value =
+            unsafe { (*self.slots[(head % self.capacity as u64) as usize].get()).assume_init() };
+        if pred(&value) {
+            self.head.store(head + 1, Ordering::Release);
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Consumer side: pops the head item unconditionally.
+    pub fn pop(&self) -> Option<T> {
+        self.pop_if(|_| true)
+    }
+}

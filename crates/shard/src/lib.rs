@@ -1,26 +1,35 @@
 //! # hornet-shard
 //!
 //! The sharded execution runtime of HORNET-RS: the layer that scales the
-//! cycle-level simulation across host threads (and, in future PRs, sockets
-//! and machines) without a global barrier.
+//! cycle-level simulation across host threads (and, through the
+//! `hornet-dist` crate, across processes and machines) without a global
+//! barrier.
 //!
-//! Three pieces compose the subsystem:
+//! Four pieces compose the subsystem:
 //!
 //! * [`partition`] — a topology-aware [`Partitioner`](partition::Partitioner)
-//!   assigns contiguous sub-mesh blocks of tiles to shards (row-aligned on
-//!   meshes, which minimizes the cut among contiguous partitions and balances
-//!   shards to within one row) and reports the cut set;
+//!   assigns band-aligned sub-mesh blocks of tiles to shards, oriented along
+//!   whichever mesh axis yields the smaller cut set (rows on tall/square
+//!   meshes, columns on wide ones), and reports the cut set;
 //! * boundary mailboxes — every cut link is rewired onto lock-free SPSC
 //!   flit/credit rings ([`hornet_net::boundary`]), so cross-shard traffic
 //!   never touches a lock;
+//! * [`termination`] — credit-counting distributed termination detection:
+//!   every flit handed to a boundary transport carries an implicit credit,
+//!   and a detector declares quiescence only when all shards are idle *and*
+//!   the credits balance, over a two-wave consistent ledger scan. This
+//!   replaces the global rendezvous that fast-forward and
+//!   `run_to_completion` used to need — there is no barrier anywhere in the
+//!   runtime;
 //! * [`runtime`] — a persistent worker pool (one run queue per shard, threads
-//!   spawned once and reused across runs) executes the shards under
-//!   *slack-based synchronization*: a shard only waits until its cut-link
-//!   neighbors are within `k` cycles, using the one-cycle link latency as
-//!   conservative lookahead. `k = 0` with strict cycle-stamped mailbox
-//!   consumption reproduces the sequential simulation bit-exactly; `k > 0`
-//!   trades bounded timing skew for scaling, exactly the accuracy/speed knob
-//!   of the paper's loose synchronization, but pairwise instead of global.
+//!   spawned once, optionally pinned to cores, and reused across runs)
+//!   executes the shards under *slack-based synchronization*: a shard only
+//!   waits until its cut-link neighbors are within `k` cycles, using the
+//!   one-cycle link latency as conservative lookahead. `k = 0` with strict
+//!   cycle-stamped mailbox consumption reproduces the sequential simulation
+//!   bit-exactly; `k > 0` trades bounded timing skew for scaling, exactly the
+//!   accuracy/speed knob of the paper's loose synchronization, but pairwise
+//!   instead of global.
 //!
 //! The `hornet-core` engine maps its `SyncMode` onto [`runtime::RunParams`]:
 //! `CycleAccurate` → `{slack: 0, quantum: 1, strict}`, `Slack(k)` →
@@ -28,6 +37,8 @@
 
 pub mod partition;
 pub mod runtime;
+pub mod sys;
+pub mod termination;
 
-pub use partition::{Partition, Partitioner};
-pub use runtime::{RunOutcome, RunParams, ShardRuntime};
+pub use partition::{CutOrientation, Partition, Partitioner};
+pub use runtime::{RunOutcome, RunParams, ShardConfig, ShardRuntime};

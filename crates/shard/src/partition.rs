@@ -1,22 +1,36 @@
 //! Topology-aware partitioning of tiles onto shards.
 //!
-//! A [`Partition`] assigns every tile to exactly one shard as a *contiguous
-//! block of node indices*. For row-major meshes (the paper's topology),
-//! [`Partitioner::mesh`] aligns block boundaries to mesh rows, which is the
-//! minimum-cut contiguous partition of a mesh: every shard boundary then cuts
-//! exactly `width` links, the fewest any horizontal division can achieve, and
-//! the blocks are balanced to within one row. For geometries without a
-//! natural row structure, [`Partitioner::linear`] falls back to balanced
-//! contiguous index ranges (±1 tile).
+//! A [`Partition`] assigns every tile to exactly one shard. For row-major
+//! meshes (the paper's topology), [`Partitioner::mesh`] aligns shard
+//! boundaries to complete rows *or* complete columns — whichever orientation
+//! yields the smaller cut set: a boundary between row bands cuts `width`
+//! links while a boundary between column bands cuts `height` links, so wide
+//! meshes (`width > height`) are split along columns and tall or square
+//! meshes along rows. Bands are balanced to within one row/column. For
+//! geometries without a natural row structure, [`Partitioner::linear`] falls
+//! back to balanced contiguous index ranges (±1 tile).
+//!
+//! Row bands are contiguous blocks of node indices; column bands are not
+//! (row-major order interleaves them), so a shard's tiles are reported as an
+//! explicit sorted index list ([`Partition::members`]).
 //!
 //! The cut set — the links whose endpoints land in different shards — is what
 //! the runtime turns into boundary mailboxes; [`Partition::cut_links`]
 //! computes and reports it for any edge list.
 
 use hornet_net::ids::NodeId;
-use std::ops::Range;
 
-/// Splits tiles into contiguous shards.
+/// Which mesh axis the shard boundaries run along.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CutOrientation {
+    /// Shards are bands of complete rows (boundaries cut vertical links).
+    Rows,
+    /// Shards are bands of complete columns (boundaries cut horizontal
+    /// links).
+    Columns,
+}
+
+/// Splits tiles into shards.
 #[derive(Copy, Clone, Debug)]
 pub struct Partitioner {
     shards: usize,
@@ -25,35 +39,81 @@ pub struct Partitioner {
 impl Partitioner {
     /// Creates a partitioner targeting `shards` shards (at least one). The
     /// actual shard count may come out lower when the topology cannot feed
-    /// that many shards (fewer rows / tiles than requested shards).
+    /// that many shards (fewer rows/columns/tiles than requested shards).
     pub fn new(shards: usize) -> Self {
         Self {
             shards: shards.max(1),
         }
     }
 
-    /// Row-aligned partition of a `width × height` row-major mesh: each shard
-    /// receives a contiguous band of complete rows, band heights differing by
-    /// at most one row. This is the minimum-cut contiguous partition of a
-    /// mesh — every inter-shard boundary cuts exactly `width` vertical links.
+    /// Band partition of a `width × height` row-major mesh, oriented along
+    /// whichever axis yields the smaller cut set: every boundary between row
+    /// bands cuts `width` vertical links, every boundary between column bands
+    /// cuts `height` horizontal links, so the partitioner cuts rows when
+    /// `width ≤ height` and columns when `width > height`. Bands are balanced
+    /// to within one row/column. This is the minimum-cut contiguous band
+    /// partition of a mesh.
     ///
     /// # Panics
     ///
     /// Panics if either dimension is zero.
     pub fn mesh(&self, width: usize, height: usize) -> Partition {
         assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
-        let shards = self.shards.min(height);
-        let base = height / shards;
-        let extra = height % shards;
-        let mut ranges = Vec::with_capacity(shards);
-        let mut row = 0usize;
-        for s in 0..shards {
-            let rows = base + usize::from(s < extra);
-            ranges.push((row * width)..((row + rows) * width));
-            row += rows;
+        if width > height {
+            self.mesh_oriented(width, height, CutOrientation::Columns)
+        } else {
+            self.mesh_oriented(width, height, CutOrientation::Rows)
         }
-        debug_assert_eq!(row, height);
-        Partition::from_ranges(ranges)
+    }
+
+    /// Band partition of a mesh with an explicitly chosen orientation (see
+    /// [`Partitioner::mesh`] for the automatic choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn mesh_oriented(
+        &self,
+        width: usize,
+        height: usize,
+        orientation: CutOrientation,
+    ) -> Partition {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        // A band is a run of complete rows (or columns); `axis` is the number
+        // of bands available, `span` the tiles per row/column.
+        let axis = match orientation {
+            CutOrientation::Rows => height,
+            CutOrientation::Columns => width,
+        };
+        let shards = self.shards.min(axis);
+        let base = axis / shards;
+        let extra = axis % shards;
+        let mut members: Vec<Vec<usize>> = Vec::with_capacity(shards);
+        let mut first = 0usize;
+        for s in 0..shards {
+            let bands = base + usize::from(s < extra);
+            let band = first..(first + bands);
+            let mut tiles = Vec::with_capacity(bands * width * height / axis);
+            match orientation {
+                CutOrientation::Rows => {
+                    // Rows are contiguous in row-major order.
+                    tiles.extend((band.start * width)..(band.end * width));
+                }
+                CutOrientation::Columns => {
+                    // Ascending y outer, ascending x inner: already sorted.
+                    for y in 0..height {
+                        for x in band.clone() {
+                            tiles.push(y * width + x);
+                        }
+                    }
+                    debug_assert!(tiles.windows(2).all(|w| w[0] < w[1]));
+                }
+            }
+            members.push(tiles);
+            first += bands;
+        }
+        debug_assert_eq!(first, axis);
+        Partition::from_members(members, orientation)
     }
 
     /// Balanced contiguous index-range partition of `node_count` tiles
@@ -68,46 +128,70 @@ impl Partitioner {
         let shards = self.shards.min(node_count);
         let base = node_count / shards;
         let extra = node_count % shards;
-        let mut ranges = Vec::with_capacity(shards);
+        let mut members = Vec::with_capacity(shards);
         let mut start = 0usize;
         for s in 0..shards {
             let len = base + usize::from(s < extra);
-            ranges.push(start..(start + len));
+            members.push((start..(start + len)).collect());
             start += len;
         }
         debug_assert_eq!(start, node_count);
-        Partition::from_ranges(ranges)
+        Partition::from_members(members, CutOrientation::Rows)
     }
 }
 
-/// An assignment of tiles to shards as contiguous index blocks.
+/// An assignment of tiles to shards.
 #[derive(Clone, Debug)]
 pub struct Partition {
-    ranges: Vec<Range<usize>>,
     /// `assignment[node] = shard`.
     assignment: Vec<u32>,
+    /// Sorted node indices of each shard.
+    members: Vec<Vec<usize>>,
+    /// The axis the shard boundaries run along (meaningful for mesh
+    /// partitions; linear partitions report `Rows`).
+    orientation: CutOrientation,
 }
 
 impl Partition {
-    fn from_ranges(ranges: Vec<Range<usize>>) -> Self {
-        let node_count = ranges.last().map_or(0, |r| r.end);
-        let mut assignment = vec![0u32; node_count];
-        for (s, r) in ranges.iter().enumerate() {
-            for slot in &mut assignment[r.clone()] {
-                *slot = s as u32;
+    /// Builds a partition from explicit per-shard member lists. Every node
+    /// index in `0..n` must appear exactly once across the lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists do not cover a contiguous `0..n` index range
+    /// exactly once.
+    pub fn from_members(members: Vec<Vec<usize>>, orientation: CutOrientation) -> Self {
+        let node_count: usize = members.iter().map(Vec::len).sum();
+        let mut assignment = vec![u32::MAX; node_count];
+        for (s, tiles) in members.iter().enumerate() {
+            for &i in tiles {
+                assert!(
+                    i < node_count && assignment[i] == u32::MAX,
+                    "partition must cover every tile exactly once"
+                );
+                assignment[i] = s as u32;
             }
         }
-        Self { ranges, assignment }
+        Self {
+            assignment,
+            members,
+            orientation,
+        }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.ranges.len()
+        self.members.len()
     }
 
     /// Total number of tiles covered.
     pub fn node_count(&self) -> usize {
         self.assignment.len()
+    }
+
+    /// The axis the shard boundaries run along.
+    pub fn orientation(&self) -> CutOrientation {
+        self.orientation
     }
 
     /// The shard a tile belongs to.
@@ -119,19 +203,24 @@ impl Partition {
         self.assignment[node.index()] as usize
     }
 
-    /// The contiguous node-index range of one shard.
-    pub fn range(&self, shard: usize) -> Range<usize> {
-        self.ranges[shard].clone()
+    /// The sorted node indices of one shard.
+    pub fn members(&self, shard: usize) -> &[usize] {
+        &self.members[shard]
     }
 
-    /// All shard ranges, in shard order.
-    pub fn ranges(&self) -> &[Range<usize>] {
-        &self.ranges
+    /// All shards' member lists, in shard order.
+    pub fn all_members(&self) -> &[Vec<usize>] {
+        &self.members
+    }
+
+    /// The shard-to-node assignment, indexed by node.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
     }
 
     /// Number of tiles in one shard.
     pub fn tiles(&self, shard: usize) -> usize {
-        self.ranges[shard].len()
+        self.members[shard].len()
     }
 
     /// The cut set: every edge whose endpoints land in different shards,
@@ -198,12 +287,59 @@ mod tests {
     fn mesh_partition_is_row_aligned_and_balanced() {
         let p = Partitioner::new(4).mesh(8, 8);
         assert_eq!(p.shard_count(), 4);
+        assert_eq!(p.orientation(), CutOrientation::Rows);
         for s in 0..4 {
             assert_eq!(p.tiles(s), 16, "two rows of eight");
-            assert_eq!(p.range(s).start % 8, 0, "row-aligned start");
+            assert_eq!(p.members(s)[0] % 8, 0, "row-aligned start");
+            let m = p.members(s);
+            assert!(m.windows(2).all(|w| w[1] == w[0] + 1), "rows contiguous");
         }
         // Three boundaries × eight links each.
         assert_eq!(p.cut_links(mesh_edges(8, 8)).len(), 24);
+    }
+
+    #[test]
+    fn wide_mesh_cuts_columns_for_a_smaller_cut_set() {
+        // 16×4: row cuts would cost 16 links per boundary (and allow at most
+        // 4 shards); column cuts cost 4.
+        let p = Partitioner::new(4).mesh(16, 4);
+        assert_eq!(p.orientation(), CutOrientation::Columns);
+        assert_eq!(p.shard_count(), 4);
+        for s in 0..4 {
+            assert_eq!(p.tiles(s), 16, "four columns of four");
+        }
+        let cuts = p.cut_links(mesh_edges(16, 4));
+        assert_eq!(cuts.len(), 3 * 4, "three boundaries × height links");
+        // The row-forced alternative pays 16 links per boundary.
+        let rows = Partitioner::new(4).mesh_oriented(16, 4, CutOrientation::Rows);
+        assert!(cuts.len() < rows.cut_links(mesh_edges(16, 4)).len());
+    }
+
+    #[test]
+    fn tall_and_square_meshes_keep_row_cuts() {
+        assert_eq!(
+            Partitioner::new(2).mesh(4, 8).orientation(),
+            CutOrientation::Rows
+        );
+        assert_eq!(
+            Partitioner::new(2).mesh(8, 8).orientation(),
+            CutOrientation::Rows
+        );
+    }
+
+    #[test]
+    fn column_members_cover_every_tile_exactly_once() {
+        let p = Partitioner::new(3).mesh(9, 2);
+        assert_eq!(p.orientation(), CutOrientation::Columns);
+        let mut seen = [false; 18];
+        for s in 0..p.shard_count() {
+            for &i in p.members(s) {
+                assert!(!seen[i], "tile {i} assigned twice");
+                seen[i] = true;
+                assert_eq!(p.shard_of(NodeId::from(i)), s);
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
     }
 
     #[test]
@@ -215,7 +351,7 @@ mod tests {
     }
 
     #[test]
-    fn shard_count_clamps_to_rows() {
+    fn shard_count_clamps_to_bands() {
         let p = Partitioner::new(64).mesh(4, 4);
         assert_eq!(p.shard_count(), 4);
         assert_eq!(p.node_count(), 16);
@@ -230,8 +366,8 @@ mod tests {
         assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
         let mut covered = 0;
         for s in 0..3 {
-            assert_eq!(p.range(s).start, covered, "contiguous");
-            covered = p.range(s).end;
+            assert_eq!(p.members(s)[0], covered, "contiguous");
+            covered = p.members(s).last().unwrap() + 1;
         }
         assert_eq!(covered, 10);
     }
@@ -255,5 +391,11 @@ mod tests {
         assert_eq!(adj[1], vec![0, 2]);
         assert_eq!(adj[2], vec![1, 3]);
         assert_eq!(adj[3], vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly once")]
+    fn duplicate_membership_panics() {
+        let _ = Partition::from_members(vec![vec![0, 1], vec![1]], CutOrientation::Rows);
     }
 }

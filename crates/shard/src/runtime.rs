@@ -1,16 +1,16 @@
 //! The sharded execution runtime: a persistent worker pool driving one
 //! partition shard per worker, with boundary mailboxes on cut links and
-//! slack-based neighbor synchronization instead of a global barrier.
+//! slack-based neighbor synchronization — and *no global barrier anywhere*,
+//! including fast-forward and completion detection.
 //!
 //! # Execution model
 //!
-//! Tiles are split into contiguous shards by a [`Partition`]; each shard is
-//! owned by one worker of a pool spawned once and reused across `run()`
-//! calls (jobs arrive on one run queue per worker). Before a run, every cut
-//! link is rewired: the sender router's egress port gets a
-//! [`BoundaryLink`] mailbox per VC and the receiving worker gets the matching
-//! [`BoundaryRx`] endpoints, so a worker's simulated cycle touches only
-//! shard-local state plus lock-free SPSC rings.
+//! Tiles are split into shards by a [`Partition`]; each shard is owned by one
+//! worker of a pool spawned once and reused across `run()` calls (jobs arrive
+//! on one run queue per worker). Before a run, every cut link is rewired: the
+//! sender router's egress port gets a [`BoundaryLink`] mailbox per VC and the
+//! receiving worker gets the matching [`BoundaryRx`] endpoints, so a worker's
+//! simulated cycle touches only shard-local state plus lock-free SPSC rings.
 //!
 //! # Synchronization
 //!
@@ -29,24 +29,37 @@
 //!   their stamps, so functional behaviour (delivery, ordering, credit
 //!   safety) is unaffected and only timing skews by at most `k` cycles.
 //! * `quantum = n` — the worker checks the drift condition only at `n`-cycle
-//!   batch boundaries; with `barrier_batches` every shard additionally meets
-//!   at each boundary so drift re-zeroes per batch (the reimplementation of
-//!   `SyncMode::Periodic(n)` with its classic fidelity profile).
+//!   batch boundaries; with `barrier_batches` every shard additionally waits
+//!   for all shards' progress counters to reach each boundary, so drift
+//!   re-zeroes per batch (the reimplementation of `SyncMode::Periodic(n)`
+//!   with its classic fidelity profile — a counter rendezvous, not a
+//!   `Barrier` primitive).
 //!
-//! Fast-forward and completion detection need a *global* consensus and keep
-//! the classic rendezvous: when either is enabled, workers meet on a barrier
-//! every `max(quantum, slack, 1)` cycles, publish per-shard idle/next-event
-//! state (including flits still in flight inside boundary mailboxes), and a
-//! leader decides whether to stop or jump the clocks.
+//! # Termination and fast-forward without a barrier
+//!
+//! Fast-forward and completion detection used to rendezvous every shard on a
+//! global barrier at check boundaries; they now ride credit-counting
+//! distributed termination detection ([`crate::termination`]). Each worker
+//! publishes a [`ShardLedger`] — local idleness, agent completion, earliest
+//! next event, and the cumulative flit counts handed to / taken from its
+//! boundary transports — and keeps simulating. The *caller* thread of
+//! [`ShardRuntime::run`] doubles as the detector: it scans the ledgers with a
+//! two-wave consistent snapshot and, only when every shard is idle and the
+//! transport credits balance, publishes a stop flag (completion) or a
+//! monotone jump target (fast-forward) that workers pick up from their
+//! normal per-cycle polling. Workers never wait for each other beyond the
+//! usual neighbor drift gates.
 
 use crate::partition::Partition;
+use crate::sys;
+use crate::termination::{scan_ledgers, LedgerState, Quiescence, ShardLedger};
 use hornet_net::boundary::{BoundaryLink, BoundaryRx, EgressChannel};
 use hornet_net::ids::Cycle;
 use hornet_net::network::NetworkNode;
 use hornet_net::stats::NetworkStats;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Parameters of one sharded run.
@@ -64,8 +77,8 @@ pub struct RunParams {
     /// reproduction of the sequential schedule). Only meaningful with
     /// `slack == 0` and `quantum == 1`.
     pub strict: bool,
-    /// Rendezvous all shards on a barrier at every `quantum`-cycle batch
-    /// boundary (classic periodic synchronization: drift re-zeroes each
+    /// Rendezvous all shards (via progress counters) at every `quantum`-cycle
+    /// batch boundary (classic periodic synchronization: drift re-zeroes each
     /// batch). `false` leaves batches purely neighbor-synchronized.
     pub barrier_batches: bool,
     /// Skip idle periods by jumping all clocks to the next event.
@@ -96,34 +109,23 @@ struct SyncShared {
     /// Per shard: last cycle whose positive edge completed (consulted only
     /// for cut links that carry bandwidth-adaptive bidirectional links).
     posedge_done: Vec<AtomicU64>,
-    /// Rendezvous for fast-forward / completion consensus and end-of-run.
-    barrier: Barrier,
-    /// Per shard: buffered + in-flight flits and injector backlog.
-    busy: Vec<AtomicU64>,
-    /// Per shard: earliest next event (`u64::MAX` = none).
-    next_event: Vec<AtomicU64>,
-    /// Per shard: all agents report completion.
-    finished: Vec<AtomicBool>,
-    /// Cycle to jump to (fast-forward), or 0 for "no jump".
+    /// Per shard: the credit-counting termination ledger.
+    ledgers: Vec<ShardLedger>,
+    /// Fast-forward jump target published by the detector (monotone; a worker
+    /// jumps when the target exceeds its own clock). 0 = no jump.
     skip_to: AtomicU64,
-    /// Set when completion is detected.
+    /// Set by the detector when completion is declared.
     stop: AtomicBool,
-    /// Cycle at which the simulation stopped.
-    final_cycle: AtomicU64,
 }
 
 impl SyncShared {
-    fn new(shards: usize, start: Cycle, end: Cycle) -> Self {
+    fn new(shards: usize, start: Cycle) -> Self {
         Self {
             negedge_done: (0..shards).map(|_| AtomicU64::new(start)).collect(),
             posedge_done: (0..shards).map(|_| AtomicU64::new(start)).collect(),
-            barrier: Barrier::new(shards),
-            busy: (0..shards).map(|_| AtomicU64::new(1)).collect(),
-            next_event: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
-            finished: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            ledgers: (0..shards).map(|_| ShardLedger::new()).collect(),
             skip_to: AtomicU64::new(0),
             stop: AtomicBool::new(false),
-            final_cycle: AtomicU64::new(end),
         }
     }
 }
@@ -150,14 +152,31 @@ struct JobResult {
     shard: usize,
     tiles: Vec<NetworkNode>,
     stats: NetworkStats,
+    /// The cycle this shard actually stopped at.
+    final_now: Cycle,
+    /// Receiver endpoints, returned so the caller can flush leftover
+    /// in-flight flits once every sender has exited (replaces the old
+    /// end-of-run barrier).
+    inbound: Vec<BoundaryRx>,
+    /// The shard's simulation panicked; `tiles` is empty and the whole run
+    /// must be aborted (the caller re-raises after unblocking the others).
+    panicked: bool,
 }
 
-/// Spins until every listed shard's counter reaches `floor`.
-fn wait_for(counters: &[AtomicU64], neighbors: &[usize], floor: u64) {
-    for &n in neighbors {
+/// Spins until every listed shard's counter reaches `floor`, or the stop
+/// flag is raised (returns `false` in that case so callers can unwind).
+/// Spin-then-yield only: shard workers share one process and one scheduler,
+/// and the wait is typically a cycle's worth of work, so parking would cost
+/// more than it saves (the multi-process worker loop, whose peers are whole
+/// processes, escalates to sleeps instead).
+fn wait_floor(stop: &AtomicBool, counters: &[AtomicU64], shards: &[usize], floor: u64) -> bool {
+    for &n in shards {
         let counter = &counters[n];
         let mut spins = 0u32;
         while counter.load(Ordering::Acquire) < floor {
+            if stop.load(Ordering::Acquire) {
+                return false;
+            }
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(128) {
                 std::thread::yield_now();
@@ -166,6 +185,18 @@ fn wait_for(counters: &[AtomicU64], neighbors: &[usize], floor: u64) {
             }
         }
     }
+    true
+}
+
+/// Spins until *every* shard's counter reaches `floor` (the counter-based
+/// rendezvous behind `barrier_batches`), or the stop flag is raised.
+fn wait_floor_all(stop: &AtomicBool, counters: &[AtomicU64], floor: u64) -> bool {
+    for n in 0..counters.len() {
+        if !wait_floor(stop, counters, &[n], floor) {
+            return false;
+        }
+    }
+    true
 }
 
 /// The per-worker simulation loop for one shard.
@@ -183,141 +214,140 @@ fn run_shard(job: Job) -> JobResult {
     } = job;
     let end = p.start + p.cycles;
     let quantum = p.quantum.max(1);
-    let check_every = if p.fast_forward || p.detect_completion {
-        quantum.max(p.slack).max(1)
-    } else {
-        0
-    };
+    // Ledger publishing is only needed when a detector is watching.
+    let track_ledger = p.fast_forward || p.detect_completion;
+    let mut recv_total = 0u64;
+    let mut last_published = LedgerState::default();
+    let mut published_once = false;
     let mut now = p.start;
 
-    loop {
-        if now >= end || sync.stop.load(Ordering::Acquire) {
+    'run: while now < end {
+        if sync.stop.load(Ordering::Acquire) {
             break;
         }
-        let check_end = if check_every > 0 {
-            (now + check_every).min(end)
-        } else {
-            end
-        };
-        while now < check_end {
-            let batch_end = (now + quantum).min(check_end);
-            // Drift gate at the batch boundary: neighbors must have finished
-            // the negative edge of `now - slack` before we simulate `now+1`.
-            wait_for(&sync.negedge_done, &neighbors, now.saturating_sub(p.slack));
-            while now < batch_end {
-                let next = now + 1;
-                // Drain boundary mailboxes. Strict mode consumes exactly the
-                // prefix the sequential schedule would have made visible by
-                // this cycle; loose modes take everything available.
-                let (flit_limit, credit_limit) = if p.strict {
-                    (Some(next), Some(next - 1))
-                } else {
-                    (None, None)
-                };
-                for link in &outbound {
-                    link.apply_credits(credit_limit);
-                }
-                for rx in &mut inbound {
-                    rx.deliver(flit_limit);
-                }
-                for tile in &mut tiles {
-                    tile.posedge(next);
-                }
-                sync.posedge_done[shard].store(next, Ordering::Release);
-                if phase_wait {
-                    // Bandwidth-adaptive links publish demand at the negative
-                    // edge into a single shared slot; hold our negedge until
-                    // the neighbors' posedges have read the previous value.
-                    wait_for(&sync.posedge_done, &neighbors, next);
-                }
-                for tile in &mut tiles {
-                    tile.negedge(next);
-                }
-                for rx in &mut inbound {
-                    rx.emit_credits(next);
-                }
-                sync.negedge_done[shard].store(next, Ordering::Release);
-                now = next;
-            }
-            if p.barrier_batches {
-                // Classic periodic synchronization: every shard meets at the
-                // batch boundary, so clock drift re-zeroes each batch instead
-                // of sitting persistently at the bound.
-                sync.barrier.wait();
-            }
+        let batch_end = (now + quantum).min(end);
+        // Drift gate at the batch boundary: neighbors must have finished
+        // the negative edge of `now - slack` before we simulate `now+1`.
+        if !wait_floor(
+            &sync.stop,
+            &sync.negedge_done,
+            &neighbors,
+            now.saturating_sub(p.slack),
+        ) {
+            break;
         }
-
-        if check_every > 0 {
-            // Rendezvous first: neighbor-synchronized shards may be several
-            // cycles apart inside the check interval, and a shard must not
-            // snapshot its idle state while a slower neighbor is still
-            // pushing flits into its inbound mailboxes.
-            sync.barrier.wait();
-            // Publish this shard's idle / completion state. Tile probes are
-            // O(1) (aggregate occupancy counters); in-flight mailbox flits
-            // count as busy so a pending cross-shard delivery blocks both
-            // fast-forward jumps and completion.
-            let busy: u64 = tiles
-                .iter()
-                .map(|t| t.buffered_flits() as u64 + u64::from(!t.is_idle()))
-                .sum::<u64>()
-                + inbound.iter().map(|rx| rx.in_flight() as u64).sum::<u64>();
-            let next = tiles
-                .iter()
-                .filter_map(|t| t.next_event(now))
-                .min()
-                .unwrap_or(u64::MAX);
-            let fin = tiles.iter().all(NetworkNode::finished);
-            sync.busy[shard].store(busy, Ordering::Release);
-            sync.next_event[shard].store(next, Ordering::Release);
-            sync.finished[shard].store(fin, Ordering::Release);
-            sync.barrier.wait();
-            if shard == 0 {
-                let all_idle = sync.busy.iter().all(|b| b.load(Ordering::Acquire) == 0);
-                let all_finished = sync.finished.iter().all(|f| f.load(Ordering::Acquire));
-                if p.detect_completion && all_idle && all_finished {
-                    sync.stop.store(true, Ordering::Release);
-                    sync.final_cycle.store(now, Ordering::Release);
-                }
-                let mut skip = 0;
-                if p.fast_forward && all_idle {
-                    let next = sync
-                        .next_event
-                        .iter()
-                        .map(|e| e.load(Ordering::Acquire))
-                        .min()
-                        .unwrap_or(u64::MAX);
-                    if next == u64::MAX {
-                        skip = end;
-                    } else if next > now + 1 {
-                        skip = next.min(end) - 1;
+        while now < batch_end {
+            if sync.stop.load(Ordering::Acquire) {
+                break 'run;
+            }
+            // Fast-forward directive: the detector proved the whole system
+            // idle with balanced credits up to (at least) `skip`, so jumping
+            // every clock forward is safe regardless of which cycle each
+            // shard currently sits at.
+            if track_ledger {
+                let skip = sync.skip_to.load(Ordering::Acquire);
+                if skip > now {
+                    let target = skip.min(end);
+                    let skipped = target - now;
+                    for tile in &mut tiles {
+                        tile.set_cycle(target);
+                        tile.router_mut().stats_mut().fast_forwarded_cycles += skipped;
                     }
+                    now = target;
+                    sync.posedge_done[shard].store(target, Ordering::Release);
+                    sync.negedge_done[shard].store(target, Ordering::Release);
+                    continue 'run;
                 }
-                sync.skip_to.store(skip, Ordering::Release);
             }
-            sync.barrier.wait();
-            let skip = sync.skip_to.load(Ordering::Acquire);
-            if skip > now {
-                let skipped = skip - now;
-                for tile in &mut tiles {
-                    tile.set_cycle(skip);
-                    tile.router_mut().stats_mut().fast_forwarded_cycles += skipped;
+            let next = now + 1;
+            // Drain boundary mailboxes. Strict mode consumes exactly the
+            // prefix the sequential schedule would have made visible by
+            // this cycle; loose modes take everything available.
+            let (flit_limit, credit_limit) = if p.strict {
+                (Some(next), Some(next - 1))
+            } else {
+                (None, None)
+            };
+            for link in &outbound {
+                link.apply_credits(credit_limit);
+            }
+            for rx in &mut inbound {
+                recv_total += rx.deliver(flit_limit) as u64;
+            }
+            for tile in &mut tiles {
+                tile.posedge(next);
+            }
+            sync.posedge_done[shard].store(next, Ordering::Release);
+            if phase_wait {
+                // Bandwidth-adaptive links publish demand at the negative
+                // edge into a single shared slot; hold our negedge until
+                // the neighbors' posedges have read the previous value.
+                if !wait_floor(&sync.stop, &sync.posedge_done, &neighbors, next) {
+                    break 'run;
                 }
-                now = skip;
-                sync.posedge_done[shard].store(skip, Ordering::Release);
-                sync.negedge_done[shard].store(skip, Ordering::Release);
             }
+            for tile in &mut tiles {
+                tile.negedge(next);
+            }
+            for rx in &mut inbound {
+                rx.emit_credits(next);
+            }
+            if track_ledger {
+                // Publish the termination ledger *before* advancing the
+                // progress counter: when a neighbor (or the detector) sees
+                // this cycle as complete, the ledger already accounts for
+                // every flit it pushed or delivered.
+                let busy: u64 = tiles
+                    .iter()
+                    .map(|t| t.buffered_flits() as u64 + u64::from(!t.is_idle()))
+                    .sum::<u64>()
+                    + inbound.iter().map(|rx| rx.in_flight() as u64).sum::<u64>();
+                let state = LedgerState {
+                    busy,
+                    finished: tiles.iter().all(NetworkNode::finished),
+                    next_event: if p.fast_forward {
+                        tiles
+                            .iter()
+                            .filter_map(|t| t.next_event(next))
+                            .min()
+                            .unwrap_or(u64::MAX)
+                    } else {
+                        u64::MAX
+                    },
+                    sent: outbound.iter().map(|l| l.flits_pushed()).sum(),
+                    recv: recv_total,
+                    cycle: next,
+                };
+                // Idle shards burning cycles republish only when the content
+                // changes (`cycle` is deliberately excluded from the "has
+                // anything changed" comparison), so the detector's two-wave
+                // version check can converge.
+                let changed = !published_once
+                    || LedgerState {
+                        cycle: last_published.cycle,
+                        ..state
+                    } != last_published;
+                if changed {
+                    sync.ledgers[shard].publish(&state);
+                    last_published = state;
+                    published_once = true;
+                }
+            }
+            sync.negedge_done[shard].store(next, Ordering::Release);
+            now = next;
+        }
+        if p.barrier_batches && !wait_floor_all(&sync.stop, &sync.negedge_done, batch_end.min(now))
+        {
+            // Classic periodic synchronization: every shard reaches the
+            // batch boundary before anyone starts the next batch, so clock
+            // drift re-zeroes per batch. Stop raised mid-wait: unwind.
+            break;
         }
     }
 
-    // End-of-run rendezvous: every sender has completed its final negative
-    // edge once all shards pass this barrier, so flushing the inbound
-    // mailboxes into the real ingress buffers is race-free and complete.
-    sync.barrier.wait();
-    for rx in inbound.drain(..) {
-        rx.flush();
-    }
-
+    // No end-of-run rendezvous: the caller joins all workers through the
+    // result channel and flushes the returned inbound endpoints afterwards,
+    // when every sender has provably exited.
     let mut stats = NetworkStats::new();
     for tile in &tiles {
         stats.merge(tile.stats());
@@ -326,13 +356,26 @@ fn run_shard(job: Job) -> JobResult {
         shard,
         tiles,
         stats,
+        final_now: now,
+        inbound,
+        panicked: false,
     }
+}
+
+/// Configuration of the worker pool itself (as opposed to per-run
+/// [`RunParams`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Pin each worker thread to one core (`worker index mod host cores`)
+    /// via `sched_setaffinity`. Linux-only; silently a no-op elsewhere.
+    pub pin_to_cores: bool,
 }
 
 /// A persistent pool of shard workers, spawned once and fed one job per shard
 /// per `run()` call.
 pub struct ShardRuntime {
     workers: Vec<WorkerHandle>,
+    config: ShardConfig,
 }
 
 struct WorkerHandle {
@@ -350,8 +393,14 @@ impl ShardRuntime {
     /// Creates a runtime with `workers` persistent worker threads (more are
     /// spawned on demand when a run needs them).
     pub fn new(workers: usize) -> Self {
+        Self::with_config(workers, ShardConfig::default())
+    }
+
+    /// Creates a runtime with an explicit pool configuration.
+    pub fn with_config(workers: usize, config: ShardConfig) -> Self {
         let mut rt = Self {
             workers: Vec::new(),
+            config,
         };
         rt.ensure_workers(workers);
         rt
@@ -364,16 +413,43 @@ impl ShardRuntime {
 
     /// Spawns additional workers until at least `count` exist.
     pub fn ensure_workers(&mut self, count: usize) {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
         while self.workers.len() < count {
             let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
             let idx = self.workers.len();
+            let pin = self.config.pin_to_cores;
             let handle = std::thread::Builder::new()
                 .name(format!("hornet-shard-{idx}"))
                 .spawn(move || {
+                    if pin {
+                        sys::pin_current_thread(idx % cores);
+                    }
                     while let Ok(job) = rx.recv() {
                         let done = job.done.clone();
-                        let result = run_shard(job);
-                        let _ = done.send(result);
+                        let shard = job.shard;
+                        let sync = Arc::clone(&job.sync);
+                        // A panicking shard must not wedge the run: report a
+                        // failure marker and raise the stop flag so peers
+                        // spinning on this shard's progress unwind promptly.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_shard(job)
+                        }));
+                        match result {
+                            Ok(result) => {
+                                let _ = done.send(result);
+                            }
+                            Err(_) => {
+                                sync.stop.store(true, Ordering::Release);
+                                let _ = done.send(JobResult {
+                                    shard,
+                                    tiles: Vec::new(),
+                                    stats: NetworkStats::new(),
+                                    final_now: 0,
+                                    inbound: Vec::new(),
+                                    panicked: true,
+                                });
+                            }
+                        }
                     }
                 })
                 .expect("spawn shard worker");
@@ -412,18 +488,23 @@ impl ShardRuntime {
         let mut nodes = nodes;
         let wiring = wire_boundaries(&mut nodes, partition);
 
-        // Split the tiles into per-shard vectors (ranges are contiguous and
-        // ascending, so concatenation restores the original order).
-        let mut per_shard_tiles: Vec<Vec<NetworkNode>> = Vec::with_capacity(shards);
-        {
-            let mut iter = nodes.into_iter();
-            for range in partition.ranges() {
-                per_shard_tiles.push(iter.by_ref().take(range.len()).collect());
-            }
-        }
+        // Split the tiles into per-shard vectors following the partition's
+        // member lists (row bands are contiguous, column bands are not).
+        let node_count = nodes.len();
+        let mut slots: Vec<Option<NetworkNode>> = nodes.into_iter().map(Some).collect();
+        let per_shard_tiles: Vec<Vec<NetworkNode>> = partition
+            .all_members()
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .map(|&i| slots[i].take().expect("each tile in exactly one shard"))
+                    .collect()
+            })
+            .collect();
 
         let end = params.start + params.cycles;
-        let sync = Arc::new(SyncShared::new(shards, params.start, end));
+        let sync = Arc::new(SyncShared::new(shards, params.start));
         let (done_tx, done_rx) = channel::<JobResult>();
         let mut inbound = wiring.inbound;
         let mut outbound = wiring.outbound;
@@ -444,32 +525,135 @@ impl ShardRuntime {
         }
         drop(done_tx);
 
+        // Collect worker results; while any are outstanding the caller thread
+        // doubles as the credit-counting termination detector.
         let mut results: Vec<Option<JobResult>> = (0..shards).map(|_| None).collect();
-        for _ in 0..shards {
-            let result = done_rx.recv().expect("shard worker died");
-            let slot = result.shard;
-            results[slot] = Some(result);
+        let mut received = 0usize;
+        let mut any_panicked = false;
+        let detector_active = params.fast_forward || params.detect_completion;
+        while received < shards {
+            if detector_active {
+                // Pace the detector on the result channel itself: the
+                // timeout bounds detection latency while the blocking wait
+                // keeps this thread off the workers' cores (no spinning).
+                match done_rx.recv_timeout(std::time::Duration::from_micros(200)) {
+                    Ok(result) => {
+                        any_panicked |= result.panicked;
+                        let slot = result.shard;
+                        results[slot] = Some(result);
+                        received += 1;
+                        continue;
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                        panic!("shard worker died without reporting");
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        detector_pass(&sync, &params, end);
+                    }
+                }
+            } else {
+                let result = done_rx.recv().expect("shard worker died");
+                any_panicked |= result.panicked;
+                let slot = result.shard;
+                results[slot] = Some(result);
+                received += 1;
+            }
         }
 
-        let mut nodes = Vec::with_capacity(partition.node_count());
-        let mut per_shard_stats = Vec::with_capacity(shards);
-        for result in results.into_iter().map(|r| r.expect("all shards report")) {
-            nodes.extend(result.tiles);
-            per_shard_stats.push(result.stats);
-        }
-
-        unwire_boundaries(&mut nodes, &wiring.directed);
-
-        let final_cycle = if sync.stop.load(Ordering::Acquire) {
-            sync.final_cycle.load(Ordering::Acquire)
+        assert!(
+            !any_panicked,
+            "a shard worker panicked during the run; simulation state is lost"
+        );
+        let stopped = sync.stop.load(Ordering::Acquire);
+        let mut results: Vec<JobResult> = results
+            .into_iter()
+            .map(|r| r.expect("all shards report"))
+            .collect();
+        let final_cycle = if stopped {
+            // Workers notice the stop flag at slightly different cycles; the
+            // system was quiescent throughout, so aligning every clock to the
+            // latest one is a no-op semantically.
+            results.iter().map(|r| r.final_now).max().unwrap_or(end)
         } else {
             end
         };
+
+        // Every sender has exited: flush leftover in-flight mailbox flits
+        // into the real ingress buffers (race-free without a barrier).
+        for result in &mut results {
+            for rx in result.inbound.drain(..) {
+                rx.flush();
+            }
+        }
+
+        let mut slots: Vec<Option<NetworkNode>> = (0..node_count).map(|_| None).collect();
+        let mut per_shard_stats = vec![NetworkStats::new(); shards];
+        for result in results {
+            per_shard_stats[result.shard] = result.stats;
+            for (&idx, mut tile) in partition.members(result.shard).iter().zip(result.tiles) {
+                if stopped {
+                    tile.set_cycle(final_cycle);
+                }
+                slots[idx] = Some(tile);
+            }
+        }
+        let mut nodes: Vec<NetworkNode> = slots
+            .into_iter()
+            .map(|s| s.expect("every tile returned"))
+            .collect();
+
+        unwire_boundaries(&mut nodes, &wiring.directed);
+
         RunOutcome {
             nodes,
             final_cycle,
             per_shard_stats,
             cut_links: wiring.cut_count,
+        }
+    }
+}
+
+/// One detector iteration: scan the ledgers and, on a consistent idle
+/// snapshot with balanced credits, declare completion or publish a
+/// fast-forward target.
+fn detector_pass(sync: &SyncShared, p: &RunParams, end: Cycle) {
+    if sync.stop.load(Ordering::Acquire) {
+        return;
+    }
+    match scan_ledgers(&sync.ledgers) {
+        Quiescence::Active => {}
+        Quiescence::Idle {
+            finished,
+            next_event,
+            ..
+        } => {
+            if p.detect_completion && finished {
+                sync.stop.store(true, Ordering::Release);
+                return;
+            }
+            if p.fast_forward {
+                // Jump to one cycle before the earliest agent event so the
+                // event cycle itself is simulated (to the run end if nothing
+                // will ever happen again).
+                let target = if next_event == u64::MAX {
+                    end
+                } else {
+                    next_event.saturating_sub(1).min(end)
+                };
+                // Only publish a target strictly ahead of every shard's
+                // clock — otherwise some shard has already simulated past it
+                // and the jump would be a no-op (or worse, re-published
+                // forever).
+                let newest = sync
+                    .negedge_done
+                    .iter()
+                    .map(|c| c.load(Ordering::Acquire))
+                    .max()
+                    .unwrap_or(0);
+                if target > newest && target > sync.skip_to.load(Ordering::Acquire) {
+                    sync.skip_to.store(target, Ordering::Release);
+                }
+            }
         }
     }
 }
@@ -567,8 +751,8 @@ fn wire_boundaries(nodes: &mut [NetworkNode], partition: &Partition) -> Wiring {
 }
 
 /// Restores direct shared-buffer wiring on every previously cut link. The
-/// workers flushed all in-flight mailbox flits into the real ingress buffers
-/// before returning, so this is a pure pointer swap.
+/// caller flushed all in-flight mailbox flits into the real ingress buffers,
+/// so this is a pure pointer swap.
 fn unwire_boundaries(nodes: &mut [NetworkNode], directed: &[(usize, usize)]) {
     for &(src, dst) in directed {
         let src_id = nodes[src].node();

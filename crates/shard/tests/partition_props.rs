@@ -1,10 +1,10 @@
 //! Property-based tests of the partitioner's invariants: every tile is
-//! covered exactly once, shards are contiguous index blocks, mesh partitions
-//! are row-aligned and balanced to within one row, and the reported cut set
+//! covered exactly once, bands are aligned to complete rows or columns, the
+//! orientation is the one with the smaller cut set, and the reported cut set
 //! is exactly the set of edges crossing shard boundaries.
 
 use hornet_net::ids::NodeId;
-use hornet_shard::Partitioner;
+use hornet_shard::{CutOrientation, Partitioner};
 use proptest::prelude::*;
 
 fn mesh_edges(w: usize, h: usize) -> Vec<(NodeId, NodeId)> {
@@ -26,46 +26,69 @@ fn mesh_edges(w: usize, h: usize) -> Vec<(NodeId, NodeId)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Mesh partitions cover every tile exactly once, in contiguous
-    /// row-aligned blocks balanced to within one row.
+    /// Mesh partitions cover every tile exactly once in band-aligned shards
+    /// balanced to within one row/column, along the cheaper cut axis.
     #[test]
-    fn mesh_partition_covers_contiguously_and_balances_rows(
+    fn mesh_partition_covers_bands_and_balances(
         width in 1usize..20,
         height in 1usize..20,
         shards in 1usize..12,
     ) {
         let p = Partitioner::new(shards).mesh(width, height);
         prop_assert!(p.shard_count() >= 1);
-        prop_assert!(p.shard_count() <= shards.min(height));
         prop_assert_eq!(p.node_count(), width * height);
 
-        // Coverage: the ranges tile 0..n contiguously, in order.
-        let mut covered = 0usize;
+        // Orientation: boundaries run along the axis with the cheaper cut.
+        let expect = if width > height { CutOrientation::Columns } else { CutOrientation::Rows };
+        prop_assert_eq!(p.orientation(), expect);
+        let bands = match p.orientation() {
+            CutOrientation::Rows => height,
+            CutOrientation::Columns => width,
+        };
+        prop_assert!(p.shard_count() <= shards.min(bands));
+        let span = width * height / bands; // tiles per band
+
+        // Coverage: every tile in exactly one shard; members sorted.
+        let mut owner = vec![usize::MAX; width * height];
         for s in 0..p.shard_count() {
-            let r = p.range(s);
-            prop_assert_eq!(r.start, covered, "shards must be contiguous");
-            prop_assert!(!r.is_empty(), "no shard may be empty");
-            covered = r.end;
-            // Row alignment: block boundaries sit on row boundaries.
-            prop_assert_eq!(r.start % width, 0);
-            prop_assert_eq!(r.end % width, 0);
-            // Every tile in the range maps back to this shard.
-            for i in r {
+            prop_assert!(!p.members(s).is_empty(), "no shard may be empty");
+            prop_assert!(p.members(s).windows(2).all(|w| w[0] < w[1]), "members sorted");
+            for &i in p.members(s) {
+                prop_assert_eq!(owner[i], usize::MAX, "tile {} assigned twice", i);
+                owner[i] = s;
                 prop_assert_eq!(p.shard_of(NodeId::from(i)), s);
             }
         }
-        prop_assert_eq!(covered, width * height, "every tile exactly once");
+        prop_assert!(owner.iter().all(|&s| s != usize::MAX), "every tile covered");
 
-        // Balance: shard heights (in rows) differ by at most one.
-        let rows: Vec<usize> = (0..p.shard_count()).map(|s| p.tiles(s) / width).collect();
-        let max = rows.iter().max().unwrap();
-        let min = rows.iter().min().unwrap();
-        prop_assert!(max - min <= 1, "row balance violated: {:?}", rows);
+        // Band alignment: a shard owns complete rows (or columns) only.
+        for s in 0..p.shard_count() {
+            for &i in p.members(s) {
+                let (x, y) = (i % width, i / width);
+                let band = match p.orientation() {
+                    CutOrientation::Rows => y,
+                    CutOrientation::Columns => x,
+                };
+                // Every tile in the same band lands in the same shard.
+                let probe = match p.orientation() {
+                    CutOrientation::Rows => band * width,      // first tile of row
+                    CutOrientation::Columns => band,           // first tile of column
+                };
+                prop_assert_eq!(p.shard_of(NodeId::from(probe)), s);
+            }
+        }
+
+        // Balance: shard band counts differ by at most one.
+        let sizes: Vec<usize> = (0..p.shard_count()).map(|s| p.tiles(s) / span).collect();
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "band balance violated: {:?}", sizes);
     }
 
     /// The reported cut set is exactly the set of mesh links that cross a
-    /// shard boundary; for a row-aligned partition that is `width` links per
-    /// boundary, the minimum any contiguous partition can achieve.
+    /// shard boundary: one boundary per adjacent shard pair, each cutting
+    /// `min(width, height)` links — the minimum any band partition can
+    /// achieve, and never more than the forced-row alternative.
     #[test]
     fn mesh_cut_set_is_exact_and_minimal(
         width in 1usize..16,
@@ -83,9 +106,18 @@ proptest! {
             .filter(|&&(a, b)| p.shard_of(a) != p.shard_of(b))
             .count();
         prop_assert_eq!(cuts.len(), crossing, "cut set must be exhaustive");
-        // Row-aligned blocks: one boundary per adjacent shard pair, each
-        // cutting exactly `width` vertical links.
-        prop_assert_eq!(cuts.len(), (p.shard_count() - 1) * width);
+        // Band partition: one boundary per adjacent shard pair, each cutting
+        // exactly `span` links where span is the cheaper axis.
+        let span = if width > height { height } else { width };
+        prop_assert_eq!(cuts.len(), (p.shard_count() - 1) * span);
+        // At equal shard counts the automatic orientation never cuts more
+        // than forced rows. (With more shards than rows the row orientation
+        // clamps to fewer shards, which trades parallelism for cut size — not
+        // a comparison of orientations.)
+        let forced = Partitioner::new(shards).mesh_oriented(width, height, CutOrientation::Rows);
+        if forced.shard_count() == p.shard_count() {
+            prop_assert!(cuts.len() <= forced.cut_links(edges.iter().copied()).len());
+        }
     }
 
     /// Linear partitions cover every tile exactly once in contiguous blocks
@@ -100,11 +132,12 @@ proptest! {
         let mut covered = 0usize;
         let mut sizes = Vec::new();
         for s in 0..p.shard_count() {
-            let r = p.range(s);
-            prop_assert_eq!(r.start, covered);
-            prop_assert!(!r.is_empty());
-            sizes.push(r.len());
-            covered = r.end;
+            let m = p.members(s);
+            prop_assert!(!m.is_empty());
+            prop_assert_eq!(m[0], covered);
+            prop_assert!(m.windows(2).all(|w| w[1] == w[0] + 1), "contiguous");
+            sizes.push(m.len());
+            covered = m.last().unwrap() + 1;
         }
         prop_assert_eq!(covered, nodes);
         prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
