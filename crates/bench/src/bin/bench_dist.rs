@@ -10,9 +10,15 @@
 //!   and latency histogram as the sequential baseline — the distributed
 //!   backend's core correctness claim — and records the verdict;
 //! * `dist4_unix_slack5` — 4 processes with 5-cycle slack (the
-//!   accuracy-vs-speed knob across process boundaries);
+//!   accuracy-vs-speed knob across process boundaries); socket frames are
+//!   coalesced 5 cycles per flush here (`socket_batch`), so this scenario
+//!   also tracks the syscall-batching win;
 //! * `dist2_shm_ca` — 2 processes over a shared-memory segment (skipped
-//!   fail-soft where shared mappings are unavailable).
+//!   fail-soft where shared mappings are unavailable);
+//! * `dist4_unix_mem_vsum` — the payload-over-wire scenario: a
+//!   `crates/mem`-driven workload (MIPS-like cores over MSI coherence,
+//!   protocol messages in packet payloads) on 4 socket-transport processes,
+//!   asserted bit-identical to sequential.
 //!
 //! The worker binary (`hornet-dist`) is looked up next to this executable;
 //! scenarios degrade fail-soft (recorded as absent) when it is missing, so
@@ -22,7 +28,7 @@
 //! [--baseline FILE] [--out FILE]`.
 
 use hornet_bench::extract_current_section;
-use hornet_dist::spec::{DistSpec, DistSync, RunKind};
+use hornet_dist::spec::{DistSpec, DistSync, DistWorkload, RunKind};
 use hornet_dist::{run_distributed, DistOutcome, HostOptions, TransportKind};
 use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
 use std::path::PathBuf;
@@ -64,7 +70,7 @@ fn run_dist(
         workers,
         transport,
         worker_cmd: Some(worker_bin()?),
-        verbose: false,
+        ..HostOptions::default()
     };
     let s = spec(sync);
     let start = Instant::now();
@@ -137,7 +143,8 @@ fn main() {
         current_fields.push(format!("\"dist4_cut_links\": {}", outcome.cut_links));
     }
 
-    // 4 processes, 5-cycle slack.
+    // 4 processes, 5-cycle slack — socket flushes batched 5 cycles per
+    // syscall (the Slack/Periodic coalescing optimization).
     if let Some((cps, outcome)) = run_dist(DistSync::Slack(5), 4, TransportKind::UnixSocket) {
         println!(
             "{:<22} {:>12.0} cycles/sec ({} packets delivered)",
@@ -147,6 +154,10 @@ fn main() {
         current_fields.push(format!(
             "\"dist4_unix_slack5_speedup\": {:.3}",
             cps / seq_cps
+        ));
+        current_fields.push(format!(
+            "\"dist4_unix_slack5_socket_batch\": {}",
+            spec(DistSync::Slack(5)).socket_batch()
         ));
     }
 
@@ -168,6 +179,62 @@ fn main() {
         }
     } else {
         println!("dist2_shm_ca           skipped (no shared mappings on this platform)");
+    }
+
+    // Payload-over-wire: memory workload on 4 socket processes. The
+    // sequential reference is only computed when the worker binary exists
+    // (fail-soft, like every other multi-process scenario).
+    if let Some(bin) = worker_bin() {
+        let mem_spec = DistSpec {
+            width: 4,
+            height: 4,
+            workload: DistWorkload::MemVectorSum {
+                base_stride: 0x1_0000,
+                count: 6,
+            },
+            seed: SEED,
+            sync: DistSync::CycleAccurate,
+            run: RunKind::ToCompletion { max: 400_000 },
+            ..DistSpec::default()
+        };
+        let (mem_seq, mem_cycle, completed) = mem_spec.run_sequential().expect("mem reference");
+        assert!(completed, "memory workload reference must complete");
+        {
+            let opts = HostOptions {
+                workers: 4,
+                transport: TransportKind::UnixSocket,
+                worker_cmd: Some(bin),
+                ..HostOptions::default()
+            };
+            let start = Instant::now();
+            match run_distributed(&mem_spec, &opts) {
+                Ok(outcome) => {
+                    let secs = start.elapsed().as_secs_f64();
+                    let cps = outcome.final_cycle as f64 / secs.max(1e-9);
+                    println!(
+                        "{:<22} {:>12.0} cycles/sec ({} packets delivered)",
+                        "dist4_unix_mem_vsum", cps, outcome.stats.delivered_packets
+                    );
+                    let identical = outcome.completed
+                        && outcome.stats.delivered_packets == mem_seq.delivered_packets
+                        && outcome.stats.total_packet_latency == mem_seq.total_packet_latency
+                        && outcome.stats.latency_histogram == mem_seq.latency_histogram;
+                    assert!(
+                        identical,
+                        "4-process memory workload must be bit-identical to sequential \
+                         ({} vs {} packets)",
+                        outcome.stats.delivered_packets, mem_seq.delivered_packets
+                    );
+                    current_fields
+                        .push(format!("\"dist4_unix_mem_vsum_cycles_per_sec\": {cps:.0}"));
+                    current_fields.push(format!(
+                        "\"dist4_unix_mem_vsum_bit_identical\": {identical}"
+                    ));
+                    current_fields.push(format!("\"mem_vsum_completion_cycle\": {mem_cycle}"));
+                }
+                Err(e) => eprintln!("bench_dist: mem workload failed fail-soft: {e}"),
+            }
+        }
     }
 
     let baseline = baseline_path

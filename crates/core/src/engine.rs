@@ -37,9 +37,11 @@
 use hornet_net::geometry::Topology;
 use hornet_net::ids::Cycle;
 use hornet_net::network::{Network, NetworkNode};
+use hornet_net::payload::PayloadStore;
 use hornet_net::stats::NetworkStats;
 use hornet_shard::{Partitioner, RunParams, ShardConfig, ShardRuntime};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How simulation shards synchronize.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -128,6 +130,11 @@ pub struct ShardRunInfo {
 /// The parallel cycle-level simulation engine.
 pub struct ParallelEngine {
     nodes: Vec<NetworkNode>,
+    /// The process-wide payload store (the DMA side channel every bridge
+    /// deposits into). All shards of the thread backend share it, so the
+    /// unified cycle driver's payload channel is the same-process fast path;
+    /// `None` when the engine was built from bare tiles.
+    payload_store: Option<Arc<PayloadStore>>,
     config: EngineConfig,
     cycle: Cycle,
     /// `(width, height)` of the row-major mesh the tiles came from, when
@@ -168,8 +175,9 @@ impl ParallelEngine {
             } => Some((width, height * layers)),
             Topology::Line { .. } | Topology::Ring { .. } | Topology::Custom { .. } => None,
         };
-        let (nodes, _store) = network.into_nodes();
+        let (nodes, store) = network.into_nodes();
         let mut engine = Self::new(nodes, config);
+        engine.payload_store = Some(store);
         engine.mesh_dims = mesh_dims;
         engine
     }
@@ -179,12 +187,20 @@ impl ParallelEngine {
     pub fn new(nodes: Vec<NetworkNode>, config: EngineConfig) -> Self {
         Self {
             nodes,
+            payload_store: None,
             config,
             cycle: 0,
             mesh_dims: None,
             runtime: None,
             shard_info: None,
         }
+    }
+
+    /// The shared payload store (the DMA side channel), when the engine was
+    /// assembled from a [`Network`]. Agents attached after construction can
+    /// deposit payloads here; within one process every shard shares it.
+    pub fn payload_store(&self) -> Option<&Arc<PayloadStore>> {
+        self.payload_store.as_ref()
     }
 
     /// Shard layout and per-shard statistics of the most recent parallel

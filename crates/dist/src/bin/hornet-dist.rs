@@ -4,25 +4,35 @@
 //! hornet-dist host --workers 4 --transport unix --mesh 16x16 \
 //!     --pattern transpose --rate 0.05 --cycles 10000 [--sync ca|slack:K|periodic:N]
 //! hornet-dist host --workers 4 --to-completion 1000000 --max-packets 50 --fast-forward
+//! hornet-dist host --workers 4 --workload vsum:8 --to-completion 400000
+//!
+//! # Cross-machine (host-list) mode: start one worker per machine first,
+//! # then point the coordinator at their data-plane addresses:
+//! hornet-dist worker --connect coord:9100 --family tcp --advertise node1:9101
+//! hornet-dist host --workers node1:9101,node2:9101 --listen 0.0.0.0:9100 ...
+//!
 //! hornet-dist worker --connect ADDR --family unix|tcp     (internal)
 //! ```
 //!
 //! `host` partitions the mesh, spawns N copies of this binary in `worker`
-//! mode, wires the cut links onto the chosen transport, runs the workload
-//! and prints the merged report (optionally as JSON with `--json`).
+//! mode (or waits for the listed remote workers), wires the cut links onto
+//! the chosen transport, runs the workload and prints the merged report
+//! (optionally as JSON with `--json`).
 
-use hornet_dist::spec::{DistSpec, DistSync, RunKind};
+use hornet_dist::spec::{DistSpec, DistSync, DistWorkload, RunKind};
 use hornet_dist::{run_distributed, HostOptions, TransportKind};
 use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  hornet-dist host [--workers N] [--transport unix|tcp|shm] [--mesh WxH]\n    \
+        "usage:\n  hornet-dist host [--workers N | --workers h1:p,h2:p,...] [--listen ADDR]\n    \
+         [--transport unix|tcp|shm] [--mesh WxH]\n    \
+         [--workload synthetic|vsum:COUNT|tokenring]\n    \
          [--pattern transpose|uniform|bitcomp|shuffle|tornado|neighbor] [--rate F]\n    \
          [--cycles N | --to-completion MAX] [--packet-len N] [--max-packets N]\n    \
          [--seed N] [--sync ca|slack:K|periodic:N] [--fast-forward] [--json] [--verbose]\n  \
-         hornet-dist worker --connect ADDR --family unix|tcp  (internal)"
+         hornet-dist worker --connect ADDR --family unix|tcp [--advertise HOST:PORT]"
     );
     ExitCode::from(2)
 }
@@ -39,6 +49,7 @@ fn main() -> ExitCode {
 fn worker(args: &[String]) -> ExitCode {
     let mut connect = None;
     let mut family = "unix".to_string();
+    let mut advertise: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -48,13 +59,14 @@ fn worker(args: &[String]) -> ExitCode {
                     family = f.clone();
                 }
             }
+            "--advertise" => advertise = it.next().cloned(),
             _ => return usage(),
         }
     }
     let Some(connect) = connect else {
         return usage();
     };
-    match hornet_dist::worker::worker_main(&connect, &family) {
+    match hornet_dist::worker::worker_main(&connect, &family, advertise.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("[worker] error: {e}");
@@ -79,7 +91,32 @@ fn host(args: &[String]) -> ExitCode {
     while let Some(a) = it.next() {
         let mut next = || it.next().cloned().unwrap_or_default();
         match a.as_str() {
-            "--workers" => opts.workers = next().parse().unwrap_or(4),
+            "--workers" => {
+                let w = next();
+                if w.contains(':') {
+                    // Host-list mode: pre-started workers at these
+                    // data-plane addresses (forces the TCP transport).
+                    opts.worker_hosts = Some(w.split(',').map(str::to_string).collect());
+                } else {
+                    opts.workers = w.parse().unwrap_or(4);
+                }
+            }
+            "--listen" => opts.ctrl_listen = Some(next()),
+            "--workload" => {
+                let w = next();
+                spec.workload = if w == "synthetic" {
+                    DistWorkload::Synthetic
+                } else if w == "tokenring" {
+                    DistWorkload::CpuTokenRing
+                } else if let Some(count) = w.strip_prefix("vsum:") {
+                    DistWorkload::MemVectorSum {
+                        base_stride: 0x1_0000,
+                        count: count.parse().unwrap_or(8),
+                    }
+                } else {
+                    return usage();
+                };
+            }
             "--transport" => {
                 let t = next();
                 match TransportKind::parse(&t) {

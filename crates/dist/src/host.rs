@@ -44,6 +44,16 @@ pub struct HostOptions {
     pub worker_cmd: Option<PathBuf>,
     /// Print orchestration progress to stderr.
     pub verbose: bool,
+    /// Host-list mode: instead of spawning local workers, expect these
+    /// pre-started workers (`host:port` data-plane addresses, one per
+    /// shard) to connect to the TCP control plane. Each worker is started
+    /// on its machine as `hornet-dist worker --connect <coordinator>
+    /// --family tcp --advertise <its host:port>` and is matched to its
+    /// shard by that advertised address. Forces the TCP transport.
+    pub worker_hosts: Option<Vec<String>>,
+    /// Control-plane bind address for host-list mode
+    /// (e.g. `0.0.0.0:9100`).
+    pub ctrl_listen: Option<String>,
 }
 
 impl Default for HostOptions {
@@ -53,6 +63,8 @@ impl Default for HostOptions {
             transport: TransportKind::UnixSocket,
             worker_cmd: None,
             verbose: false,
+            worker_hosts: None,
+            ctrl_listen: None,
         }
     }
 }
@@ -94,6 +106,9 @@ impl WorkerConn {
 }
 
 /// What the per-connection reader threads forward to the main loop.
+/// (A handful of transient control messages per run: the size skew of the
+/// spec-carrying variants is irrelevant here.)
+#[allow(clippy::large_enum_variant)]
 enum Event {
     Msg(usize, CtrlMsg),
     Gone(usize),
@@ -115,7 +130,11 @@ fn scratch_dir() -> io::Result<PathBuf> {
 /// Runs `spec` across worker processes. Returns the merged outcome; every
 /// spawned process, socket and segment is cleaned up on all paths.
 pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOutcome> {
-    let partition = partition_for(spec, opts.workers);
+    let workers = opts
+        .worker_hosts
+        .as_ref()
+        .map_or(opts.workers, |hosts| hosts.len());
+    let partition = partition_for(spec, workers);
     let shards = partition.shard_count();
     if shards < 2 {
         return Err(io::Error::new(
@@ -138,15 +157,46 @@ fn run_distributed_inner(
     let shards = partition.shard_count();
     let geometry = spec.network_config().geometry;
     let cut_links = cut_pairs(&geometry, partition).len();
+    let remote_hosts = opts.worker_hosts.as_deref();
+    let transport = if remote_hosts.is_some() {
+        // Pre-started workers on other machines can only be reached over
+        // TCP.
+        TransportKind::Tcp
+    } else {
+        opts.transport
+    };
+    if let Some(hosts) = remote_hosts {
+        if hosts.len() != shards {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "host list has {} entries but the partition needs {shards} shards",
+                    hosts.len()
+                ),
+            ));
+        }
+    }
 
-    // Control plane listener.
+    // Control plane listener. Host-list mode always listens on TCP (at the
+    // user-given bind address) so remote workers can reach it.
     #[allow(dead_code)] // the Tcp arm is the non-unix fallback
     enum CtrlListener {
         #[cfg(unix)]
         Unix(UnixListener),
         Tcp(TcpListener),
     }
-    let (listener, ctrl_addr, ctrl_family) = {
+    let (listener, ctrl_addr, ctrl_family) = if remote_hosts.is_some() {
+        let bind = opts.ctrl_listen.as_deref().unwrap_or("0.0.0.0:0");
+        let l = TcpListener::bind(bind)?;
+        let addr = l.local_addr()?.to_string();
+        eprintln!(
+            "[host] waiting for {shards} workers on {addr} \
+             (start each as: hornet-dist worker --connect <this host>:{} --family tcp \
+             --advertise <its host:port>)",
+            addr.rsplit(':').next().unwrap_or("?")
+        );
+        (CtrlListener::Tcp(l), addr, "tcp")
+    } else {
         #[cfg(unix)]
         {
             let path = dir.join("control.sock");
@@ -165,32 +215,39 @@ fn run_distributed_inner(
         }
     };
 
-    // Spawn the workers.
-    let worker_cmd = match &opts.worker_cmd {
-        Some(p) => p.clone(),
-        None => std::env::current_exe()?,
-    };
+    // Spawn the workers (host-list mode: they were started by hand on their
+    // machines and connect on their own).
     let mut children: Vec<Child> = Vec::with_capacity(shards);
-    for _ in 0..shards {
-        let child = Command::new(&worker_cmd)
-            .arg("worker")
-            .arg("--connect")
-            .arg(&ctrl_addr)
-            .arg("--family")
-            .arg(ctrl_family)
-            .stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .stderr(Stdio::inherit())
-            .spawn()?;
-        children.push(child);
+    if remote_hosts.is_none() {
+        let worker_cmd = match &opts.worker_cmd {
+            Some(p) => p.clone(),
+            None => std::env::current_exe()?,
+        };
+        for _ in 0..shards {
+            let child = Command::new(&worker_cmd)
+                .arg("worker")
+                .arg("--connect")
+                .arg(&ctrl_addr)
+                .arg("--family")
+                .arg(ctrl_family)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()?;
+            children.push(child);
+        }
     }
     // From here on, kill the children on any error path.
     let run = (|| -> io::Result<DistOutcome> {
-        // Accept one control connection per worker (order = shard id).
-        let deadline = Instant::now() + Duration::from_secs(60);
-        let mut conns: Vec<WorkerConn> = Vec::with_capacity(shards);
-        let mut readers = Vec::with_capacity(shards);
-        for shard in 0..shards {
+        // Accept one control connection per worker. Locally spawned workers
+        // take accept order as shard id; host-list workers are matched to
+        // the shard whose advertised address they announce.
+        let deadline =
+            Instant::now() + Duration::from_secs(if remote_hosts.is_some() { 600 } else { 60 });
+        let mut conn_slots: Vec<Option<(WorkerConn, BufReader<Stream>)>> =
+            (0..shards).map(|_| None).collect();
+        let mut accepted = 0usize;
+        while accepted < shards {
             let stream = loop {
                 let res = match &listener {
                     #[cfg(unix)]
@@ -219,23 +276,48 @@ fn run_distributed_inner(
             };
             set_stream_blocking(&stream)?;
             let mut reader = BufReader::new(stream.try_clone()?);
-            let CtrlMsg::Hello { version } = CtrlMsg::decode(&read_frame(&mut reader)?)? else {
+            let CtrlMsg::Hello { version, advertise } = CtrlMsg::decode(&read_frame(&mut reader)?)?
+            else {
                 return Err(proto_err("expected Hello"));
             };
             if version != crate::wire::WIRE_VERSION {
                 return Err(proto_err("wire version mismatch"));
             }
+            let shard = match remote_hosts {
+                None => accepted,
+                Some(hosts) => {
+                    let idx = hosts.iter().position(|h| *h == advertise).ok_or_else(|| {
+                        proto_err(&format!(
+                            "worker advertised {advertise:?}, not in the host list"
+                        ))
+                    })?;
+                    if conn_slots[idx].is_some() {
+                        return Err(proto_err(&format!("duplicate worker for {advertise}")));
+                    }
+                    idx
+                }
+            };
             if opts.verbose {
-                eprintln!("[host] worker {shard} connected");
+                eprintln!("[host] worker {shard} connected ({advertise})");
             }
-            conns.push(WorkerConn { writer: stream });
+            conn_slots[shard] = Some((WorkerConn { writer: stream }, reader));
+            accepted += 1;
+        }
+        let mut conns: Vec<WorkerConn> = Vec::with_capacity(shards);
+        let mut readers = Vec::with_capacity(shards);
+        for slot in conn_slots {
+            let (conn, reader) = slot.expect("every shard connected");
+            conns.push(conn);
             readers.push(reader);
         }
 
         // Assign shards.
         for (shard, conn) in conns.iter_mut().enumerate() {
-            let listen = match opts.transport {
-                TransportKind::UnixSocket => dir
+            let listen = match (remote_hosts, transport) {
+                // Host-list mode: the worker binds its advertised port and
+                // the peers dial the advertised address.
+                (Some(hosts), _) => hosts[shard].clone(),
+                (None, TransportKind::UnixSocket) => dir
                     .join(format!("data-{shard}.sock"))
                     .to_string_lossy()
                     .into_owned(),
@@ -245,7 +327,7 @@ fn run_distributed_inner(
                 shard: shard as u32,
                 shards: shards as u32,
                 spec: spec.clone(),
-                transport: opts.transport,
+                transport,
                 listen,
             })?;
         }
@@ -260,7 +342,7 @@ fn run_distributed_inner(
         }
         // Shared-memory segments must exist before the map is broadcast.
         let mut segments: Vec<Arc<ShmSegment>> = Vec::new();
-        match opts.transport {
+        match transport {
             TransportKind::Shm => {
                 let channels = cut_channels(
                     &geometry,
@@ -286,7 +368,7 @@ fn run_distributed_inner(
                         .filter(|c| c.src_shard == hi && c.dst_shard == lo)
                         .map(|c| c.capacity)
                         .collect();
-                    let layout = ShmTransport::layout(lo_caps, hi_caps);
+                    let layout = ShmTransport::layout(lo_caps, hi_caps, spec.sync_depth());
                     let path = dir.join(format!("seg-{lo}-{hi}.shm"));
                     segments.push(ShmSegment::create(&path, &layout)?);
                     pair_paths.push((lo as u32, hi as u32, path.to_string_lossy().into_owned()));
@@ -315,7 +397,7 @@ fn run_distributed_inner(
             conn.send(&CtrlMsg::Start)?;
         }
         if opts.verbose {
-            eprintln!("[host] started {shards} workers ({:?})", opts.transport);
+            eprintln!("[host] started {shards} workers ({transport:?})");
         }
 
         // Post-start: reader threads feed one event queue.
@@ -618,8 +700,12 @@ pub fn run_threaded(spec: &DistSpec, workers: usize) -> io::Result<DistOutcome> 
     }
     let geometry = spec.network_config().geometry;
     let cut_links = cut_pairs(&geometry, &partition).len();
-    let parts = build_shards(spec, &partition)
+    let (parts, store) = build_shards(spec, &partition)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    // All shards share this process's payload store: the channel is the
+    // same-process fast path and transports leave payloads alone.
+    let payloads: Arc<dyn hornet_shard::driver::PayloadChannel> =
+        Arc::new(hornet_shard::driver::PayloadEndpoint::shared(store));
 
     let controls: Vec<WorkerControl> = (0..shards).map(|_| WorkerControl::new()).collect();
     let stop_all: Vec<Arc<AtomicBool>> = controls.iter().map(|c| Arc::clone(&c.stop)).collect();
@@ -646,7 +732,8 @@ pub fn run_threaded(spec: &DistSpec, workers: usize) -> io::Result<DistOutcome> 
     }
     for part in parts.drain(..) {
         let shard = part.shard;
-        let mut worker = ShardWorker::from_parts(part, spec, controls[shard].clone());
+        let mut worker =
+            ShardWorker::from_parts(part, spec, controls[shard].clone(), Arc::clone(&payloads));
         for peer in worker.transports_plan() {
             let t = endpoints
                 .remove(&(shard, peer))

@@ -15,9 +15,12 @@
 //! * [`wiring`] — the canonical cut-channel enumeration every process
 //!   derives independently from `(geometry, partition, router parameters)`,
 //!   which doubles as the wire addressing scheme;
-//! * [`worker`] — the transport-generic conservative shard loop (the same
-//!   algorithm as the thread backend) and the worker process entry point;
-//! * [`host`] — the coordinator: spawns workers, runs the topology-aware
+//! * [`worker`] — a thin host around the **unified**
+//!   [`hornet_shard::driver::CycleDriver`] (the per-cycle shard protocol has
+//!   exactly one implementation, shared with the thread backend) and the
+//!   worker process entry point;
+//! * [`host`] — the coordinator: spawns workers (or, in host-list mode,
+//!   waits for pre-started remote ones), runs the topology-aware
 //!   partitioner, ships each worker the spec, wires the data plane, and
 //!   drives probe-round credit-counting termination
 //!   ([`hornet_shard::termination`]);
@@ -28,7 +31,11 @@
 //! to the sequential simulation of the same spec — same packet count, same
 //! latency totals, same log₂ latency histogram — because flits carry their
 //! visibility stamps and every transport upholds the same delivery contract
-//! as the in-process mailboxes.
+//! as the in-process mailboxes. Packet *payloads* are first-class boundary
+//! traffic: transports claim a packet's payload when its tail flit leaves
+//! for another process and re-deposit it on arrival, which is what lets the
+//! memory-hierarchy and CPU workloads ([`spec::DistWorkload`]) run
+//! distributed with the same bit-identity guarantee.
 
 pub mod host;
 pub mod protocol;
@@ -41,5 +48,5 @@ pub mod worker;
 
 pub use host::{run_distributed, run_threaded, DistOutcome, HostOptions};
 pub use protocol::TransportKind;
-pub use spec::{DistSpec, DistSync, RunKind};
-pub use transport::{BoundaryTransport, InProcTransport, SocketTransport};
+pub use spec::{DistSpec, DistSync, DistWorkload, RunKind};
+pub use transport::{BoundaryTransport, InProcTransport, SocketTransport, TransportSet};

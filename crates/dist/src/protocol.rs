@@ -64,6 +64,10 @@ pub enum CtrlMsg {
     Hello {
         /// Must equal [`WIRE_VERSION`].
         version: u32,
+        /// Host-list mode: the `host:port` this worker's data plane is
+        /// reachable at from the other machines (empty when the coordinator
+        /// spawned the worker locally).
+        advertise: String,
     },
     /// Coordinator → worker: shard assignment.
     Assign {
@@ -140,8 +144,8 @@ impl CtrlMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
         match self {
-            CtrlMsg::Hello { version } => {
-                e.u8(0).u32(*version);
+            CtrlMsg::Hello { version, advertise } => {
+                e.u8(0).u32(*version).str(advertise);
             }
             CtrlMsg::Assign {
                 shard,
@@ -213,7 +217,10 @@ impl CtrlMsg {
     pub fn decode(buf: &[u8]) -> io::Result<CtrlMsg> {
         let mut d = Dec::new(buf);
         Ok(match d.u8()? {
-            0 => CtrlMsg::Hello { version: d.u32()? },
+            0 => CtrlMsg::Hello {
+                version: d.u32()?,
+                advertise: d.str()?,
+            },
             1 => {
                 let shard = d.u32()?;
                 let shards = d.u32()?;
@@ -275,10 +282,12 @@ impl CtrlMsg {
     }
 }
 
-/// The hello every worker opens with.
-pub fn hello() -> CtrlMsg {
+/// The hello every worker opens with; `advertise` is empty for locally
+/// spawned workers and `host:port` for host-list (remote) workers.
+pub fn hello(advertise: &str) -> CtrlMsg {
     CtrlMsg::Hello {
         version: WIRE_VERSION,
+        advertise: advertise.to_string(),
     }
 }
 
@@ -289,7 +298,7 @@ mod tests {
     #[test]
     fn control_messages_round_trip() {
         let msgs = vec![
-            hello(),
+            hello("node7.cluster:9101"),
             CtrlMsg::Assign {
                 shard: 2,
                 shards: 4,

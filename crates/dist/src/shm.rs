@@ -9,23 +9,31 @@
 //! [ progress lo→hi : u64 ][ progress hi→lo : u64 ]
 //! then, for direction lo→hi, one block per channel:
 //!     [ flit ring: head u64, tail u64, capacity × FLIT_SLOT bytes ]
-//!     [ credit ring: head u64, tail u64, (capacity+1) × CREDIT_SLOT bytes ]
-//! then the same for direction hi→lo.
+//!     [ credit ring: head u64, tail u64,
+//!       (capacity + 1 + sync_depth) × CREDIT_SLOT bytes ]
+//! then the same for direction hi→lo,
+//! then one variable-length payload byte ring per direction:
+//!     [ head u64, tail u64, payload_capacity bytes ]
 //! ```
 //!
 //! Flit rings carry sender→receiver traffic of their direction; the credit
-//! rings beside them carry the matching receiver→sender credit returns. All
-//! cursors are cross-process atomics with the same acquire/release protocol
-//! as the in-process [`hornet_net::spsc::Spsc`].
+//! rings beside them carry the matching receiver→sender credit returns
+//! (`sync_depth` extra slots absorb the per-cycle credit messages a loose
+//! run coalesces between batch-boundary ingests). The payload rings carry
+//! length-prefixed packet records — a packet's payload is written *before*
+//! its tail flit, so a receiver that observes the flit always finds the
+//! payload. All cursors are cross-process atomics with the same
+//! acquire/release protocol as the in-process [`hornet_net::spsc::Spsc`].
 
 use crate::transport::BoundaryTransport;
 use crate::wire::{
-    decode_credit, decode_flit, encode_credit, encode_flit, Dec, Enc, CREDIT_WIRE_BYTES,
-    FLIT_WIRE_BYTES,
+    decode_credit, decode_flit, decode_packet, encode_credit, encode_flit, encode_packet, Dec, Enc,
+    CREDIT_WIRE_BYTES, FLIT_WIRE_BYTES,
 };
 use crate::wiring::NeighborWiring;
 use hornet_net::boundary::BoundaryLink;
 use hornet_net::ids::Cycle;
+use hornet_shard::driver::PayloadChannel;
 use hornet_shard::sys;
 use std::fs::{File, OpenOptions};
 use std::io;
@@ -37,6 +45,11 @@ use std::sync::Arc;
 const FLIT_SLOT: usize = FLIT_WIRE_BYTES.next_multiple_of(8);
 /// Bytes per credit slot.
 const CREDIT_SLOT: usize = CREDIT_WIRE_BYTES.next_multiple_of(8);
+/// Default payload ring size per direction: generous for the word-sized
+/// protocol payloads of the memory/CPU workloads (writers spin briefly when
+/// full — the peer drains the ring during its waits, so this bounds burst
+/// size, not correctness).
+const PAYLOAD_RING_BYTES: usize = 256 << 10;
 
 /// The deterministic layout of one adjacency segment.
 #[derive(Clone, Debug)]
@@ -45,25 +58,33 @@ pub struct ShmLayout {
     pub lo_to_hi: Vec<usize>,
     /// Flit capacities of the hi→lo channels, in canonical order.
     pub hi_to_lo: Vec<usize>,
+    /// Extra credit-ring slots per channel (≥ the run's `slack + quantum`,
+    /// so batch-coalesced credit messages never overflow).
+    pub sync_depth: usize,
+    /// Payload byte-ring size per direction.
+    pub payload_capacity: usize,
 }
 
 fn ring_bytes(capacity: usize, slot: usize) -> usize {
     16 + capacity * slot
 }
 
-fn channel_bytes(capacity: usize) -> usize {
-    ring_bytes(capacity, FLIT_SLOT) + ring_bytes(capacity + 1, CREDIT_SLOT)
-}
-
 impl ShmLayout {
-    /// Total segment size, in bytes.
-    pub fn total_len(&self) -> usize {
-        16 + self
-            .lo_to_hi
+    fn channel_bytes(&self, capacity: usize) -> usize {
+        ring_bytes(capacity, FLIT_SLOT) + ring_bytes(capacity + 1 + self.sync_depth, CREDIT_SLOT)
+    }
+
+    fn channels_len(&self) -> usize {
+        self.lo_to_hi
             .iter()
             .chain(&self.hi_to_lo)
-            .map(|&c| channel_bytes(c))
+            .map(|&c| self.channel_bytes(c))
             .sum::<usize>()
+    }
+
+    /// Total segment size, in bytes.
+    pub fn total_len(&self) -> usize {
+        16 + self.channels_len() + 2 * (16 + self.payload_capacity)
     }
 
     /// Byte offset of the progress word of a direction (0 = lo→hi).
@@ -74,15 +95,27 @@ impl ShmLayout {
     /// Byte offset of channel `ch` of direction `dir`.
     fn channel_offset(&self, dir: usize, ch: usize) -> usize {
         let mut off = 16;
-        let (first, caps) = if dir == 0 {
-            (&self.lo_to_hi, &self.lo_to_hi)
+        let caps = if dir == 0 {
+            &self.lo_to_hi
         } else {
-            (&self.lo_to_hi, &self.hi_to_lo)
+            &self.hi_to_lo
         };
         if dir == 1 {
-            off += first.iter().map(|&c| channel_bytes(c)).sum::<usize>();
+            off += self
+                .lo_to_hi
+                .iter()
+                .map(|&c| self.channel_bytes(c))
+                .sum::<usize>();
         }
-        off + caps[..ch].iter().map(|&c| channel_bytes(c)).sum::<usize>()
+        off + caps[..ch]
+            .iter()
+            .map(|&c| self.channel_bytes(c))
+            .sum::<usize>()
+    }
+
+    /// Byte offset of the payload ring of a direction (0 = lo→hi).
+    fn payload_offset(&self, dir: usize) -> usize {
+        16 + self.channels_len() + dir * (16 + self.payload_capacity)
     }
 }
 
@@ -216,6 +249,100 @@ impl ShmRing {
     }
 }
 
+/// A variable-record SPSC byte ring inside a segment (length-prefixed
+/// records, wraparound copies, monotone byte cursors). Carries the packet
+/// payload records that follow tail flits across the adjacency.
+struct ShmByteRing {
+    seg: Arc<ShmSegment>,
+    base: usize,
+    capacity: u64,
+}
+
+impl ShmByteRing {
+    fn head(&self) -> &AtomicU64 {
+        self.seg.atomic_at(self.base)
+    }
+    fn tail(&self) -> &AtomicU64 {
+        self.seg.atomic_at(self.base + 8)
+    }
+
+    fn copy_in(&self, pos: u64, bytes: &[u8]) {
+        let off = (pos % self.capacity) as usize;
+        let first = bytes.len().min(self.capacity as usize - off);
+        // SAFETY: the producer owns [tail, tail+len) until its tail store;
+        // both chunks are in-bounds of the ring's data area.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                self.seg.ptr.add(self.base + 16 + off),
+                first,
+            );
+            if first < bytes.len() {
+                std::ptr::copy_nonoverlapping(
+                    bytes.as_ptr().add(first),
+                    self.seg.ptr.add(self.base + 16),
+                    bytes.len() - first,
+                );
+            }
+        }
+    }
+
+    fn copy_out(&self, pos: u64, out: &mut [u8]) {
+        let off = (pos % self.capacity) as usize;
+        let first = out.len().min(self.capacity as usize - off);
+        // SAFETY: the consumer owns [head, head+len) until its head store.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.seg.ptr.add(self.base + 16 + off),
+                out.as_mut_ptr(),
+                first,
+            );
+            if first < out.len() {
+                std::ptr::copy_nonoverlapping(
+                    self.seg.ptr.add(self.base + 16),
+                    out.as_mut_ptr().add(first),
+                    out.len() - first,
+                );
+            }
+        }
+    }
+
+    /// Appends one length-prefixed record; `false` when the ring lacks room
+    /// (the caller retries — the peer drains during its waits).
+    fn push(&self, bytes: &[u8]) -> bool {
+        let need = 4 + bytes.len() as u64;
+        assert!(
+            need <= self.capacity,
+            "payload record larger than the shm payload ring"
+        );
+        let tail = self.tail().load(Ordering::Relaxed);
+        let head = self.head().load(Ordering::Acquire);
+        if self.capacity - (tail - head) < need {
+            return false;
+        }
+        self.copy_in(tail, &(bytes.len() as u32).to_le_bytes());
+        self.copy_in(tail + 4, bytes);
+        self.tail().store(tail + need, Ordering::Release);
+        true
+    }
+
+    /// Pops one record into `out` (replacing its contents).
+    fn pop(&self, out: &mut Vec<u8>) -> bool {
+        let head = self.head().load(Ordering::Relaxed);
+        let tail = self.tail().load(Ordering::Acquire);
+        if head == tail {
+            return false;
+        }
+        let mut len4 = [0u8; 4];
+        self.copy_out(head, &mut len4);
+        let len = u32::from_le_bytes(len4) as usize;
+        out.resize(len, 0);
+        self.copy_out(head + 4, out);
+        self.head().store(head + 4 + len as u64, Ordering::Release);
+        true
+    }
+}
+
 /// The shared-memory implementation of [`BoundaryTransport`].
 pub struct ShmTransport {
     seg: Arc<ShmSegment>,
@@ -227,10 +354,16 @@ pub struct ShmTransport {
     /// produce credits for the peer's flits).
     in_flit_rings: Vec<ShmRing>,
     in_credit_rings: Vec<ShmRing>,
+    /// Payload rings: ours (we write packet records) and the peer's (we
+    /// deposit what it wrote).
+    out_payload_ring: ShmByteRing,
+    in_payload_ring: ShmByteRing,
     our_progress: usize,
     peer_progress: usize,
     out_links: Vec<Arc<BoundaryLink>>,
     in_links: Vec<Arc<BoundaryLink>>,
+    /// Reusable payload record scratch.
+    scratch: Vec<u8>,
 }
 
 impl ShmTransport {
@@ -257,7 +390,7 @@ impl ShmTransport {
                 credits.push(ShmRing {
                     seg: Arc::clone(&seg),
                     base: base + ring_bytes(cap, FLIT_SLOT),
-                    capacity: cap as u64 + 1,
+                    capacity: (cap + 1 + layout.sync_depth) as u64,
                     slot: CREDIT_SLOT,
                 });
             }
@@ -267,31 +400,97 @@ impl ShmTransport {
         let peer_caps: Vec<usize> = wiring.in_links.iter().map(|l| l.capacity()).collect();
         let (out_flit_rings, out_credit_rings) = rings(our_dir, &our_caps);
         let (in_flit_rings, in_credit_rings) = rings(peer_dir, &peer_caps);
+        let payload_ring = |dir: usize| ShmByteRing {
+            seg: Arc::clone(&seg),
+            base: layout.payload_offset(dir),
+            capacity: layout.payload_capacity as u64,
+        };
         Self {
             out_flit_rings,
             out_credit_rings,
             in_flit_rings,
             in_credit_rings,
+            out_payload_ring: payload_ring(our_dir),
+            in_payload_ring: payload_ring(peer_dir),
             our_progress: ShmLayout::progress_offset(our_dir),
             peer_progress: ShmLayout::progress_offset(peer_dir),
             out_links: wiring.out_links.clone(),
             in_links: wiring.in_links.clone(),
             seg,
+            scratch: Vec::new(),
         }
     }
 
     /// The layout of the adjacency `(lo, hi)` given each direction's channel
-    /// capacities in canonical order.
-    pub fn layout(lo_to_hi: Vec<usize>, hi_to_lo: Vec<usize>) -> ShmLayout {
-        ShmLayout { lo_to_hi, hi_to_lo }
+    /// capacities in canonical order and the run's synchronization depth
+    /// (`slack + quantum`; sizes the per-channel credit-ring headroom).
+    pub fn layout(lo_to_hi: Vec<usize>, hi_to_lo: Vec<usize>, sync_depth: usize) -> ShmLayout {
+        ShmLayout {
+            lo_to_hi,
+            hi_to_lo,
+            sync_depth,
+            payload_capacity: PAYLOAD_RING_BYTES,
+        }
+    }
+
+    fn deposit_arrivals(&mut self, payloads: &dyn PayloadChannel) {
+        drain_payload_ring(&self.in_payload_ring, &mut self.scratch, payloads);
+    }
+}
+
+/// Drains every payload record from `ring` into the payload channel.
+/// Free-standing so the pump's full-ring spin can call it while other
+/// `self` fields are borrowed.
+fn drain_payload_ring(ring: &ShmByteRing, scratch: &mut Vec<u8>, payloads: &dyn PayloadChannel) {
+    while ring.pop(scratch) {
+        let packet = decode_packet(&mut Dec::new(scratch)).expect("shm payload corrupt");
+        payloads.deposit(packet);
     }
 }
 
 impl BoundaryTransport for ShmTransport {
-    fn pump(&mut self, cycle: Cycle) -> io::Result<()> {
+    fn pump(
+        &mut self,
+        cycle: Cycle,
+        payloads: &dyn PayloadChannel,
+        _flush: bool,
+    ) -> io::Result<()> {
+        let forward_payloads = !payloads.shared();
         let mut slot = [0u8; FLIT_SLOT];
+        let out_payload_ring = &self.out_payload_ring;
+        let in_payload_ring = &self.in_payload_ring;
+        let scratch = &mut self.scratch;
         for (link, ring) in self.out_links.iter().zip(&self.out_flit_rings) {
             link.drain_staged_flits(|f| {
+                if forward_payloads && f.kind.is_tail() {
+                    // The payload record is pushed *before* its tail flit:
+                    // a peer that observes the flit always finds the
+                    // payload. Empty payloads are claimed (the parked
+                    // packet would leak) but not written.
+                    if let Some(p) = payloads.claim(f.packet) {
+                        if !p.payload.is_empty() {
+                            let mut e = Enc::new();
+                            encode_packet(&mut e, &p);
+                            let mut spins = 0u64;
+                            while !out_payload_ring.push(e.bytes()) {
+                                // Our ring is full until the peer drains it.
+                                // The peer may itself be spinning in *its*
+                                // pump on the opposite ring, so drain our
+                                // inbound payloads here — that is the
+                                // peer's outbound ring, which unblocks it
+                                // and breaks the mutual-wait cycle.
+                                drain_payload_ring(in_payload_ring, scratch, payloads);
+                                spins += 1;
+                                if spins.is_multiple_of(128) {
+                                    std::thread::yield_now();
+                                } else {
+                                    std::hint::spin_loop();
+                                }
+                                assert!(spins < 1 << 30, "shm payload ring wedged");
+                            }
+                        }
+                    }
+                }
                 let mut e = Enc::new();
                 encode_flit(&mut e, &f);
                 slot[..FLIT_WIRE_BYTES].copy_from_slice(e.bytes());
@@ -317,7 +516,10 @@ impl BoundaryTransport for ShmTransport {
         Ok(())
     }
 
-    fn ingest(&mut self) {
+    fn ingest(&mut self, payloads: &dyn PayloadChannel) {
+        // Payloads first: a tail flit observed below must find its payload
+        // already deposited.
+        self.deposit_arrivals(payloads);
         let mut slot = [0u8; FLIT_SLOT];
         for (link, ring) in self.in_links.iter().zip(&self.in_flit_rings) {
             while ring.pop(&mut slot) {
@@ -327,6 +529,10 @@ impl BoundaryTransport for ShmTransport {
                 debug_assert!(ok, "local staging overflow on shm ingest");
             }
         }
+        // Second payload pass: the peer writes a payload before its tail
+        // flit, so any flit drained above that raced the first pass has its
+        // payload visible by now.
+        self.deposit_arrivals(payloads);
         let mut cslot = [0u8; CREDIT_SLOT];
         for (link, ring) in self.out_links.iter().zip(&self.out_credit_rings) {
             while ring.pop(&mut cslot) {
@@ -377,14 +583,20 @@ mod tests {
         let layout = ShmLayout {
             lo_to_hi: vec![4, 4, 2],
             hi_to_lo: vec![3],
+            sync_depth: 5,
+            payload_capacity: 1024,
         };
         let total = layout.total_len();
         let mut spans: Vec<(usize, usize)> = vec![(0, 16)];
         for (dir, caps) in [(0usize, &layout.lo_to_hi), (1, &layout.hi_to_lo)] {
             for (ch, &cap) in caps.iter().enumerate() {
                 let off = layout.channel_offset(dir, ch);
-                spans.push((off, off + channel_bytes(cap)));
+                spans.push((off, off + layout.channel_bytes(cap)));
             }
+        }
+        for dir in 0..2 {
+            let off = layout.payload_offset(dir);
+            spans.push((off, off + 16 + layout.payload_capacity));
         }
         spans.sort_unstable();
         for w in spans.windows(2) {
@@ -402,7 +614,7 @@ mod tests {
         use hornet_net::boundary::CreditMsg;
         let path = tmp("roundtrip");
         // One channel each way, capacity 4.
-        let layout = ShmTransport::layout(vec![4], vec![4]);
+        let layout = ShmTransport::layout(vec![4], vec![4], 1);
         let seg_lo = ShmSegment::create(&path, &layout).unwrap();
         let seg_hi = ShmSegment::open(&path, &layout).unwrap();
 
@@ -431,12 +643,13 @@ mod tests {
             },
         );
 
+        use hornet_shard::driver::NoPayloads;
         // lo sends two flits, pumps, publishes cycle 3.
         assert!(lo_out[0].push(flit(0)));
         assert!(lo_out[0].push(flit(1)));
-        t_lo.pump(3).unwrap();
+        t_lo.pump(3, &NoPayloads, true).unwrap();
         assert_eq!(t_hi.peer_progress(), 3);
-        t_hi.ingest();
+        t_hi.ingest(&NoPayloads);
         assert_eq!(hi_in[0].in_flight(), 2);
 
         // hi returns one credit; lo applies it after ingesting.
@@ -444,10 +657,75 @@ mod tests {
         // inject_credit staged it on hi's side? No: staged credits travel via
         // take_staged_credit during pump — emulate the shard loop by staging
         // through the same ring the worker uses.
-        t_hi.pump(4).unwrap();
+        t_hi.pump(4, &NoPayloads, true).unwrap();
         assert_eq!(t_lo.peer_progress(), 4);
-        t_lo.ingest();
+        t_lo.ingest(&NoPayloads);
         lo_out[0].apply_credits(None);
         assert_eq!(lo_out[0].occupancy(), 0);
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn shm_transport_carries_payload_records() {
+        use hornet_net::flit::{Packet, Payload};
+        use hornet_net::payload::PayloadStore;
+        use hornet_shard::driver::{PayloadChannel, PayloadEndpoint};
+
+        let path = tmp("payloads");
+        let layout = ShmTransport::layout(vec![4], vec![4], 1);
+        let seg_lo = ShmSegment::create(&path, &layout).unwrap();
+        let seg_hi = ShmSegment::open(&path, &layout).unwrap();
+        let lo_out: Vec<Arc<BoundaryLink>> = vec![BoundaryLink::new(4)];
+        let lo_in: Vec<Arc<BoundaryLink>> = vec![BoundaryLink::new(4)];
+        let hi_out: Vec<Arc<BoundaryLink>> = vec![BoundaryLink::new(4)];
+        let hi_in: Vec<Arc<BoundaryLink>> = vec![BoundaryLink::new(4)];
+        let mut t_lo = ShmTransport::new(
+            seg_lo,
+            &layout,
+            true,
+            &NeighborWiring {
+                peer: 1,
+                out_links: lo_out.clone(),
+                in_links: lo_in,
+            },
+        );
+        let mut t_hi = ShmTransport::new(
+            seg_hi,
+            &layout,
+            false,
+            &NeighborWiring {
+                peer: 0,
+                out_links: hi_out,
+                in_links: hi_in.clone(),
+            },
+        );
+
+        let store_lo = Arc::new(PayloadStore::new());
+        let store_hi = Arc::new(PayloadStore::new());
+        let ep_lo = PayloadEndpoint::remote(Arc::clone(&store_lo));
+        let ep_hi = PayloadEndpoint::remote(Arc::clone(&store_hi));
+
+        let packet = Packet::new(
+            PacketId::new(9),
+            FlowId::new(2),
+            NodeId::new(0),
+            NodeId::new(1),
+            1,
+            7,
+        )
+        .with_payload(Payload::from_words(&[1, 2, 3, 4, 5]));
+        store_lo.deposit(packet.clone());
+        let mut tail = flit(0);
+        tail.packet = PacketId::new(9);
+        tail.kind = FlitKind::HeadTail;
+        assert!(lo_out[0].push(tail));
+        t_lo.pump(8, &ep_lo, true).unwrap();
+        assert!(store_lo.is_empty(), "claimed on crossing");
+        t_hi.ingest(&ep_hi);
+        assert_eq!(hi_in[0].in_flight(), 1);
+        assert_eq!(ep_hi.claim(PacketId::new(9)), Some(packet));
     }
 }

@@ -10,11 +10,13 @@
 //! only the tiles its shard owns.
 
 use crate::wire::{Dec, Enc};
+use hornet_cpu::agent::{CoreAgent, CoreConfig};
+use hornet_cpu::programs::{token_ring_program, vector_sum_program};
 use hornet_net::config::{ConfigError, NetworkConfig};
 use hornet_net::geometry::Geometry;
 use hornet_net::ids::NodeId;
 use hornet_net::network::Network;
-use hornet_net::routing::RoutingKind;
+use hornet_net::routing::{FlowSpec, RoutingKind};
 use hornet_net::stats::NetworkStats;
 use hornet_net::vca::VcAllocKind;
 use hornet_traffic::injector::{flows_for_pattern, SyntheticConfig, SyntheticInjector};
@@ -60,6 +62,44 @@ impl DistSync {
     }
 }
 
+/// What runs on the tiles.
+///
+/// Every variant is rebuilt deterministically from the spec alone, so all
+/// worker processes construct identical agents. Payload-bearing workloads
+/// (the memory hierarchy and the MIPS-like cores) work across process
+/// boundaries because packet payloads travel the boundary transports with
+/// their tail flits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DistWorkload {
+    /// Synthetic pattern/process injectors, configured by the spec's
+    /// `pattern`/`process`/`packet_len`/`max_packets`/`stop_after` fields.
+    Synthetic,
+    /// One MIPS-like core per tile running the vector-sum program over MSI
+    /// coherence: node `i` stores and re-loads `count` words from
+    /// `base_stride * (i + 1)`, whose lines are interleaved across all
+    /// tiles — every miss crosses the network with a protocol payload.
+    MemVectorSum {
+        /// Per-node base address stride.
+        base_stride: u64,
+        /// Words per node.
+        count: u64,
+    },
+    /// One MIPS-like core per tile passing a token once around the ring of
+    /// all nodes (user-level MPI-style payloads).
+    CpuTokenRing,
+}
+
+impl DistWorkload {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DistWorkload::Synthetic => "synthetic",
+            DistWorkload::MemVectorSum { .. } => "mem-vector-sum",
+            DistWorkload::CpuTokenRing => "cpu-token-ring",
+        }
+    }
+}
+
 /// The shape of a run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum RunKind {
@@ -96,6 +136,8 @@ pub struct DistSpec {
     pub link_bandwidth: u32,
     /// Ejection bandwidth in flits/cycle.
     pub ejection_bandwidth: u32,
+    /// What runs on the tiles.
+    pub workload: DistWorkload,
     /// Synthetic destination pattern.
     pub pattern: SyntheticPattern,
     /// Injection process.
@@ -129,6 +171,7 @@ impl Default for DistSpec {
             injection_vc_capacity: 8,
             link_bandwidth: 1,
             ejection_bandwidth: 1,
+            workload: DistWorkload::Synthetic,
             pattern: SyntheticPattern::Transpose,
             process: InjectionProcess::Bernoulli { rate: 0.05 },
             packet_len: 4,
@@ -165,10 +208,36 @@ impl DistSpec {
         }
     }
 
+    /// `(slack, quantum)` headroom of the sync mode — how many cycles of
+    /// per-cycle traffic a transport may see coalesced between batch
+    /// ingests. Sizes shared-memory credit rings.
+    pub fn sync_depth(&self) -> usize {
+        let (slack, quantum, _) = self.sync.params();
+        (slack + quantum) as usize
+    }
+
+    /// Cycles a socket transport may coalesce per flush: 1 (latency-optimal)
+    /// for the bit-exact lock-step modes, the drift bound for loose modes.
+    pub fn socket_batch(&self) -> u64 {
+        let (slack, quantum, strict) = self.sync.params();
+        if strict {
+            1
+        } else {
+            slack.max(quantum).max(1)
+        }
+    }
+
     /// Builds the network configuration this spec describes.
     pub fn network_config(&self) -> NetworkConfig {
         let geometry = Geometry::mesh2d(self.width as usize, self.height as usize);
-        let flows = flows_for_pattern(&self.pattern, &geometry);
+        let flows = match &self.workload {
+            // Memory/CPU workloads route protocol traffic between arbitrary
+            // pairs (directory homes are interleaved over all tiles).
+            DistWorkload::MemVectorSum { .. } | DistWorkload::CpuTokenRing => {
+                FlowSpec::all_to_all(&geometry)
+            }
+            DistWorkload::Synthetic => flows_for_pattern(&self.pattern, &geometry),
+        };
         let mut cfg = NetworkConfig::new(geometry)
             .with_routing(self.routing)
             .with_vca(self.vca)
@@ -182,17 +251,17 @@ impl DistSpec {
         cfg
     }
 
-    /// Builds the full network with one synthetic injector per tile —
+    /// Builds the full network with one workload agent per tile —
     /// deterministic in `seed`, so every process reconstructs identical
     /// state.
     pub fn build_network(&self) -> Result<Network, ConfigError> {
         let cfg = self.network_config();
         let geometry = Arc::new(cfg.geometry.clone());
         let mut network = Network::new(&cfg, self.seed)?;
+        let nodes = self.node_count();
         for node in geometry.nodes() {
-            network.attach_agent(
-                node,
-                Box::new(SyntheticInjector::new(
+            let agent: Box<dyn hornet_net::agent::NodeAgent> = match &self.workload {
+                DistWorkload::Synthetic => Box::new(SyntheticInjector::new(
                     Arc::clone(&geometry),
                     SyntheticConfig {
                         pattern: self.pattern.clone(),
@@ -202,7 +271,20 @@ impl DistSpec {
                         max_packets: self.max_packets,
                     },
                 )),
-            );
+                DistWorkload::MemVectorSum { base_stride, count } => Box::new(CoreAgent::new(
+                    node,
+                    nodes,
+                    vector_sum_program(base_stride * (node.raw() as u64 + 1), *count),
+                    CoreConfig::default(),
+                )),
+                DistWorkload::CpuTokenRing => Box::new(CoreAgent::new(
+                    node,
+                    nodes,
+                    token_ring_program(node.index(), nodes),
+                    CoreConfig::default(),
+                )),
+            };
+            network.attach_agent(node, agent);
         }
         Ok(network)
     }
@@ -313,6 +395,17 @@ impl DistSpec {
             }
         }
         e.u8(u8::from(self.fast_forward));
+        match &self.workload {
+            DistWorkload::Synthetic => {
+                e.u8(0);
+            }
+            DistWorkload::MemVectorSum { base_stride, count } => {
+                e.u8(1).u64(*base_stride).u64(*count);
+            }
+            DistWorkload::CpuTokenRing => {
+                e.u8(2);
+            }
+        }
     }
 
     /// Decodes a spec written by [`encode`](Self::encode).
@@ -405,6 +498,15 @@ impl DistSpec {
             }
         };
         let fast_forward = d.u8()? != 0;
+        let workload = match d.u8()? {
+            0 => DistWorkload::Synthetic,
+            1 => DistWorkload::MemVectorSum {
+                base_stride: d.u64()?,
+                count: d.u64()?,
+            },
+            2 => DistWorkload::CpuTokenRing,
+            _ => return Err(bad("workload")),
+        };
         Ok(Self {
             width,
             height,
@@ -416,6 +518,7 @@ impl DistSpec {
             injection_vc_capacity,
             link_bandwidth,
             ejection_bandwidth,
+            workload,
             pattern,
             process,
             packet_len,
@@ -440,6 +543,10 @@ mod tests {
             height: 4,
             routing: RoutingKind::O1Turn,
             vca: VcAllocKind::Edvca,
+            workload: DistWorkload::MemVectorSum {
+                base_stride: 0x1_0000,
+                count: 12,
+            },
             pattern: SyntheticPattern::Hotspot(vec![NodeId::new(3), NodeId::new(9)]),
             process: InjectionProcess::Periodic {
                 period: 10,

@@ -22,12 +22,14 @@
 //! the peer's `ingest` before the peer observes `peer_progress() ≥ c`.*
 
 use crate::wire::{
-    decode_credit, decode_flit, encode_credit, encode_flit, read_frame, write_frame, Dec, Enc,
+    decode_credit, decode_flit, decode_packet, encode_credit, encode_flit, encode_packet,
+    read_frame, write_frame, Dec, Enc,
 };
 use crate::wiring::NeighborWiring;
 use hornet_net::boundary::{BoundaryLink, CreditMsg};
 use hornet_net::flit::Flit;
 use hornet_net::ids::Cycle;
+use hornet_shard::driver::{PayloadChannel, TransportPump};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
@@ -40,18 +42,55 @@ use std::thread::JoinHandle;
 /// progress alongside. See the module docs for the visibility contract.
 pub trait BoundaryTransport: Send {
     /// Called after the local negedge of `cycle`: make every staged outbound
-    /// flit and credit visible to the peer, then publish `cycle` as this
-    /// side's progress.
-    fn pump(&mut self, cycle: Cycle) -> io::Result<()>;
+    /// flit, credit and payload visible to the peer, then publish `cycle` as
+    /// this side's progress. `flush` forces buffered wire traffic out;
+    /// transports may otherwise coalesce several cycles per write under
+    /// loose synchronization.
+    fn pump(&mut self, cycle: Cycle, payloads: &dyn PayloadChannel, flush: bool) -> io::Result<()>;
 
     /// Called after the progress wait, before mailbox consumption: move
-    /// everything the peer has made visible into the local staging rings.
-    /// No-op for transports whose rings are shared directly.
-    fn ingest(&mut self) {}
+    /// everything the peer has made visible into the local staging rings and
+    /// deposit any arrived payloads. No-op for transports whose rings are
+    /// shared directly.
+    fn ingest(&mut self, _payloads: &dyn PayloadChannel) {}
 
     /// The peer's last published negedge progress (`u64::MAX` once the peer
     /// has finished its run and closed the channel).
     fn peer_progress(&self) -> Cycle;
+}
+
+/// Adapts one shard's per-adjacency [`BoundaryTransport`]s to the unified
+/// driver's [`TransportPump`] (the driver talks to *all* neighbors at once).
+pub struct TransportSet<'a>(pub &'a mut [Box<dyn BoundaryTransport>]);
+
+impl TransportPump for TransportSet<'_> {
+    fn peers_reached(&self, floor: Cycle) -> bool {
+        self.0.iter().all(|t| t.peer_progress() >= floor)
+    }
+
+    fn ingest(&mut self, payloads: &dyn PayloadChannel) {
+        for t in self.0.iter_mut() {
+            t.ingest(payloads);
+        }
+    }
+
+    fn pump(&mut self, cycle: Cycle, payloads: &dyn PayloadChannel, flush: bool) -> io::Result<()> {
+        for t in self.0.iter_mut() {
+            t.pump(cycle, payloads, flush)?;
+        }
+        Ok(())
+    }
+
+    fn publish_jump(&mut self, target: Cycle, payloads: &dyn PayloadChannel) -> io::Result<()> {
+        self.pump(target, payloads, true)
+    }
+
+    fn stall_report(&self) -> String {
+        format!(
+            "mirrors={:?}",
+            self.0.iter().map(|t| t.peer_progress()).collect::<Vec<_>>()
+        )
+    }
 }
 
 /// Spin-pushes with backoff; panics after an implausible number of retries
@@ -100,7 +139,12 @@ impl InProcTransport {
 }
 
 impl BoundaryTransport for InProcTransport {
-    fn pump(&mut self, cycle: Cycle) -> io::Result<()> {
+    fn pump(
+        &mut self,
+        cycle: Cycle,
+        _payloads: &dyn PayloadChannel,
+        _flush: bool,
+    ) -> io::Result<()> {
         self.local.store(cycle, Ordering::Release);
         Ok(())
     }
@@ -179,9 +223,20 @@ impl Write for Stream {
 }
 
 /// The socket transport: one frame per simulated cycle per direction,
-/// carrying `(progress, flits, credits)`. A reader thread drains the peer's
-/// frames into the local staging rings — flits and credits strictly before
-/// the progress store, which is what keeps strict-mode consumption exact.
+/// carrying `(progress, payloads, flits, credits)`. A reader thread drains
+/// the peer's frames into the local staging rings — payloads, flits and
+/// credits strictly before the progress store, which is what keeps
+/// strict-mode consumption exact.
+///
+/// Under loose synchronization (`batch > 1`) the per-cycle frames are still
+/// written, but the underlying socket is only flushed once `batch` cycles
+/// have accumulated since the last flush (or on `flush`), cutting syscall
+/// volume ~`batch`×. This is deadlock-free because a shard with slack `k`
+/// (or a `k`-cycle batch quantum) never needs a neighbor's progress more
+/// than `k` cycles stale, and the rolling window guarantees at most `k - 1`
+/// cycles are ever buffered — regardless of where fast-forward jumps land
+/// the clocks (an absolute `cycle % k` rule would skew against post-jump
+/// batch boundaries and wedge zero-slack Periodic runs).
 pub struct SocketTransport {
     writer: BufWriter<Stream>,
     /// Outbound halves (drained into frames).
@@ -190,17 +245,32 @@ pub struct SocketTransport {
     in_links: Vec<Arc<BoundaryLink>>,
     peer_progress: Arc<AtomicU64>,
     reader: Option<JoinHandle<()>>,
+    /// Cycles coalesced per socket flush (1 = flush every cycle).
+    batch: u64,
+    /// Cycle of the last actual socket flush (rolling batch window).
+    last_flush: Cycle,
     /// Reusable frame scratch.
     flits: Vec<(u32, Flit)>,
     credits: Vec<(u32, CreditMsg)>,
+    packets: Vec<hornet_net::flit::Packet>,
 }
 
 impl SocketTransport {
     /// Wraps `stream` as the transport for one adjacency described by
-    /// `wiring`. Spawns the reader thread immediately.
-    pub fn new(stream: Stream, wiring: &NeighborWiring, start: Cycle) -> io::Result<Self> {
+    /// `wiring`, flushing the socket every `batch` cycles (`CycleAccurate`
+    /// runs use 1: one syscall per cycle per direction is latency-optimal
+    /// there). `payloads` is handed to the reader thread so arriving packet
+    /// payloads are deposited before their tail flits become visible.
+    /// Spawns the reader thread immediately.
+    pub fn new(
+        stream: Stream,
+        wiring: &NeighborWiring,
+        start: Cycle,
+        batch: u64,
+        payloads: Arc<dyn PayloadChannel>,
+    ) -> io::Result<Self> {
         stream.tune();
-        let writer = BufWriter::new(stream.try_clone()?);
+        let writer = BufWriter::with_capacity(64 << 10, stream.try_clone()?);
         let peer_progress = Arc::new(AtomicU64::new(start));
         let reader = {
             let progress = Arc::clone(&peer_progress);
@@ -219,7 +289,9 @@ impl SocketTransport {
                             return;
                         }
                     };
-                    if decode_cycle_frame(&frame, &in_links, &out_links, &progress).is_err() {
+                    if decode_cycle_frame(&frame, &in_links, &out_links, &*payloads, &progress)
+                        .is_err()
+                    {
                         progress.store(u64::MAX, Ordering::Release);
                         return;
                     }
@@ -231,21 +303,30 @@ impl SocketTransport {
             in_links: wiring.in_links.clone(),
             peer_progress,
             reader: Some(reader),
+            batch: batch.max(1),
+            last_flush: start,
             flits: Vec::new(),
             credits: Vec::new(),
+            packets: Vec::new(),
         })
     }
 }
 
-/// Decodes one cycle frame into the staging rings, progress last.
+/// Decodes one cycle frame into the staging rings: payloads deposited first,
+/// then flits, then credits, progress last.
 fn decode_cycle_frame(
     frame: &[u8],
     in_links: &[Arc<BoundaryLink>],
     out_links: &[Arc<BoundaryLink>],
+    payloads: &dyn PayloadChannel,
     progress: &AtomicU64,
 ) -> io::Result<()> {
     let mut d = Dec::new(frame);
     let cycle = d.u64()?;
+    let n_payloads = d.u32()?;
+    for _ in 0..n_payloads {
+        payloads.deposit(decode_packet(&mut d)?);
+    }
     let n_flits = d.u32()?;
     for _ in 0..n_flits {
         let ch = d.u32()? as usize;
@@ -269,12 +350,28 @@ fn decode_cycle_frame(
 }
 
 impl BoundaryTransport for SocketTransport {
-    fn pump(&mut self, cycle: Cycle) -> io::Result<()> {
+    fn pump(&mut self, cycle: Cycle, payloads: &dyn PayloadChannel, flush: bool) -> io::Result<()> {
         self.flits.clear();
         self.credits.clear();
+        self.packets.clear();
+        let forward_payloads = !payloads.shared();
         for (ch, link) in self.out_links.iter().enumerate() {
             let flits = &mut self.flits;
-            link.drain_staged_flits(|f| flits.push((ch as u32, f)));
+            let packets = &mut self.packets;
+            link.drain_staged_flits(|f| {
+                if forward_payloads && f.kind.is_tail() {
+                    // The payload follows its tail flit hop by hop; empty
+                    // payloads are claimed too (the parked packet would leak
+                    // otherwise) but reconstructed at the destination instead
+                    // of crossing the wire.
+                    if let Some(p) = payloads.claim(f.packet) {
+                        if !p.payload.is_empty() {
+                            packets.push(p);
+                        }
+                    }
+                }
+                flits.push((ch as u32, f));
+            });
         }
         for (ch, link) in self.in_links.iter().enumerate() {
             while let Some(c) = link.take_staged_credit() {
@@ -283,6 +380,10 @@ impl BoundaryTransport for SocketTransport {
         }
         let mut e = Enc::new();
         e.u64(cycle);
+        e.u32(self.packets.len() as u32);
+        for p in &self.packets {
+            encode_packet(&mut e, p);
+        }
         e.u32(self.flits.len() as u32);
         for (ch, f) in &self.flits {
             e.u32(*ch);
@@ -294,7 +395,14 @@ impl BoundaryTransport for SocketTransport {
             encode_credit(&mut e, c);
         }
         write_frame(&mut self.writer, e.bytes())?;
-        self.writer.flush()
+        // Rolling window, not absolute multiples: fast-forward jumps land
+        // clocks on arbitrary cycles, and the peer's batch-boundary wait
+        // must never outrun our flush cadence.
+        if flush || cycle >= self.last_flush.saturating_add(self.batch) {
+            self.writer.flush()?;
+            self.last_flush = cycle;
+        }
+        Ok(())
     }
 
     fn peer_progress(&self) -> Cycle {
@@ -352,11 +460,13 @@ mod tests {
         )
     }
 
+    use hornet_shard::driver::NoPayloads;
+
     #[test]
     fn in_proc_transport_publishes_progress() {
         let (mut a, b) = InProcTransport::pair(0);
         assert_eq!(b.peer_progress(), 0);
-        a.pump(7).unwrap();
+        a.pump(7, &NoPayloads, true).unwrap();
         assert_eq!(b.peer_progress(), 7);
         assert_eq!(a.peer_progress(), 0);
     }
@@ -369,13 +479,15 @@ mod tests {
         // objects; the wire connects them.
         let (wa, _) = adjacency(2, 4);
         let (_, wb) = adjacency(2, 4);
-        let mut ta = SocketTransport::new(Stream::Unix(sa), &wa, 0).unwrap();
-        let mut tb = SocketTransport::new(Stream::Unix(sb), &wb, 0).unwrap();
+        let mut ta =
+            SocketTransport::new(Stream::Unix(sa), &wa, 0, 1, Arc::new(NoPayloads)).unwrap();
+        let mut tb =
+            SocketTransport::new(Stream::Unix(sb), &wb, 0, 1, Arc::new(NoPayloads)).unwrap();
 
         // A sends two flits on channel 1 (credit-checked push) and pumps.
         assert!(wa.out_links[1].push(flit(0, 5)));
         assert!(wa.out_links[1].push(flit(1, 5)));
-        ta.pump(4).unwrap();
+        ta.pump(4, &NoPayloads, true).unwrap();
 
         // B sees progress 4 and the flits in its inbound half of channel 1.
         let mut spins = 0;
@@ -384,7 +496,7 @@ mod tests {
             spins += 1;
             assert!(spins < 1_000_000, "progress never arrived");
         }
-        tb.ingest(); // no-op for sockets; reader already delivered
+        tb.ingest(&NoPayloads); // no-op for sockets; reader already delivered
         assert_eq!(wb.in_links[1].in_flight(), 2);
 
         // B returns a credit; A folds it in after its reader delivers.
@@ -393,7 +505,7 @@ mod tests {
             "test credit",
         );
         // Move the staged credit onto the wire.
-        tb.pump(5).unwrap();
+        tb.pump(5, &NoPayloads, true).unwrap();
         let mut spins = 0;
         while ta.peer_progress() < 5 {
             std::thread::yield_now();
@@ -408,10 +520,97 @@ mod tests {
 
     #[cfg(unix)]
     #[test]
+    fn socket_transport_forwards_payloads_with_tail_flits() {
+        use hornet_net::flit::{Packet, Payload};
+        use hornet_net::payload::PayloadStore;
+        use hornet_shard::driver::{PayloadChannel, PayloadEndpoint};
+
+        let (sa, sb) = UnixStream::pair().unwrap();
+        let (wa, _) = adjacency(1, 4);
+        let (_, wb) = adjacency(1, 4);
+        let store_a = Arc::new(PayloadStore::new());
+        let store_b = Arc::new(PayloadStore::new());
+        let ep_a = PayloadEndpoint::remote(Arc::clone(&store_a));
+        let ep_b = PayloadEndpoint::remote(Arc::clone(&store_b));
+        let mut ta =
+            SocketTransport::new(Stream::Unix(sa), &wa, 0, 1, Arc::new(ep_a.clone())).unwrap();
+        let _tb =
+            SocketTransport::new(Stream::Unix(sb), &wb, 0, 1, Arc::new(ep_b.clone())).unwrap();
+
+        // A parks a packet's payload (what the bridge does at injection) and
+        // pushes its tail flit onto the boundary.
+        let packet = Packet::new(
+            PacketId::new(1),
+            FlowId::new(1),
+            NodeId::new(0),
+            NodeId::new(1),
+            2,
+            0,
+        )
+        .with_payload(Payload::from_words(&[0xfeed, 0xbead]));
+        store_a.deposit(packet.clone());
+        let mut tail = flit(1, 5);
+        tail.kind = FlitKind::Tail;
+        assert!(wa.out_links[0].push(flit(0, 5)));
+        assert!(wa.out_links[0].push(tail));
+        ta.pump(4, &ep_a, true).unwrap();
+
+        // The claim emptied A's store; B's reader deposits the payload
+        // before publishing progress 4.
+        assert!(store_a.is_empty(), "tail crossing must claim the payload");
+        let mut spins = 0;
+        while _tb.peer_progress() < 4 {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 1_000_000, "frame never arrived");
+        }
+        assert_eq!(ep_b.claim(PacketId::new(1)), Some(packet));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_batching_coalesces_flushes_but_flush_forces_visibility() {
+        let (sa, sb) = UnixStream::pair().unwrap();
+        let (wa, _) = adjacency(1, 4);
+        let (_, wb) = adjacency(1, 4);
+        // Flush every 4 cycles.
+        let mut ta =
+            SocketTransport::new(Stream::Unix(sa), &wa, 0, 4, Arc::new(NoPayloads)).unwrap();
+        let tb = SocketTransport::new(Stream::Unix(sb), &wb, 0, 4, Arc::new(NoPayloads)).unwrap();
+
+        for c in 1..=3u64 {
+            ta.pump(c, &NoPayloads, false).unwrap();
+        }
+        // Nothing flushed yet (cycles 1..3, batch 4): give the wire a moment
+        // and check progress stayed put.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(tb.peer_progress(), 0, "frames must still be buffered");
+        // Cycle 4 is a batch boundary: everything lands.
+        assert!(wa.out_links[0].push(flit(0, 4)));
+        ta.pump(4, &NoPayloads, false).unwrap();
+        let mut spins = 0;
+        while tb.peer_progress() < 4 {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 1_000_000, "batched frames never flushed");
+        }
+        assert_eq!(wb.in_links[0].in_flight(), 1);
+        // An explicit flush forces mid-batch visibility.
+        ta.pump(5, &NoPayloads, true).unwrap();
+        let mut spins = 0;
+        while tb.peer_progress() < 5 {
+            std::thread::yield_now();
+            spins += 1;
+            assert!(spins < 1_000_000, "forced flush never arrived");
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
     fn socket_peer_close_reads_as_infinite_progress() {
         let (sa, sb) = UnixStream::pair().unwrap();
         let (wa, _) = adjacency(1, 2);
-        let ta = SocketTransport::new(Stream::Unix(sa), &wa, 0).unwrap();
+        let ta = SocketTransport::new(Stream::Unix(sa), &wa, 0, 1, Arc::new(NoPayloads)).unwrap();
         drop(sb);
         let mut spins = 0;
         while ta.peer_progress() != u64::MAX {

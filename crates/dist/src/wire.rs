@@ -8,13 +8,15 @@
 //! layout is exactly what a cross-machine protocol wants anyway.
 
 use hornet_net::boundary::CreditMsg;
-use hornet_net::flit::{Flit, FlitKind, FlitStats};
+use hornet_net::flit::{Flit, FlitKind, FlitStats, Packet, Payload};
 use hornet_net::ids::{FlowId, NodeId, PacketId};
 use hornet_net::stats::{FlowRecord, NetworkStats, RouterActivity};
 use std::io::{self, Read, Write};
 
 /// Protocol version, checked in every hello exchange.
-pub const WIRE_VERSION: u32 = 1;
+/// v2: payload records in cycle frames, workload-bearing specs, host-list
+/// hellos.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Size of one encoded flit, in bytes (fixed: flits are also stored in
 /// fixed-slot shared-memory rings).
@@ -218,6 +220,50 @@ pub fn decode_flit(d: &mut Dec) -> io::Result<Flit> {
     })
 }
 
+/// Encodes a full packet (identity, flow, framing and payload words) — the
+/// record that follows a packet's tail flit across a process boundary so the
+/// destination bridge can claim the payload (the DMA side of the flit model).
+pub fn encode_packet(e: &mut Enc, p: &Packet) {
+    e.u64(p.id.raw());
+    e.u64(p.flow.base());
+    e.u8(p.flow.phase());
+    e.u32(p.src.raw());
+    e.u32(p.dst.raw());
+    e.u32(p.len_flits);
+    e.u64(p.created_at);
+    e.u64(p.injected_at);
+    e.u32(p.payload.len() as u32);
+    for w in p.payload.words() {
+        e.u64(*w);
+    }
+}
+
+/// Decodes a packet written by [`encode_packet`].
+pub fn decode_packet(d: &mut Dec) -> io::Result<Packet> {
+    let id = PacketId::new(d.u64()?);
+    let flow = FlowId::new(d.u64()?).with_phase(d.u8()?);
+    let src = NodeId::new(d.u32()?);
+    let dst = NodeId::new(d.u32()?);
+    let len_flits = d.u32()?;
+    if len_flits == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero-length packet on the wire",
+        ));
+    }
+    let created_at = d.u64()?;
+    let injected_at = d.u64()?;
+    let words = d.u32()?;
+    if d.remaining() < words as usize * 8 {
+        return Err(short());
+    }
+    let payload = Payload((0..words).map(|_| d.u64()).collect::<io::Result<_>>()?);
+    let mut p = Packet::new(id, flow, src, dst, len_flits, created_at);
+    p.injected_at = injected_at;
+    p.payload = payload;
+    Ok(p)
+}
+
 /// Encodes a credit message into exactly [`CREDIT_WIRE_BYTES`] bytes.
 pub fn encode_credit(e: &mut Enc, c: &CreditMsg) {
     e.u64(c.cycle);
@@ -343,6 +389,36 @@ mod tests {
         let mut d = Dec::new(e.bytes());
         assert_eq!(decode_flit(&mut d).unwrap(), flit());
         assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn packet_round_trips_with_payload() {
+        let mut p = Packet::new(
+            PacketId::new(77),
+            FlowId::new(3).with_phase(2),
+            NodeId::new(4),
+            NodeId::new(9),
+            8,
+            1_000,
+        );
+        p.injected_at = 1_004;
+        p.payload = Payload::from_words(&[1, u64::MAX, 0xdead_beef]);
+        let mut e = Enc::new();
+        encode_packet(&mut e, &p);
+        let back = decode_packet(&mut Dec::new(e.bytes())).unwrap();
+        assert_eq!(back, p);
+
+        let empty = Packet::new(
+            PacketId::new(1),
+            FlowId::new(0),
+            NodeId::new(0),
+            NodeId::new(1),
+            2,
+            0,
+        );
+        let mut e = Enc::new();
+        encode_packet(&mut e, &empty);
+        assert_eq!(decode_packet(&mut Dec::new(e.bytes())).unwrap(), empty);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use hornet_net::config::ConfigError;
 use hornet_net::geometry::Geometry;
 use hornet_net::ids::NodeId;
 use hornet_net::network::NetworkNode;
+use hornet_net::payload::PayloadStore;
 use hornet_shard::{Partition, Partitioner};
 use std::sync::Arc;
 
@@ -109,7 +110,10 @@ pub fn partition_for(spec: &DistSpec, workers: usize) -> Partition {
 }
 
 /// Builds the full network for `spec`, splits it into per-shard parts, and
-/// wires every cut channel onto boundary-link halves.
+/// wires every cut channel onto boundary-link halves. Also returns the
+/// process's payload store (the DMA side channel every bridge deposits into):
+/// multi-process transports claim payloads from it when tail flits leave for
+/// another process.
 ///
 /// The halves are *shared*: the outbound half of channel `c` in the sender's
 /// parts is the same `Arc` as the inbound half in the receiver's parts. The
@@ -119,10 +123,10 @@ pub fn partition_for(spec: &DistSpec, workers: usize) -> Partition {
 pub fn build_shards(
     spec: &DistSpec,
     partition: &Partition,
-) -> Result<Vec<ShardParts>, ConfigError> {
+) -> Result<(Vec<ShardParts>, Arc<PayloadStore>), ConfigError> {
     let network = spec.build_network()?;
     let geometry = network.geometry().clone();
-    let (mut nodes, _store) = network.into_nodes();
+    let (mut nodes, store) = network.into_nodes();
     let shards = partition.shard_count();
     assert_eq!(partition.node_count(), nodes.len());
 
@@ -205,7 +209,7 @@ pub fn build_shards(
         // Canonical neighbor order (ascending shard id) for transports.
         part.neighbors.sort_by_key(|n| n.peer);
     }
-    Ok(parts)
+    Ok((parts, store))
 }
 
 fn neighbor_entry(neighbors: &mut Vec<NeighborWiring>, peer: usize) -> &mut NeighborWiring {
@@ -252,7 +256,7 @@ mod tests {
             ..DistSpec::default()
         };
         let partition = partition_for(&spec, 2);
-        let parts = build_shards(&spec, &partition).unwrap();
+        let (parts, _store) = build_shards(&spec, &partition).unwrap();
         assert_eq!(parts.len(), 2);
         assert_eq!(parts[0].tiles.len() + parts[1].tiles.len(), 16);
         // One boundary, 4 links, 4 VCs per direction.

@@ -1,27 +1,29 @@
-//! The worker side of the distributed backend: a transport-generic shard
-//! loop, and the process entry point that speaks the control protocol.
+//! The worker side of the distributed backend: a thin host around the
+//! unified [`hornet_shard::driver::CycleDriver`], and the process entry
+//! point that speaks the control protocol.
 //!
-//! The shard loop is the same conservative algorithm as the thread backend's
-//! (`hornet_shard::runtime`), expressed over [`BoundaryTransport`]s instead
-//! of shared atomics: before simulating cycle `c`, wait until every
-//! neighbor's published progress reaches `c - 1 - slack`, ingest what the
-//! transports delivered, consume mailboxes (strictly by cycle stamp in
-//! CycleAccurate mode), simulate the two clock edges, emit credits, publish
-//! the termination ledger, and pump the transports. Directives (stop /
-//! fast-forward jumps) arrive from the coordinator through plain atomics the
-//! control reader thread maintains.
+//! The per-cycle shard protocol itself — strict flit/credit limits, skip
+//! handling, slack waits, ledger publish-on-change — lives exactly once, in
+//! `hornet-shard`; this module only supplies the distributed
+//! [`TransportPump`] (per-adjacency [`BoundaryTransport`]s) and the
+//! process-local [`PayloadChannel`], then reports the outcome. Directives
+//! (stop / fast-forward jumps) arrive from the coordinator through plain
+//! atomics the control reader thread maintains.
 
 use crate::protocol::{hello, CtrlMsg, TransportKind};
 use crate::shm::{ShmSegment, ShmTransport};
 use crate::spec::{DistSpec, RunKind};
-use crate::transport::{BoundaryTransport, SocketTransport, Stream};
+use crate::transport::{BoundaryTransport, SocketTransport, Stream, TransportSet};
 use crate::wire::{read_frame, write_frame};
 use crate::wiring::{build_shards, partition_for, ShardParts};
 use hornet_net::boundary::{BoundaryLink, BoundaryRx};
 use hornet_net::ids::Cycle;
 use hornet_net::network::NetworkNode;
 use hornet_net::stats::NetworkStats;
-use hornet_shard::termination::{LedgerState, ShardLedger};
+use hornet_shard::driver::{
+    merge_tile_stats, CycleDriver, DriverParams, PayloadChannel, WaitProfile,
+};
+use hornet_shard::termination::ShardLedger;
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{TcpListener, TcpStream};
@@ -87,6 +89,8 @@ pub struct ShardWorker {
     pub transports: Vec<Box<dyn BoundaryTransport>>,
     /// Per-neighbor channel wiring, canonical order.
     neighbors_meta: Vec<crate::wiring::NeighborWiring>,
+    /// How payloads follow tail flits across this shard's boundaries.
+    pub payloads: Arc<dyn PayloadChannel>,
     /// Maximum cycles to run ahead of neighbors.
     pub slack: u64,
     /// Cycles between drift checks.
@@ -102,9 +106,15 @@ pub struct ShardWorker {
 }
 
 impl ShardWorker {
-    /// Builds a worker from wiring parts and the spec's synchronization
-    /// parameters (transports attached separately).
-    pub fn from_parts(parts: ShardParts, spec: &DistSpec, control: WorkerControl) -> Self {
+    /// Builds a worker from wiring parts, the spec's synchronization
+    /// parameters and the process's payload channel (transports attached
+    /// separately).
+    pub fn from_parts(
+        parts: ShardParts,
+        spec: &DistSpec,
+        control: WorkerControl,
+        payloads: Arc<dyn PayloadChannel>,
+    ) -> Self {
         let (slack, quantum, strict) = spec.sync.params();
         Self {
             shard: parts.shard,
@@ -113,6 +123,7 @@ impl ShardWorker {
             inbound: parts.inbound,
             transports: Vec::new(),
             neighbors_meta: parts.neighbors,
+            payloads,
             slack,
             quantum,
             strict,
@@ -122,208 +133,56 @@ impl ShardWorker {
         }
     }
 
-    fn wait_peers(&self, floor: Cycle) -> bool {
-        for (ti, t) in self.transports.iter().enumerate() {
-            let mut spins = 0u32;
-            let mut reported = false;
-            while t.peer_progress() < floor {
-                if self.control.stop.load(Ordering::Acquire) {
-                    return false;
-                }
-                if spins > 40_000 && !reported {
-                    // Several seconds without peer progress: likely a stall;
-                    // report once (diagnostics only, normal runs never hit it).
-                    reported = true;
-                    eprintln!(
-                        "[w{}] stalled waiting transport#{ti} floor={floor} mirror={} mirrors={:?}",
-                        self.shard,
-                        t.peer_progress(),
-                        self.transports
-                            .iter()
-                            .map(|x| x.peer_progress())
-                            .collect::<Vec<_>>()
-                    );
-                }
-                // Escalating backoff: spin briefly, then yield, then sleep.
-                // Co-scheduled worker processes (more shards than cores)
-                // starve each other with pure spinning — the peer needs the
-                // CPU this loop is burning.
-                spins = spins.saturating_add(1);
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else if spins < 256 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros((spins as u64 - 255).min(20) * 10));
-                }
-            }
-        }
-        true
-    }
+    /// Runs the shard for `cycles` cycles starting after `start` by handing
+    /// everything to the unified [`CycleDriver`] — the per-cycle protocol
+    /// has exactly one implementation, shared with the thread backend.
+    pub fn run(self, start: Cycle, cycles: Cycle) -> io::Result<WorkerOutcome> {
+        let ShardWorker {
+            shard,
+            mut tiles,
+            outbound,
+            mut inbound,
+            mut transports,
+            neighbors_meta: _,
+            payloads,
+            slack,
+            quantum,
+            strict,
+            track_ledger,
+            fast_forward,
+            control,
+        } = self;
+        let mut set = TransportSet(&mut transports);
+        let driver = CycleDriver {
+            shard,
+            tiles: &mut tiles,
+            outbound: &outbound,
+            inbound: &mut inbound,
+            transport: &mut set,
+            payloads: &*payloads,
+            stop: &control.stop,
+            skip_to: &control.skip_to,
+            ledger: &control.ledger,
+        };
+        let outcome = driver.run(&DriverParams {
+            start,
+            cycles,
+            slack,
+            quantum,
+            strict,
+            track_ledger,
+            fast_forward,
+            wait: WaitProfile::Sleep,
+        })?;
 
-    fn pump_all(&mut self, cycle: Cycle) -> io::Result<()> {
-        for t in &mut self.transports {
-            t.pump(cycle)?;
-        }
-        Ok(())
-    }
-
-    fn busy_now(&self) -> u64 {
-        self.tiles
-            .iter()
-            .map(|t| t.buffered_flits() as u64 + u64::from(!t.is_idle()))
-            .sum::<u64>()
-            + self
-                .inbound
-                .iter()
-                .map(|rx| rx.in_flight() as u64)
-                .sum::<u64>()
-    }
-
-    /// Runs the shard for `cycles` cycles starting after `start`.
-    pub fn run(mut self, start: Cycle, cycles: Cycle) -> io::Result<WorkerOutcome> {
-        let end = start + cycles;
-        let quantum = self.quantum.max(1);
-        let mut now = start;
-        let mut recv_total = 0u64;
-        let mut last_published = LedgerState::default();
-        let mut published_once = false;
-
-        let debug_stall = std::env::var_os("HORNET_DIST_DEBUG").is_some();
-        'run: while now < end {
-            if self.control.stop.load(Ordering::Acquire) {
-                break;
-            }
-            let batch_end = (now + quantum).min(end);
-            if debug_stall && now.is_multiple_of(100) {
-                eprintln!(
-                    "[w{}] cycle {now} peers={:?}",
-                    self.shard,
-                    self.transports
-                        .iter()
-                        .map(|t| t.peer_progress())
-                        .collect::<Vec<_>>()
-                );
-            }
-            if !self.wait_peers(now.saturating_sub(self.slack)) {
-                break;
-            }
-            for t in &mut self.transports {
-                t.ingest();
-            }
-            while now < batch_end {
-                if self.control.stop.load(Ordering::Acquire) {
-                    break 'run;
-                }
-                if self.track_ledger {
-                    let skip = self.control.skip_to.load(Ordering::Acquire);
-                    if skip > now {
-                        let target = skip.min(end);
-                        let skipped = target - now;
-                        for tile in &mut self.tiles {
-                            tile.set_cycle(target);
-                            tile.router_mut().stats_mut().fast_forwarded_cycles += skipped;
-                        }
-                        now = target;
-                        self.pump_all(now)?;
-                        continue 'run;
-                    }
-                }
-                let next = now + 1;
-                let (flit_limit, credit_limit) = if self.strict {
-                    (Some(next), Some(next - 1))
-                } else {
-                    (None, None)
-                };
-                for link in &self.outbound {
-                    link.apply_credits(credit_limit);
-                }
-                for rx in &mut self.inbound {
-                    recv_total += rx.deliver(flit_limit) as u64;
-                }
-                for tile in &mut self.tiles {
-                    tile.posedge(next);
-                }
-                for tile in &mut self.tiles {
-                    tile.negedge(next);
-                }
-                for rx in &mut self.inbound {
-                    rx.emit_credits(next);
-                }
-                if self.track_ledger {
-                    let state = LedgerState {
-                        busy: self.busy_now(),
-                        finished: self.tiles.iter().all(NetworkNode::finished),
-                        next_event: if self.fast_forward {
-                            self.tiles
-                                .iter()
-                                .filter_map(|t| t.next_event(next))
-                                .min()
-                                .unwrap_or(u64::MAX)
-                        } else {
-                            u64::MAX
-                        },
-                        sent: self.outbound.iter().map(|l| l.flits_pushed()).sum(),
-                        recv: recv_total,
-                        cycle: next,
-                    };
-                    let probe_view = LedgerState {
-                        cycle: last_published.cycle,
-                        ..state
-                    };
-                    let changed = !published_once || probe_view != last_published;
-                    if changed {
-                        // Ledger before progress: when a peer or the
-                        // coordinator sees this cycle complete, the ledger
-                        // already accounts for its flits.
-                        self.control.ledger.publish(&state);
-                        last_published = state;
-                        published_once = true;
-                    }
-                }
-                // Pump publishes progress = `next` after the ledger.
-                self.pump_all(next)?;
-                now = next;
-                if now < batch_end && !self.wait_peers(now.saturating_sub(self.slack)) {
-                    break 'run;
-                }
-                if now < batch_end {
-                    for t in &mut self.transports {
-                        t.ingest();
-                    }
-                }
-            }
-        }
-
-        // Terminal ledger so late coordinator probes see the final state.
-        if self.track_ledger {
-            let state = LedgerState {
-                busy: self.busy_now(),
-                finished: self.tiles.iter().all(NetworkNode::finished),
-                next_event: u64::MAX,
-                sent: self.outbound.iter().map(|l| l.flits_pushed()).sum(),
-                recv: recv_total,
-                cycle: now,
-            };
-            let probe_view = LedgerState {
-                cycle: last_published.cycle,
-                ..state
-            };
-            if !published_once || probe_view != last_published {
-                self.control.ledger.publish(&state);
-            }
-        }
-
-        let completed = self.tiles.iter().all(NetworkNode::finished) && self.busy_now() == 0;
-        let mut stats = NetworkStats::new();
-        for tile in &self.tiles {
-            stats.merge(tile.stats());
-        }
+        // `busy` comes from the driver — the same definition the
+        // termination detector scanned, so host and detector cannot drift.
+        let completed = tiles.iter().all(NetworkNode::finished) && outcome.busy == 0;
         Ok(WorkerOutcome {
-            final_now: now,
-            stats,
+            final_now: outcome.final_now,
+            stats: merge_tile_stats(&tiles),
             completed,
-            tiles: self.tiles,
+            tiles,
         })
     }
 }
@@ -384,20 +243,50 @@ impl Listener {
     }
 }
 
-/// Runs the worker process: connects to the coordinator at `ctrl_addr`,
-/// executes one assigned shard, reports, and exits when the coordinator
-/// closes the control channel.
-pub fn worker_main(ctrl_addr: &str, ctrl_family: &str) -> io::Result<()> {
-    let ctrl = match ctrl_family {
-        #[cfg(unix)]
-        "unix" => Stream::Unix(UnixStream::connect(ctrl_addr)?),
-        "tcp" => Stream::Tcp(TcpStream::connect(ctrl_addr)?),
-        other => return Err(proto_err(&format!("unknown control family {other}"))),
-    };
+/// Connects to the coordinator's control plane, retrying for up to a minute
+/// while the coordinator is not up yet — host-list workers may legitimately
+/// be started before the coordinator, in any order.
+fn connect_ctrl(ctrl_addr: &str, ctrl_family: &str) -> io::Result<Stream> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let res = match ctrl_family {
+            #[cfg(unix)]
+            "unix" => UnixStream::connect(ctrl_addr).map(Stream::Unix),
+            "tcp" => TcpStream::connect(ctrl_addr).map(Stream::Tcp),
+            other => return Err(proto_err(&format!("unknown control family {other}"))),
+        };
+        match res {
+            Ok(s) => return Ok(s),
+            Err(e)
+                if Instant::now() < deadline
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionRefused
+                            | io::ErrorKind::NotFound
+                            | io::ErrorKind::AddrNotAvailable
+                    ) =>
+            {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Runs the worker process: connects to the coordinator at `ctrl_addr`
+/// (retrying while it is not up yet), executes one assigned shard, reports,
+/// and exits when the coordinator closes the control channel.
+///
+/// In host-list mode (`hornet-dist host --workers host1:port,...`) the
+/// worker announces `advertise` — the `host:port` its data plane is
+/// reachable at from the other machines — and the coordinator assigns it
+/// the matching shard.
+pub fn worker_main(ctrl_addr: &str, ctrl_family: &str, advertise: Option<&str>) -> io::Result<()> {
+    let ctrl = connect_ctrl(ctrl_addr, ctrl_family)?;
     let writer = Arc::new(Mutex::new(ctrl.try_clone()?));
     let mut reader = BufReader::new(ctrl);
 
-    send_ctrl(&writer, &hello())?;
+    send_ctrl(&writer, &hello(advertise.unwrap_or("")))?;
     let CtrlMsg::Assign {
         shard,
         shards,
@@ -418,15 +307,20 @@ pub fn worker_main(ctrl_addr: &str, ctrl_family: &str) -> io::Result<()> {
         shards,
         "coordinator/worker partition mismatch"
     );
-    let mut parts = build_shards(&spec, &partition)
+    let (mut parts, store) = build_shards(&spec, &partition)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     let mine = parts.swap_remove(shard);
     drop(parts);
 
-    // Data plane.
+    // Data plane. The payload channel is remote: peers live in other
+    // processes, so packet payloads must follow their tail flits over the
+    // transports (the store itself is this process's bridge-side DMA park).
+    let payloads: Arc<dyn PayloadChannel> =
+        Arc::new(hornet_shard::driver::PayloadEndpoint::remote(store));
+    let batch = spec.socket_batch();
     let deadline = Instant::now() + Duration::from_secs(30);
     let control = WorkerControl::new();
-    let mut worker = ShardWorker::from_parts(mine, &spec, control.clone());
+    let mut worker = ShardWorker::from_parts(mine, &spec, control.clone(), Arc::clone(&payloads));
     match transport {
         TransportKind::UnixSocket | TransportKind::Tcp => {
             let listener = match transport {
@@ -445,6 +339,24 @@ pub fn worker_main(ctrl_addr: &str, ctrl_family: &str) -> io::Result<()> {
                 #[cfg(not(unix))]
                 TransportKind::UnixSocket => {
                     return Err(proto_err("unix sockets unavailable on this platform"))
+                }
+                _ if !listen.is_empty() => {
+                    // Host-list mode: the coordinator assigned this worker an
+                    // advertised `host:port`; bind the port on all interfaces
+                    // and advertise the reachable address.
+                    let port = listen
+                        .rsplit_once(':')
+                        .and_then(|(_, p)| p.parse::<u16>().ok())
+                        .ok_or_else(|| proto_err("bad advertised address"))?;
+                    let l = TcpListener::bind(("0.0.0.0", port))?;
+                    l.set_nonblocking(true)?;
+                    send_ctrl(
+                        &writer,
+                        &CtrlMsg::Listening {
+                            addr: listen.clone(),
+                        },
+                    )?;
+                    Listener::Tcp(l)
                 }
                 _ => {
                     let l = TcpListener::bind("127.0.0.1:0")?;
@@ -497,9 +409,13 @@ pub fn worker_main(ctrl_addr: &str, ctrl_family: &str) -> io::Result<()> {
                     .remove(peer)
                     .ok_or_else(|| proto_err("peer stream missing"))?;
                 let wiring = worker.neighbor_wiring(i);
-                worker
-                    .transports
-                    .push(Box::new(SocketTransport::new(stream, &wiring, 0)?));
+                worker.transports.push(Box::new(SocketTransport::new(
+                    stream,
+                    &wiring,
+                    0,
+                    batch,
+                    Arc::clone(&payloads),
+                )?));
             }
         }
         TransportKind::Shm => {
@@ -536,7 +452,7 @@ pub fn worker_main(ctrl_addr: &str, ctrl_family: &str) -> io::Result<()> {
                         wiring.out_links.iter().map(|l| l.capacity()).collect(),
                     )
                 };
-                let layout = ShmTransport::layout(lo_caps, hi_caps);
+                let layout = ShmTransport::layout(lo_caps, hi_caps, spec.sync_depth());
                 let seg = ShmSegment::open(std::path::Path::new(path), &layout)?;
                 worker
                     .transports

@@ -78,7 +78,7 @@ fn four_process_unix_socket_cycle_accurate_is_bit_identical() {
                 workers: 4,
                 transport: TransportKind::UnixSocket,
                 worker_cmd: Some(worker_bin()),
-                verbose: false,
+                ..HostOptions::default()
             },
         )
         .expect("distributed run");
@@ -119,7 +119,7 @@ fn two_process_shm_cycle_accurate_is_bit_identical() {
             workers: 2,
             transport: TransportKind::Shm,
             worker_cmd: Some(worker_bin()),
-            verbose: false,
+            ..HostOptions::default()
         },
     )
     .expect("shm run");
@@ -143,7 +143,7 @@ fn two_process_tcp_cycle_accurate_is_bit_identical() {
             workers: 2,
             transport: TransportKind::Tcp,
             worker_cmd: Some(worker_bin()),
-            verbose: false,
+            ..HostOptions::default()
         },
     )
     .expect("tcp run");
@@ -194,7 +194,7 @@ fn four_process_completion_detection_stops_early_and_delivers_everything() {
             workers: 4,
             transport: TransportKind::UnixSocket,
             worker_cmd: Some(worker_bin()),
-            verbose: false,
+            ..HostOptions::default()
         },
     )
     .expect("completion run");

@@ -5,8 +5,16 @@
 //! `hornet-dist` crate, across processes and machines) without a global
 //! barrier.
 //!
-//! Four pieces compose the subsystem:
+//! Five pieces compose the subsystem:
 //!
+//! * [`driver`] — the **one** implementation of the per-cycle shard
+//!   protocol ([`CycleDriver`](driver::CycleDriver)): strict flit/credit
+//!   limits, fast-forward skip handling, slack waits, ledger
+//!   publish-on-change. Parameterized by a transport pump (shared atomics
+//!   and rings for threads; shm segments and socket frames for processes)
+//!   and a payload channel (how packet payloads follow tail flits across a
+//!   boundary), so the thread and distributed backends are thin hosts
+//!   around the same loop and a protocol fix can never land in one only;
 //! * [`partition`] — a topology-aware [`Partitioner`](partition::Partitioner)
 //!   assigns band-aligned sub-mesh blocks of tiles to shards, oriented along
 //!   whichever mesh axis yields the smaller cut set (rows on tall/square
@@ -35,10 +43,15 @@
 //! `CycleAccurate` → `{slack: 0, quantum: 1, strict}`, `Slack(k)` →
 //! `{slack: k, quantum: 1}`, `Periodic(n)` → `{slack: 0, quantum: n}`.
 
+pub mod driver;
 pub mod partition;
 pub mod runtime;
 pub mod sys;
 pub mod termination;
 
+pub use driver::{
+    CycleDriver, DriveOutcome, DriverParams, NoPayloads, PayloadChannel, PayloadEndpoint,
+    TransportPump, WaitProfile,
+};
 pub use partition::{CutOrientation, Partition, Partitioner};
 pub use runtime::{RunOutcome, RunParams, ShardConfig, ShardRuntime};

@@ -50,9 +50,13 @@
 //! normal per-cycle polling. Workers never wait for each other beyond the
 //! usual neighbor drift gates.
 
+use crate::driver::{
+    merge_tile_stats, CycleDriver, DriverParams, NoPayloads, PayloadChannel, TransportPump,
+    WaitProfile,
+};
 use crate::partition::Partition;
 use crate::sys;
-use crate::termination::{scan_ledgers, LedgerState, Quiescence, ShardLedger};
+use crate::termination::{scan_ledgers, Quiescence, ShardLedger};
 use hornet_net::boundary::{BoundaryLink, BoundaryRx, EgressChannel};
 use hornet_net::ids::Cycle;
 use hornet_net::network::NetworkNode;
@@ -199,7 +203,80 @@ fn wait_floor_all(stop: &AtomicBool, counters: &[AtomicU64], floor: u64) -> bool
     true
 }
 
-/// The per-worker simulation loop for one shard.
+/// The thread backend's [`TransportPump`]: boundary rings are shared
+/// directly between the shard loops, so the data plane needs no pumping at
+/// all — only the per-shard progress atomics in [`SyncShared`].
+struct ThreadPump<'a> {
+    shard: usize,
+    sync: &'a SyncShared,
+    neighbors: &'a [usize],
+    /// Cut links carry bandwidth-adaptive bidirectional links, whose demand
+    /// arbitration needs posedge/negedge phase separation.
+    phase_wait: bool,
+    /// Rendezvous all shards at every quantum boundary (classic periodic
+    /// synchronization: drift re-zeroes per batch).
+    barrier_batches: bool,
+}
+
+impl TransportPump for ThreadPump<'_> {
+    fn peers_reached(&self, floor: Cycle) -> bool {
+        self.neighbors
+            .iter()
+            .all(|&n| self.sync.negedge_done[n].load(Ordering::Acquire) >= floor)
+    }
+
+    fn pump(
+        &mut self,
+        cycle: Cycle,
+        _payloads: &dyn PayloadChannel,
+        _flush: bool,
+    ) -> std::io::Result<()> {
+        self.sync.negedge_done[self.shard].store(cycle, Ordering::Release);
+        Ok(())
+    }
+
+    fn posedge_sync(&mut self, cycle: Cycle, stop: &AtomicBool) -> bool {
+        self.sync.posedge_done[self.shard].store(cycle, Ordering::Release);
+        if self.phase_wait {
+            wait_floor(stop, &self.sync.posedge_done, self.neighbors, cycle)
+        } else {
+            true
+        }
+    }
+
+    fn batch_rendezvous(&mut self, cycle: Cycle, stop: &AtomicBool) -> bool {
+        if self.barrier_batches {
+            wait_floor_all(stop, &self.sync.negedge_done, cycle)
+        } else {
+            true
+        }
+    }
+
+    fn publish_jump(
+        &mut self,
+        target: Cycle,
+        _payloads: &dyn PayloadChannel,
+    ) -> std::io::Result<()> {
+        self.sync.posedge_done[self.shard].store(target, Ordering::Release);
+        self.sync.negedge_done[self.shard].store(target, Ordering::Release);
+        Ok(())
+    }
+
+    fn stall_report(&self) -> String {
+        self.neighbors
+            .iter()
+            .map(|&n| {
+                self.sync.negedge_done[n]
+                    .load(Ordering::Acquire)
+                    .to_string()
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// The per-worker simulation loop for one shard: a thin host around the
+/// unified [`CycleDriver`] (the protocol itself lives in [`crate::driver`]).
 fn run_shard(job: Job) -> JobResult {
     let Job {
         shard,
@@ -212,151 +289,47 @@ fn run_shard(job: Job) -> JobResult {
         params: p,
         done: _done,
     } = job;
-    let end = p.start + p.cycles;
-    let quantum = p.quantum.max(1);
-    // Ledger publishing is only needed when a detector is watching.
-    let track_ledger = p.fast_forward || p.detect_completion;
-    let mut recv_total = 0u64;
-    let mut last_published = LedgerState::default();
-    let mut published_once = false;
-    let mut now = p.start;
-
-    'run: while now < end {
-        if sync.stop.load(Ordering::Acquire) {
-            break;
-        }
-        let batch_end = (now + quantum).min(end);
-        // Drift gate at the batch boundary: neighbors must have finished
-        // the negative edge of `now - slack` before we simulate `now+1`.
-        if !wait_floor(
-            &sync.stop,
-            &sync.negedge_done,
-            &neighbors,
-            now.saturating_sub(p.slack),
-        ) {
-            break;
-        }
-        while now < batch_end {
-            if sync.stop.load(Ordering::Acquire) {
-                break 'run;
-            }
-            // Fast-forward directive: the detector proved the whole system
-            // idle with balanced credits up to (at least) `skip`, so jumping
-            // every clock forward is safe regardless of which cycle each
-            // shard currently sits at.
-            if track_ledger {
-                let skip = sync.skip_to.load(Ordering::Acquire);
-                if skip > now {
-                    let target = skip.min(end);
-                    let skipped = target - now;
-                    for tile in &mut tiles {
-                        tile.set_cycle(target);
-                        tile.router_mut().stats_mut().fast_forwarded_cycles += skipped;
-                    }
-                    now = target;
-                    sync.posedge_done[shard].store(target, Ordering::Release);
-                    sync.negedge_done[shard].store(target, Ordering::Release);
-                    continue 'run;
-                }
-            }
-            let next = now + 1;
-            // Drain boundary mailboxes. Strict mode consumes exactly the
-            // prefix the sequential schedule would have made visible by
-            // this cycle; loose modes take everything available.
-            let (flit_limit, credit_limit) = if p.strict {
-                (Some(next), Some(next - 1))
-            } else {
-                (None, None)
-            };
-            for link in &outbound {
-                link.apply_credits(credit_limit);
-            }
-            for rx in &mut inbound {
-                recv_total += rx.deliver(flit_limit) as u64;
-            }
-            for tile in &mut tiles {
-                tile.posedge(next);
-            }
-            sync.posedge_done[shard].store(next, Ordering::Release);
-            if phase_wait {
-                // Bandwidth-adaptive links publish demand at the negative
-                // edge into a single shared slot; hold our negedge until
-                // the neighbors' posedges have read the previous value.
-                if !wait_floor(&sync.stop, &sync.posedge_done, &neighbors, next) {
-                    break 'run;
-                }
-            }
-            for tile in &mut tiles {
-                tile.negedge(next);
-            }
-            for rx in &mut inbound {
-                rx.emit_credits(next);
-            }
-            if track_ledger {
-                // Publish the termination ledger *before* advancing the
-                // progress counter: when a neighbor (or the detector) sees
-                // this cycle as complete, the ledger already accounts for
-                // every flit it pushed or delivered.
-                let busy: u64 = tiles
-                    .iter()
-                    .map(|t| t.buffered_flits() as u64 + u64::from(!t.is_idle()))
-                    .sum::<u64>()
-                    + inbound.iter().map(|rx| rx.in_flight() as u64).sum::<u64>();
-                let state = LedgerState {
-                    busy,
-                    finished: tiles.iter().all(NetworkNode::finished),
-                    next_event: if p.fast_forward {
-                        tiles
-                            .iter()
-                            .filter_map(|t| t.next_event(next))
-                            .min()
-                            .unwrap_or(u64::MAX)
-                    } else {
-                        u64::MAX
-                    },
-                    sent: outbound.iter().map(|l| l.flits_pushed()).sum(),
-                    recv: recv_total,
-                    cycle: next,
-                };
-                // Idle shards burning cycles republish only when the content
-                // changes (`cycle` is deliberately excluded from the "has
-                // anything changed" comparison), so the detector's two-wave
-                // version check can converge.
-                let changed = !published_once
-                    || LedgerState {
-                        cycle: last_published.cycle,
-                        ..state
-                    } != last_published;
-                if changed {
-                    sync.ledgers[shard].publish(&state);
-                    last_published = state;
-                    published_once = true;
-                }
-            }
-            sync.negedge_done[shard].store(next, Ordering::Release);
-            now = next;
-        }
-        if p.barrier_batches && !wait_floor_all(&sync.stop, &sync.negedge_done, batch_end.min(now))
-        {
-            // Classic periodic synchronization: every shard reaches the
-            // batch boundary before anyone starts the next batch, so clock
-            // drift re-zeroes per batch. Stop raised mid-wait: unwind.
-            break;
-        }
-    }
+    let mut pump = ThreadPump {
+        shard,
+        sync: &sync,
+        neighbors: &neighbors,
+        phase_wait,
+        barrier_batches: p.barrier_batches,
+    };
+    let driver = CycleDriver {
+        shard,
+        tiles: &mut tiles,
+        outbound: &outbound,
+        inbound: &mut inbound,
+        transport: &mut pump,
+        // Shards share the process's payload store: payloads never move.
+        payloads: &NoPayloads,
+        stop: &sync.stop,
+        skip_to: &sync.skip_to,
+        ledger: &sync.ledgers[shard],
+    };
+    let outcome = driver
+        .run(&DriverParams {
+            start: p.start,
+            cycles: p.cycles,
+            slack: p.slack,
+            quantum: p.quantum,
+            strict: p.strict,
+            track_ledger: p.fast_forward || p.detect_completion,
+            fast_forward: p.fast_forward,
+            wait: WaitProfile::Spin,
+        })
+        .expect("thread transport cannot fail");
 
     // No end-of-run rendezvous: the caller joins all workers through the
     // result channel and flushes the returned inbound endpoints afterwards,
     // when every sender has provably exited.
-    let mut stats = NetworkStats::new();
-    for tile in &tiles {
-        stats.merge(tile.stats());
-    }
+    let stats = merge_tile_stats(&tiles);
     JobResult {
         shard,
         tiles,
         stats,
-        final_now: now,
+        final_now: outcome.final_now,
         inbound,
         panicked: false,
     }
