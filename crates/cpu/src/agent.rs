@@ -217,6 +217,28 @@ impl NodeAgent for CoreAgent {
     fn label(&self) -> &str {
         "mips-core"
     }
+
+    fn snapshot(&self, e: &mut hornet_net::codec::Enc) {
+        self.core.snapshot(e);
+        self.memory.snapshot(e);
+        e.u32(self.user_rx.len() as u32);
+        for p in &self.user_rx {
+            e.u32(p.src.raw()).u64(p.word);
+        }
+    }
+
+    fn restore(&mut self, d: &mut hornet_net::codec::Dec) -> std::io::Result<()> {
+        self.core.restore(d)?;
+        self.memory.restore(d)?;
+        self.user_rx.clear();
+        let n = d.u32()? as usize;
+        for _ in 0..n {
+            let src = NodeId::new(d.u32()?);
+            let word = d.u64()?;
+            self.user_rx.push_back(UserPacket { src, word });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

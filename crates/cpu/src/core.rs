@@ -234,6 +234,86 @@ impl Core {
             Some(Syscall::Exit) | None => self.state = CoreState::Halted,
         }
     }
+
+    /// Serializes the architectural state (registers, pc, run state, stats)
+    /// into `e`. The program itself is not serialized: it is immutable and is
+    /// rebuilt from the workload spec when the tile is reconstructed.
+    pub fn snapshot(&self, e: &mut hornet_net::codec::Enc) {
+        for r in &self.regs {
+            e.u64(*r);
+        }
+        e.u64(self.pc as u64);
+        match self.state {
+            CoreState::Running => {
+                e.u8(0);
+            }
+            CoreState::WaitingMem { dest } => {
+                e.u8(1);
+                match dest {
+                    Some(d) => e.u8(1).u8(d),
+                    None => e.u8(0),
+                };
+            }
+            CoreState::WaitingRecv { from } => {
+                e.u8(2);
+                match from {
+                    Some(n) => e.u8(1).u32(n.raw()),
+                    None => e.u8(0),
+                };
+            }
+            CoreState::Halted => {
+                e.u8(3);
+            }
+        }
+        e.u64(self.stats.instructions)
+            .u64(self.stats.cycles)
+            .u64(self.stats.mem_stall_cycles)
+            .u64(self.stats.recv_stall_cycles)
+            .u64(self.stats.packets_sent)
+            .u64(self.stats.packets_received);
+    }
+
+    /// Restores architectural state captured by [`snapshot`](Self::snapshot).
+    /// The core must already hold the same program the snapshot was taken
+    /// against (the pc is validated against its length).
+    pub fn restore(&mut self, d: &mut hornet_net::codec::Dec) -> std::io::Result<()> {
+        let corrupt = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("core checkpoint: {what}"),
+            )
+        };
+        for r in &mut self.regs {
+            *r = d.u64()?;
+        }
+        // Note: a pc past the program end is legal (Jr can produce one; the
+        // next step simply halts), so the pc is restored unvalidated.
+        self.pc = d.u64()? as usize;
+        self.state = match d.u8()? {
+            0 => CoreState::Running,
+            1 => {
+                let dest = if d.u8()? != 0 { Some(d.u8()?) } else { None };
+                CoreState::WaitingMem { dest }
+            }
+            2 => {
+                let from = if d.u8()? != 0 {
+                    Some(NodeId::new(d.u32()?))
+                } else {
+                    None
+                };
+                CoreState::WaitingRecv { from }
+            }
+            3 => CoreState::Halted,
+            _ => return Err(corrupt("unknown core state tag")),
+        };
+        self.stats.instructions = d.u64()?;
+        self.stats.cycles = d.u64()?;
+        self.stats.mem_stall_cycles = d.u64()?;
+        self.stats.recv_stall_cycles = d.u64()?;
+        self.stats.packets_sent = d.u64()?;
+        self.stats.packets_received = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

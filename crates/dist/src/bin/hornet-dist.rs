@@ -31,8 +31,10 @@ fn usage() -> ExitCode {
          [--workload synthetic|vsum:COUNT|tokenring]\n    \
          [--pattern transpose|uniform|bitcomp|shuffle|tornado|neighbor] [--rate F]\n    \
          [--cycles N | --to-completion MAX] [--packet-len N] [--max-packets N]\n    \
-         [--seed N] [--sync ca|slack:K|periodic:N] [--fast-forward] [--json] [--verbose]\n  \
-         hornet-dist worker --connect ADDR --family unix|tcp [--advertise HOST:PORT]"
+         [--seed N] [--sync ca|slack:K|periodic:N] [--fast-forward]\n    \
+         [--checkpoint-every N] [--max-restarts N] [--json] [--verbose]\n  \
+         hornet-dist worker --connect ADDR --family unix|tcp [--advertise HOST:PORT]\n    \
+         [--nonce N]"
     );
     ExitCode::from(2)
 }
@@ -50,6 +52,7 @@ fn worker(args: &[String]) -> ExitCode {
     let mut connect = None;
     let mut family = "unix".to_string();
     let mut advertise: Option<String> = None;
+    let mut nonce = 0u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -60,13 +63,16 @@ fn worker(args: &[String]) -> ExitCode {
                 }
             }
             "--advertise" => advertise = it.next().cloned(),
+            "--nonce" => {
+                nonce = it.next().and_then(|n| n.parse().ok()).unwrap_or_default();
+            }
             _ => return usage(),
         }
     }
     let Some(connect) = connect else {
         return usage();
     };
-    match hornet_dist::worker::worker_main(&connect, &family, advertise.as_deref()) {
+    match hornet_dist::worker::worker_main(&connect, &family, advertise.as_deref(), nonce) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("[worker] error: {e}");
@@ -170,6 +176,8 @@ fn host(args: &[String]) -> ExitCode {
                 };
             }
             "--fast-forward" => spec.fast_forward = true,
+            "--checkpoint-every" => spec.checkpoint_every = next().parse().ok(),
+            "--max-restarts" => opts.max_restarts = next().parse().unwrap_or(2),
             "--json" => json = true,
             "--verbose" => opts.verbose = true,
             _ => return usage(),

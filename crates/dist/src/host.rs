@@ -54,6 +54,23 @@ pub struct HostOptions {
     /// Control-plane bind address for host-list mode
     /// (e.g. `0.0.0.0:9100`).
     pub ctrl_listen: Option<String>,
+    /// Abort (or, with checkpoints, restart) when no worker event arrives
+    /// for this long.
+    pub recv_timeout: Duration,
+    /// Liveness heartbeat interval assigned to the workers (zero disables
+    /// heartbeats).
+    pub heartbeat_interval: Duration,
+    /// Declare a worker lost when nothing is heard from it for this long
+    /// (only enforced when heartbeats are enabled).
+    pub heartbeat_timeout: Duration,
+    /// How many times a run that lost a worker is restarted — from the last
+    /// committed checkpoint set when one exists, from scratch otherwise —
+    /// before aborting. Host-list (remote worker) losses are always fatal:
+    /// the coordinator cannot respawn a remote process.
+    pub max_restarts: u32,
+    /// Run handshake nonce; workers whose Hello carries a different nonce
+    /// are rejected. Freshly randomized per run when `None`.
+    pub nonce: Option<u64>,
 }
 
 impl Default for HostOptions {
@@ -65,6 +82,11 @@ impl Default for HostOptions {
             verbose: false,
             worker_hosts: None,
             ctrl_listen: None,
+            recv_timeout: Duration::from_secs(300),
+            heartbeat_interval: Duration::from_secs(1),
+            heartbeat_timeout: Duration::from_secs(10),
+            max_restarts: 2,
+            nonce: None,
         }
     }
 }
@@ -84,10 +106,85 @@ pub struct DistOutcome {
     pub cut_links: usize,
     /// Number of shards (worker processes) used.
     pub shards: usize,
+    /// How many times the run was restarted after losing a worker.
+    pub restarts: u32,
 }
 
 fn proto_err(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("protocol: {msg}"))
+}
+
+/// A recoverable worker loss: the supervisor kills the attempt and — within
+/// `max_restarts` — relaunches from the last committed checkpoint set. The
+/// dedicated kind is what `run_distributed` dispatches recovery on.
+fn lost(msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionAborted,
+        format!("worker lost: {msg}"),
+    )
+}
+
+/// A fresh per-run handshake nonce (randomly seeded hasher state, not a
+/// cryptographic token — it fences off stale or misdirected workers, not
+/// adversaries).
+fn fresh_nonce() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(u64::from(std::process::id()));
+    h.finish()
+}
+
+/// The coordinator-side checkpoint commit log: per-shard staged captures,
+/// and the newest cycle every shard has reported — the only state a restart
+/// may resume from (a cycle some shard never captured would desynchronize
+/// the rendezvous).
+struct CommitLog {
+    staged: Vec<std::collections::BTreeMap<u64, Vec<u8>>>,
+    committed: Option<(u64, Vec<Vec<u8>>)>,
+}
+
+impl CommitLog {
+    fn new(shards: usize) -> Self {
+        Self {
+            staged: (0..shards).map(|_| Default::default()).collect(),
+            committed: None,
+        }
+    }
+
+    fn record(&mut self, shard: usize, cycle: u64, data: Vec<u8>) {
+        if shard >= self.staged.len() {
+            return;
+        }
+        self.staged[shard].insert(cycle, data);
+        // Commit the newest cycle staged by every shard (checkpoint cadence
+        // is uniform, so the per-shard newest cycles only differ while some
+        // shard's report is still in flight).
+        let candidate = self
+            .staged
+            .iter()
+            .map(|m| m.keys().next_back().copied())
+            .min()
+            .flatten();
+        if let Some(cycle) = candidate {
+            if self.staged.iter().all(|m| m.contains_key(&cycle))
+                && self.committed.as_ref().is_none_or(|(c, _)| *c < cycle)
+            {
+                let set = self
+                    .staged
+                    .iter_mut()
+                    .map(|m| m.get(&cycle).cloned().expect("checked membership"))
+                    .collect();
+                self.committed = Some((cycle, set));
+                for m in &mut self.staged {
+                    *m = m.split_off(&(cycle + 1));
+                }
+            }
+        }
+    }
+
+    fn take_committed(&mut self) -> Option<(u64, Vec<Vec<u8>>)> {
+        self.committed.take()
+    }
 }
 
 /// One worker connection from the coordinator's side. (The control
@@ -127,8 +224,13 @@ fn scratch_dir() -> io::Result<PathBuf> {
     Ok(dir)
 }
 
-/// Runs `spec` across worker processes. Returns the merged outcome; every
-/// spawned process, socket and segment is cleaned up on all paths.
+/// Runs `spec` across worker processes, supervising them: a worker lost
+/// mid-run (crash, kill, hang past the heartbeat timeout) triggers a global
+/// rollback — every worker is killed and respawned, and the run resumes from
+/// the last checkpoint cycle every shard committed (from scratch when none
+/// has), up to `max_restarts` times. Returns the merged outcome; every
+/// spawned process, socket and segment is cleaned up on all paths, including
+/// the final abort.
 pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOutcome> {
     let workers = opts
         .worker_hosts
@@ -142,8 +244,58 @@ pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOu
             "a distributed run needs at least two shards",
         ));
     }
+    let nonce = opts.nonce.unwrap_or_else(fresh_nonce);
     let dir = scratch_dir()?;
-    let result = run_distributed_inner(spec, opts, &partition, &dir);
+    let result = (|| {
+        let mut resume: Option<(u64, Vec<Vec<u8>>)> = None;
+        let mut restarts = 0u32;
+        loop {
+            // Fresh socket/segment paths per attempt: a killed attempt's
+            // stale files can never collide with the respawn.
+            let attempt_dir = dir.join(format!("a{restarts}"));
+            std::fs::create_dir_all(&attempt_dir)?;
+            let mut commit = CommitLog::new(shards);
+            let attempt = run_distributed_inner(
+                spec,
+                opts,
+                &partition,
+                &attempt_dir,
+                nonce,
+                resume.as_ref(),
+                &mut commit,
+            );
+            match attempt {
+                Ok(mut outcome) => {
+                    outcome.restarts = restarts;
+                    return Ok(outcome);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionAborted
+                        && opts.worker_hosts.is_none()
+                        && restarts < opts.max_restarts =>
+                {
+                    // Global rollback: the attempt's children are already
+                    // killed; fold in the newest checkpoint set every shard
+                    // committed and relaunch.
+                    restarts += 1;
+                    if let Some(c) = commit.take_committed() {
+                        resume = Some(c);
+                    }
+                    if opts.verbose {
+                        eprintln!(
+                            "[host] {e}; restart {restarts}/{} from {}",
+                            opts.max_restarts,
+                            match &resume {
+                                Some((cycle, _)) => format!("checkpoint cycle {cycle}"),
+                                None => "scratch (nothing committed yet)".into(),
+                            }
+                        );
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    })();
     let _ = std::fs::remove_dir_all(&dir);
     result
 }
@@ -153,6 +305,9 @@ fn run_distributed_inner(
     opts: &HostOptions,
     partition: &Partition,
     dir: &std::path::Path,
+    nonce: u64,
+    resume: Option<&(u64, Vec<Vec<u8>>)>,
+    commit: &mut CommitLog,
 ) -> io::Result<DistOutcome> {
     let shards = partition.shard_count();
     let geometry = spec.network_config().geometry;
@@ -192,7 +347,7 @@ fn run_distributed_inner(
         eprintln!(
             "[host] waiting for {shards} workers on {addr} \
              (start each as: hornet-dist worker --connect <this host>:{} --family tcp \
-             --advertise <its host:port>)",
+             --advertise <its host:port> --nonce {nonce})",
             addr.rsplit(':').next().unwrap_or("?")
         );
         (CtrlListener::Tcp(l), addr, "tcp")
@@ -230,6 +385,8 @@ fn run_distributed_inner(
                 .arg(&ctrl_addr)
                 .arg("--family")
                 .arg(ctrl_family)
+                .arg("--nonce")
+                .arg(nonce.to_string())
                 .stdin(Stdio::null())
                 .stdout(Stdio::null())
                 .stderr(Stdio::inherit())
@@ -276,12 +433,26 @@ fn run_distributed_inner(
             };
             set_stream_blocking(&stream)?;
             let mut reader = BufReader::new(stream.try_clone()?);
-            let CtrlMsg::Hello { version, advertise } = CtrlMsg::decode(&read_frame(&mut reader)?)?
+            let CtrlMsg::Hello {
+                version,
+                advertise,
+                nonce: hello_nonce,
+            } = CtrlMsg::decode(&read_frame(&mut reader)?)?
             else {
                 return Err(proto_err("expected Hello"));
             };
             if version != crate::wire::WIRE_VERSION {
                 return Err(proto_err("wire version mismatch"));
+            }
+            if hello_nonce != nonce {
+                // A stray worker — stale respawn from a killed attempt, or
+                // someone else's run — must not claim a shard slot. Drop the
+                // connection and keep accepting.
+                if opts.verbose {
+                    eprintln!("[host] rejected worker with stale nonce ({advertise:?})");
+                }
+                stream.shutdown();
+                continue;
             }
             let shard = match remote_hosts {
                 None => accepted,
@@ -326,9 +497,11 @@ fn run_distributed_inner(
             conn.send(&CtrlMsg::Assign {
                 shard: shard as u32,
                 shards: shards as u32,
-                spec: spec.clone(),
+                spec: Box::new(spec.clone()),
                 transport,
                 listen,
+                heartbeat_ms: opts.heartbeat_interval.as_millis() as u64,
+                resume: resume.map(|(_, sets)| sets[shard].clone()),
             })?;
         }
 
@@ -427,7 +600,7 @@ fn run_distributed_inner(
         }
         drop(tx);
 
-        let outcome = supervise(spec, &mut conns, &rx, shards, cut_links)?;
+        let outcome = supervise(spec, opts, &mut conns, &rx, shards, cut_links, commit)?;
         let dbg = std::env::var_os("HORNET_DIST_DEBUG").is_some();
         if dbg {
             eprintln!("[host] supervise complete");
@@ -454,9 +627,15 @@ fn run_distributed_inner(
         Ok(outcome)
     })();
 
-    // Cleanup on error: kill any child still tracked.
+    // Cleanup on error: kill any child still tracked (naming the ones that
+    // had already died — the usual root cause of the abort).
     if run.is_err() {
-        for child in &mut children {
+        for (i, child) in children.iter_mut().enumerate() {
+            if let Ok(Some(status)) = child.try_wait() {
+                if opts.verbose {
+                    eprintln!("[host] worker process {i} exited with {status}");
+                }
+            }
             let _ = child.kill();
             let _ = child.wait();
         }
@@ -464,14 +643,19 @@ fn run_distributed_inner(
     run
 }
 
-/// The post-start supervision loop: collects Done reports and, when the run
-/// needs it, drives probe-round termination detection.
+/// The post-start supervision loop: collects Done reports, commits shard
+/// checkpoints, tracks per-worker liveness, and, when the run needs it,
+/// drives probe-round termination detection. A worker going silent past the
+/// heartbeat timeout, or its control channel closing before it reported, is
+/// a recoverable loss ([`lost`]).
 fn supervise(
     spec: &DistSpec,
+    opts: &HostOptions,
     conns: &mut [WorkerConn],
     rx: &Receiver<Event>,
     shards: usize,
     cut_links: usize,
+    commit: &mut CommitLog,
 ) -> io::Result<DistOutcome> {
     let detector = spec.needs_detector();
     let mut done: Vec<Option<(u64, bool, NetworkStats)>> = (0..shards).map(|_| None).collect();
@@ -479,14 +663,47 @@ fn supervise(
     let mut round = 0u64;
     let mut stopped = false;
     let mut last_skip = 0u64;
-    let mut pending: Vec<(usize, CtrlMsg)> = Vec::new();
+    let mut last_seen: Vec<Instant> = (0..shards).map(|_| Instant::now()).collect();
+    let mut last_event = Instant::now();
 
-    // Collects one probe round's replies; `pending` buffers unrelated
-    // messages (Done reports) that arrive interleaved.
+    // Handles every non-ledger message in one place, so checkpoints and
+    // Done reports are never dropped regardless of which wait they arrive
+    // in. Returns the recoverable-loss error for a silent unreported exit.
+    fn absorb(
+        shard: usize,
+        msg: CtrlMsg,
+        done: &mut [Option<(u64, bool, NetworkStats)>],
+        n_done: &mut usize,
+        commit: &mut CommitLog,
+    ) {
+        match msg {
+            CtrlMsg::Done {
+                final_now,
+                completed,
+                stats,
+            } => {
+                if std::env::var_os("HORNET_DIST_DEBUG").is_some() {
+                    eprintln!("[host] Done from w{shard} at {final_now}");
+                }
+                if done[shard]
+                    .replace((final_now, completed, *stats))
+                    .is_none()
+                {
+                    *n_done += 1;
+                }
+            }
+            CtrlMsg::Checkpoint { cycle, data } => commit.record(shard, cycle, data),
+            _ => {} // heartbeats carry no payload beyond liveness
+        }
+    }
+
+    // Collects one probe round's replies, absorbing interleaved traffic.
     let collect_round = |round: u64,
                          done: &mut Vec<Option<(u64, bool, NetworkStats)>>,
                          n_done: &mut usize,
-                         pending: &mut Vec<(usize, CtrlMsg)>|
+                         commit: &mut CommitLog,
+                         last_seen: &mut [Instant],
+                         last_event: &mut Instant|
      -> io::Result<Option<Vec<(u64, LedgerState)>>> {
         let mut replies: Vec<Option<(u64, LedgerState)>> = (0..shards).map(|_| None).collect();
         let mut got = 0usize;
@@ -496,38 +713,26 @@ fn supervise(
                 .checked_duration_since(Instant::now())
                 .unwrap_or(Duration::ZERO);
             match rx.recv_timeout(timeout) {
-                Ok(Event::Msg(
-                    shard,
-                    CtrlMsg::Ledger {
-                        round: r,
-                        version,
-                        state,
-                    },
-                )) if r == round => {
-                    if replies[shard].replace((version, state)).is_none() {
-                        got += 1;
+                Ok(Event::Msg(shard, msg)) => {
+                    last_seen[shard] = Instant::now();
+                    *last_event = Instant::now();
+                    match msg {
+                        CtrlMsg::Ledger {
+                            round: r,
+                            version,
+                            state,
+                        } if r == round => {
+                            if replies[shard].replace((version, state)).is_none() {
+                                got += 1;
+                            }
+                        }
+                        CtrlMsg::Ledger { .. } => {} // stale round
+                        other => absorb(shard, other, done, n_done, commit),
                     }
                 }
-                Ok(Event::Msg(_, CtrlMsg::Ledger { .. })) => {} // stale round
-                Ok(Event::Msg(
-                    shard,
-                    CtrlMsg::Done {
-                        final_now,
-                        completed,
-                        stats,
-                    },
-                )) => {
-                    if done[shard]
-                        .replace((final_now, completed, *stats))
-                        .is_none()
-                    {
-                        *n_done += 1;
-                    }
-                }
-                Ok(Event::Msg(shard, msg)) => pending.push((shard, msg)),
                 Ok(Event::Gone(shard)) => {
                     if done[shard].is_none() {
-                        return Err(proto_err("worker exited before reporting"));
+                        return Err(lost(&format!("shard {shard} exited before reporting")));
                     }
                     // A finished worker's channel closing is not an error,
                     // but it can no longer answer probes.
@@ -537,36 +742,51 @@ fn supervise(
                 Err(RecvTimeoutError::Disconnected) => return Err(proto_err("all workers gone")),
             }
         }
-        Ok(Some(replies.into_iter().map(|r| r.unwrap()).collect()))
+        let mut out = Vec::with_capacity(shards);
+        for (shard, reply) in replies.into_iter().enumerate() {
+            out.push(reply.ok_or_else(|| {
+                proto_err(&format!("shard {shard} never answered probe round {round}"))
+            })?);
+        }
+        Ok(Some(out))
     };
 
     while n_done < shards {
-        // Drain buffered and fresh events.
-        for (shard, msg) in pending.drain(..) {
-            if let CtrlMsg::Done {
-                final_now,
-                completed,
-                stats,
-            } = msg
-            {
-                if done[shard]
-                    .replace((final_now, completed, *stats))
-                    .is_none()
-                {
-                    n_done += 1;
+        // Liveness: heartbeats (and all other control traffic) refresh
+        // `last_seen`; a live-but-unreported worker gone silent past the
+        // timeout is lost. The overall no-progress timeout backstops runs
+        // with heartbeats disabled.
+        if opts.heartbeat_interval > Duration::ZERO {
+            for (shard, seen) in last_seen.iter().enumerate() {
+                if done[shard].is_none() && seen.elapsed() > opts.heartbeat_timeout {
+                    return Err(lost(&format!(
+                        "shard {shard} sent no heartbeat for {:.1?}",
+                        seen.elapsed()
+                    )));
                 }
             }
         }
-        if n_done >= shards {
-            break;
+        if last_event.elapsed() > opts.recv_timeout {
+            return Err(lost(&format!(
+                "workers made no progress for {:.1?} (recv_timeout)",
+                opts.recv_timeout
+            )));
         }
+
         if detector && !stopped {
             // Wave one.
             round += 1;
             for conn in conns.iter_mut() {
                 let _ = conn.send(&CtrlMsg::Probe { round });
             }
-            let wave1 = collect_round(round, &mut done, &mut n_done, &mut pending)?;
+            let wave1 = collect_round(
+                round,
+                &mut done,
+                &mut n_done,
+                commit,
+                &mut last_seen,
+                &mut last_event,
+            )?;
             if let Some(wave1) = wave1 {
                 let states: Vec<LedgerState> = wave1.iter().map(|&(_, s)| s).collect();
                 if credits_balance(&states) {
@@ -575,7 +795,14 @@ fn supervise(
                     for conn in conns.iter_mut() {
                         let _ = conn.send(&CtrlMsg::Probe { round });
                     }
-                    let wave2 = collect_round(round, &mut done, &mut n_done, &mut pending)?;
+                    let wave2 = collect_round(
+                        round,
+                        &mut done,
+                        &mut n_done,
+                        commit,
+                        &mut last_seen,
+                        &mut last_event,
+                    )?;
                     if let Some(wave2) = wave2 {
                         let verdict = QuiescenceScan::run(shards, |i| wave1[i], |i| wave2[i].0);
                         if let Quiescence::Idle {
@@ -611,40 +838,24 @@ fn supervise(
             // Gentle pacing between probe rounds.
             std::thread::sleep(Duration::from_micros(500));
         } else {
-            match rx.recv_timeout(Duration::from_secs(300)) {
-                Ok(Event::Msg(
-                    shard,
-                    CtrlMsg::Done {
-                        final_now,
-                        completed,
-                        stats,
-                    },
-                )) => {
-                    if std::env::var_os("HORNET_DIST_DEBUG").is_some() {
-                        eprintln!("[host] Done from w{shard} at {final_now}");
-                    }
-                    if done[shard]
-                        .replace((final_now, completed, *stats))
-                        .is_none()
-                    {
-                        n_done += 1;
-                    }
+            // Bounded waits so liveness is re-checked even when the channel
+            // is quiet.
+            let slice = Duration::from_millis(250).min(opts.recv_timeout);
+            match rx.recv_timeout(slice) {
+                Ok(Event::Msg(shard, msg)) => {
+                    last_seen[shard] = Instant::now();
+                    last_event = Instant::now();
+                    absorb(shard, msg, &mut done, &mut n_done, commit);
                 }
-                Ok(Event::Msg(..)) => {}
                 Ok(Event::Gone(shard)) => {
                     if std::env::var_os("HORNET_DIST_DEBUG").is_some() {
                         eprintln!("[host] Gone from w{shard}");
                     }
                     if done[shard].is_none() {
-                        return Err(proto_err("worker exited before reporting"));
+                        return Err(lost(&format!("shard {shard} exited before reporting")));
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "workers made no progress for 300 s",
-                    ))
-                }
+                Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return Err(proto_err("all workers gone")),
             }
         }
@@ -668,6 +879,7 @@ fn supervise(
         completed,
         cut_links,
         shards,
+        restarts: 0,
     })
 }
 
@@ -746,7 +958,7 @@ pub fn run_threaded(spec: &DistSpec, workers: usize) -> io::Result<DistOutcome> 
     let budget = spec.cycle_budget();
     let handles: Vec<_> = workers_vec
         .into_iter()
-        .map(|w| std::thread::spawn(move || w.run(0, budget)))
+        .map(|w| std::thread::spawn(move || w.run(0, budget, 0, None)))
         .collect();
 
     // Caller thread = detector (when the run needs one; otherwise it just
@@ -811,5 +1023,6 @@ pub fn run_threaded(spec: &DistSpec, workers: usize) -> io::Result<DistOutcome> 
         completed,
         cut_links,
         shards,
+        restarts: 0,
     })
 }

@@ -68,6 +68,9 @@ pub enum CtrlMsg {
         /// reachable at from the other machines (empty when the coordinator
         /// spawned the worker locally).
         advertise: String,
+        /// Run handshake nonce: must match the coordinator's, so a stray
+        /// worker (stale respawn, wrong run, port scan) cannot join.
+        nonce: u64,
     },
     /// Coordinator → worker: shard assignment.
     Assign {
@@ -76,12 +79,17 @@ pub enum CtrlMsg {
         /// Total shard count.
         shards: u32,
         /// The workload.
-        spec: DistSpec,
+        spec: Box<DistSpec>,
         /// Data-plane transport.
         transport: TransportKind,
         /// Unix data-plane listen path for this worker (empty for TCP, which
         /// binds an ephemeral port, and for shm).
         listen: String,
+        /// Liveness heartbeat interval the worker must honor (milliseconds;
+        /// 0 disables heartbeats).
+        heartbeat_ms: u64,
+        /// Shard checkpoint to restore before simulating (crash recovery).
+        resume: Option<Vec<u8>>,
     },
     /// Worker → coordinator: data plane bound at `addr` (empty for shm).
     Listening {
@@ -137,6 +145,19 @@ pub enum CtrlMsg {
         /// The connecting shard.
         from: u32,
     },
+    /// Worker → coordinator: periodic liveness signal.
+    Heartbeat {
+        /// The shard's current simulated cycle.
+        cycle: u64,
+    },
+    /// Worker → coordinator: a shard checkpoint captured at a rendezvous
+    /// cycle. The coordinator commits a cycle once every shard reported it.
+    Checkpoint {
+        /// The rendezvous cycle.
+        cycle: u64,
+        /// The serialized shard state ([`hornet_shard::snapshot`] layout).
+        data: Vec<u8>,
+    },
 }
 
 impl CtrlMsg {
@@ -144,8 +165,12 @@ impl CtrlMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
         match self {
-            CtrlMsg::Hello { version, advertise } => {
-                e.u8(0).u32(*version).str(advertise);
+            CtrlMsg::Hello {
+                version,
+                advertise,
+                nonce,
+            } => {
+                e.u8(0).u32(*version).str(advertise).u64(*nonce);
             }
             CtrlMsg::Assign {
                 shard,
@@ -153,10 +178,21 @@ impl CtrlMsg {
                 spec,
                 transport,
                 listen,
+                heartbeat_ms,
+                resume,
             } => {
                 e.u8(1).u32(*shard).u32(*shards).u8(transport.to_u8());
                 e.str(listen);
                 spec.encode(&mut e);
+                e.u64(*heartbeat_ms);
+                match resume {
+                    Some(data) => {
+                        e.u8(1).blob(data);
+                    }
+                    None => {
+                        e.u8(0);
+                    }
+                }
             }
             CtrlMsg::Listening { addr } => {
                 e.u8(2).str(addr);
@@ -209,6 +245,12 @@ impl CtrlMsg {
             CtrlMsg::PeerHello { from } => {
                 e.u8(11).u32(*from);
             }
+            CtrlMsg::Heartbeat { cycle } => {
+                e.u8(12).u64(*cycle);
+            }
+            CtrlMsg::Checkpoint { cycle, data } => {
+                e.u8(13).u64(*cycle).blob(data);
+            }
         }
         e.into_bytes()
     }
@@ -220,19 +262,27 @@ impl CtrlMsg {
             0 => CtrlMsg::Hello {
                 version: d.u32()?,
                 advertise: d.str()?,
+                nonce: d.u64()?,
             },
             1 => {
                 let shard = d.u32()?;
                 let shards = d.u32()?;
                 let transport = TransportKind::from_u8(d.u8()?)?;
                 let listen = d.str()?;
-                let spec = DistSpec::decode(&mut d)?;
+                let spec = Box::new(DistSpec::decode(&mut d)?);
+                let heartbeat_ms = d.u64()?;
+                let resume = match d.u8()? {
+                    0 => None,
+                    _ => Some(d.blob()?.to_vec()),
+                };
                 CtrlMsg::Assign {
                     shard,
                     shards,
                     spec,
                     transport,
                     listen,
+                    heartbeat_ms,
+                    resume,
                 }
             }
             2 => CtrlMsg::Listening { addr: d.str()? },
@@ -272,6 +322,11 @@ impl CtrlMsg {
                 stats: Box::new(decode_stats(&mut d)?),
             },
             11 => CtrlMsg::PeerHello { from: d.u32()? },
+            12 => CtrlMsg::Heartbeat { cycle: d.u64()? },
+            13 => CtrlMsg::Checkpoint {
+                cycle: d.u64()?,
+                data: d.blob()?.to_vec(),
+            },
             t => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -283,11 +338,13 @@ impl CtrlMsg {
 }
 
 /// The hello every worker opens with; `advertise` is empty for locally
-/// spawned workers and `host:port` for host-list (remote) workers.
-pub fn hello(advertise: &str) -> CtrlMsg {
+/// spawned workers and `host:port` for host-list (remote) workers, and
+/// `nonce` must echo the coordinator's run nonce.
+pub fn hello(advertise: &str, nonce: u64) -> CtrlMsg {
     CtrlMsg::Hello {
         version: WIRE_VERSION,
         advertise: advertise.to_string(),
+        nonce,
     }
 }
 
@@ -298,13 +355,15 @@ mod tests {
     #[test]
     fn control_messages_round_trip() {
         let msgs = vec![
-            hello("node7.cluster:9101"),
+            hello("node7.cluster:9101", 0xfeed_beef_dead_cafe),
             CtrlMsg::Assign {
                 shard: 2,
                 shards: 4,
-                spec: DistSpec::default(),
+                spec: Box::new(DistSpec::default()),
                 transport: TransportKind::UnixSocket,
                 listen: "/tmp/x.sock".into(),
+                heartbeat_ms: 1000,
+                resume: Some(vec![1, 2, 3]),
             },
             CtrlMsg::Listening {
                 addr: "127.0.0.1:4000".into(),
@@ -337,6 +396,11 @@ mod tests {
                 stats: Box::new(NetworkStats::new()),
             },
             CtrlMsg::PeerHello { from: 3 },
+            CtrlMsg::Heartbeat { cycle: 1234 },
+            CtrlMsg::Checkpoint {
+                cycle: 512,
+                data: vec![9; 64],
+            },
         ];
         for msg in msgs {
             let bytes = msg.encode();

@@ -156,6 +156,9 @@ pub struct DistSpec {
     pub run: RunKind,
     /// Skip idle periods by jumping all clocks to the next event.
     pub fast_forward: bool,
+    /// Capture a resumable checkpoint every this many cycles (strict modes
+    /// only — loose synchronization has no consistent rendezvous cut).
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for DistSpec {
@@ -181,6 +184,7 @@ impl Default for DistSpec {
             sync: DistSync::CycleAccurate,
             run: RunKind::Cycles(1_000),
             fast_forward: false,
+            checkpoint_every: None,
         }
     }
 }
@@ -406,6 +410,8 @@ impl DistSpec {
                 e.u8(2);
             }
         }
+        e.u8(u8::from(self.checkpoint_every.is_some()))
+            .u64(self.checkpoint_every.unwrap_or(0));
     }
 
     /// Decodes a spec written by [`encode`](Self::encode).
@@ -507,6 +513,11 @@ impl DistSpec {
             2 => DistWorkload::CpuTokenRing,
             _ => return Err(bad("workload")),
         };
+        let checkpoint_every = {
+            let some = d.u8()? != 0;
+            let v = d.u64()?;
+            some.then_some(v)
+        };
         Ok(Self {
             width,
             height,
@@ -528,6 +539,7 @@ impl DistSpec {
             sync,
             run,
             fast_forward,
+            checkpoint_every,
         })
     }
 }
@@ -557,6 +569,7 @@ mod tests {
             sync: DistSync::Slack(5),
             run: RunKind::ToCompletion { max: 100_000 },
             fast_forward: true,
+            checkpoint_every: Some(256),
             ..DistSpec::default()
         };
         let mut e = Enc::new();

@@ -21,7 +21,7 @@ use hornet_net::ids::Cycle;
 use hornet_net::network::NetworkNode;
 use hornet_net::stats::NetworkStats;
 use hornet_shard::driver::{
-    merge_tile_stats, CycleDriver, DriverParams, PayloadChannel, WaitProfile,
+    merge_tile_stats, CheckpointSink, CycleDriver, DriverParams, PayloadChannel, WaitProfile,
 };
 use hornet_shard::termination::ShardLedger;
 use std::collections::HashMap;
@@ -101,6 +101,8 @@ pub struct ShardWorker {
     pub track_ledger: bool,
     /// Compute next-event info for fast-forward.
     pub fast_forward: bool,
+    /// Capture a resumable checkpoint every this many cycles (strict only).
+    pub checkpoint_every: Option<u64>,
     /// Control-plane state.
     pub control: WorkerControl,
 }
@@ -129,14 +131,38 @@ impl ShardWorker {
             strict,
             track_ledger: spec.needs_detector(),
             fast_forward: spec.fast_forward,
+            checkpoint_every: spec.checkpoint_every,
             control,
         }
+    }
+
+    /// Restores a shard checkpoint into this (freshly built, not yet run)
+    /// worker's tiles and boundary rings. Must happen before transports are
+    /// attached and before any peer traffic can arrive. Returns
+    /// `(resume_cycle, received_start)` for [`run`](Self::run).
+    pub fn restore(&mut self, checkpoint: &[u8]) -> io::Result<(Cycle, u64)> {
+        hornet_shard::restore_shard(
+            checkpoint,
+            &mut self.tiles,
+            &self.outbound,
+            &mut self.inbound,
+            &*self.payloads,
+        )
     }
 
     /// Runs the shard for `cycles` cycles starting after `start` by handing
     /// everything to the unified [`CycleDriver`] — the per-cycle protocol
     /// has exactly one implementation, shared with the thread backend.
-    pub fn run(self, start: Cycle, cycles: Cycle) -> io::Result<WorkerOutcome> {
+    /// `received_start` seeds the cumulative delivery counter (nonzero when
+    /// resuming from a checkpoint) and `checkpoint` receives the periodic
+    /// state captures when `checkpoint_every` is set.
+    pub fn run(
+        self,
+        start: Cycle,
+        cycles: Cycle,
+        received_start: u64,
+        checkpoint: Option<&mut dyn CheckpointSink>,
+    ) -> io::Result<WorkerOutcome> {
         let ShardWorker {
             shard,
             mut tiles,
@@ -150,6 +176,7 @@ impl ShardWorker {
             strict,
             track_ledger,
             fast_forward,
+            checkpoint_every,
             control,
         } = self;
         let mut set = TransportSet(&mut transports);
@@ -163,6 +190,7 @@ impl ShardWorker {
             stop: &control.stop,
             skip_to: &control.skip_to,
             ledger: &control.ledger,
+            checkpoint,
         };
         let outcome = driver.run(&DriverParams {
             start,
@@ -172,6 +200,8 @@ impl ShardWorker {
             strict,
             track_ledger,
             fast_forward,
+            checkpoint_every,
+            received_start,
             wait: WaitProfile::Sleep,
         })?;
 
@@ -190,6 +220,56 @@ impl ShardWorker {
 // ---------------------------------------------------------------------------
 // Worker process entry.
 // ---------------------------------------------------------------------------
+
+/// Ships every periodic shard checkpoint to the coordinator over the control
+/// plane, with an optional fault-injection point for the recovery tests.
+struct CtrlCheckpointSink {
+    shard: usize,
+    writer: Arc<Mutex<Stream>>,
+    /// `(shard, cycle, token_path)` — die before shipping the first
+    /// checkpoint at `cycle ≥` this on the matching shard, if the token file
+    /// can still be claimed.
+    crash: Option<(usize, u64, std::path::PathBuf)>,
+}
+
+impl CheckpointSink for CtrlCheckpointSink {
+    fn checkpoint(&mut self, cycle: Cycle, state: &[u8]) -> io::Result<()> {
+        if let Some((shard, at, token)) = &self.crash {
+            // Claiming the token by deleting it makes the injection
+            // exactly-once: the respawned worker inherits the env var but
+            // finds no file.
+            if *shard == self.shard && cycle >= *at && std::fs::remove_file(token).is_ok() {
+                #[cfg(unix)]
+                {
+                    let _ = std::process::Command::new("kill")
+                        .arg("-9")
+                        .arg(std::process::id().to_string())
+                        .status();
+                }
+                std::process::abort();
+            }
+        }
+        send_ctrl(
+            &self.writer,
+            &CtrlMsg::Checkpoint {
+                cycle,
+                data: state.to_vec(),
+            },
+        )
+    }
+}
+
+/// Parses `HORNET_DIST_CRASH_TOKEN`: the path of a file containing
+/// `"<shard> <cycle>"`. The named shard SIGKILLs itself at its first
+/// checkpoint at or after `cycle`, before shipping it.
+fn crash_token() -> Option<(usize, u64, std::path::PathBuf)> {
+    let path = std::path::PathBuf::from(std::env::var_os("HORNET_DIST_CRASH_TOKEN")?);
+    let s = std::fs::read_to_string(&path).ok()?;
+    let mut it = s.split_whitespace();
+    let shard = it.next()?.parse().ok()?;
+    let cycle = it.next()?.parse().ok()?;
+    Some((shard, cycle, path))
+}
 
 fn proto_err(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("protocol: {msg}"))
@@ -280,19 +360,27 @@ fn connect_ctrl(ctrl_addr: &str, ctrl_family: &str) -> io::Result<Stream> {
 /// In host-list mode (`hornet-dist host --workers host1:port,...`) the
 /// worker announces `advertise` — the `host:port` its data plane is
 /// reachable at from the other machines — and the coordinator assigns it
-/// the matching shard.
-pub fn worker_main(ctrl_addr: &str, ctrl_family: &str, advertise: Option<&str>) -> io::Result<()> {
+/// the matching shard. `nonce` must echo the coordinator's run nonce or the
+/// Hello is rejected.
+pub fn worker_main(
+    ctrl_addr: &str,
+    ctrl_family: &str,
+    advertise: Option<&str>,
+    nonce: u64,
+) -> io::Result<()> {
     let ctrl = connect_ctrl(ctrl_addr, ctrl_family)?;
     let writer = Arc::new(Mutex::new(ctrl.try_clone()?));
     let mut reader = BufReader::new(ctrl);
 
-    send_ctrl(&writer, &hello(advertise.unwrap_or("")))?;
+    send_ctrl(&writer, &hello(advertise.unwrap_or(""), nonce))?;
     let CtrlMsg::Assign {
         shard,
         shards,
         spec,
         transport,
         listen,
+        heartbeat_ms,
+        resume,
     } = CtrlMsg::decode(&read_frame(&mut reader)?)?
     else {
         return Err(proto_err("expected Assign"));
@@ -321,6 +409,15 @@ pub fn worker_main(ctrl_addr: &str, ctrl_family: &str, advertise: Option<&str>) 
     let deadline = Instant::now() + Duration::from_secs(30);
     let control = WorkerControl::new();
     let mut worker = ShardWorker::from_parts(mine, &spec, control.clone(), Arc::clone(&payloads));
+
+    // Crash recovery: restore the shipped checkpoint into the freshly built
+    // shard *before* attaching transports — no peer traffic can race the
+    // ring restore, and every transport starts its progress mirror at the
+    // rendezvous cycle instead of 0.
+    let (start_cycle, received_start) = match &resume {
+        Some(bytes) => worker.restore(bytes)?,
+        None => (0, 0),
+    };
     match transport {
         TransportKind::UnixSocket | TransportKind::Tcp => {
             let listener = match transport {
@@ -412,7 +509,7 @@ pub fn worker_main(ctrl_addr: &str, ctrl_family: &str, advertise: Option<&str>) 
                 worker.transports.push(Box::new(SocketTransport::new(
                     stream,
                     &wiring,
-                    0,
+                    start_cycle,
                     batch,
                     Arc::clone(&payloads),
                 )?));
@@ -465,6 +562,13 @@ pub fn worker_main(ctrl_addr: &str, ctrl_family: &str, advertise: Option<&str>) 
         return Err(proto_err("expected Start"));
     };
 
+    // Resume: every peer must observe our progress at the rendezvous cycle
+    // (shm progress words start at 0 in a fresh segment), and any restored
+    // staged traffic goes onto the wire now.
+    if start_cycle > 0 {
+        worker.publish_progress(start_cycle)?;
+    }
+
     // Control reader: probes, directives, and coordinator-loss detection.
     let done_flag = Arc::new(AtomicBool::new(false));
     let ctrl_thread = {
@@ -510,9 +614,40 @@ pub fn worker_main(ctrl_addr: &str, ctrl_family: &str, advertise: Option<&str>) 
             })?
     };
 
+    // Liveness heartbeats: a thin periodic signal so the coordinator can
+    // tell a hung worker from a slow one without waiting for the full
+    // no-progress timeout.
+    if heartbeat_ms > 0 {
+        let writer = Arc::clone(&writer);
+        let control = control.clone();
+        let done_flag = Arc::clone(&done_flag);
+        std::thread::Builder::new()
+            .name("hornet-dist-hb".into())
+            .spawn(move || {
+                let interval = Duration::from_millis(heartbeat_ms);
+                while !done_flag.load(Ordering::Acquire) {
+                    let (_, state) = control.ledger.read();
+                    if send_ctrl(&writer, &CtrlMsg::Heartbeat { cycle: state.cycle }).is_err() {
+                        return;
+                    }
+                    std::thread::sleep(interval);
+                }
+            })?;
+    }
+
     let debug = std::env::var_os("HORNET_DIST_DEBUG").is_some();
     let budget = spec.cycle_budget();
-    let outcome = worker.run(0, budget)?;
+    let mut sink = CtrlCheckpointSink {
+        shard,
+        writer: Arc::clone(&writer),
+        crash: crash_token(),
+    };
+    let outcome = worker.run(
+        start_cycle,
+        budget.saturating_sub(start_cycle),
+        received_start,
+        Some(&mut sink),
+    )?;
     if debug {
         eprintln!("[w{shard}] run complete at {}", outcome.final_now);
     }
@@ -545,6 +680,17 @@ impl ShardWorker {
     /// transport must be attached per entry, in this order.
     pub fn transports_plan(&self) -> Vec<usize> {
         self.neighbors_meta.iter().map(|n| n.peer).collect()
+    }
+
+    /// Publishes `cycle` as this side's negedge progress on every attached
+    /// transport and flushes any staged traffic. Used on resume, where peers
+    /// must observe the rendezvous cycle rather than a transport's initial 0.
+    pub fn publish_progress(&mut self, cycle: Cycle) -> io::Result<()> {
+        let payloads = Arc::clone(&self.payloads);
+        for t in &mut self.transports {
+            t.pump(cycle, &*payloads, true)?;
+        }
+        Ok(())
     }
 
     /// The wiring of the `i`-th planned neighbor.

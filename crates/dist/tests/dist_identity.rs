@@ -176,6 +176,34 @@ fn threaded_transport_reference_is_bit_identical_and_slack_is_functional() {
     assert_eq!(slack.stats.routing_failures, 0);
 }
 
+/// Checkpointing alone (no crash) must not perturb the simulation: the
+/// run's stats stay bit-identical to sequential, with zero restarts.
+#[cfg(unix)]
+#[test]
+fn checkpointing_without_a_crash_is_free_of_side_effects() {
+    let spec = DistSpec {
+        width: 6,
+        height: 6,
+        seed: 29,
+        run: RunKind::Cycles(600),
+        checkpoint_every: Some(50),
+        ..spec_16x16(SyntheticPattern::UniformRandom, 29, 600)
+    };
+    let (seq, _, _) = spec.run_sequential().unwrap();
+    let outcome = run_distributed(
+        &spec,
+        &HostOptions {
+            workers: 2,
+            transport: TransportKind::UnixSocket,
+            worker_cmd: Some(worker_bin()),
+            ..HostOptions::default()
+        },
+    )
+    .expect("checkpointed run");
+    assert_eq!(outcome.restarts, 0);
+    assert_bit_identical(&seq, &outcome.stats, "checkpointed 2-process unix");
+}
+
 /// Distributed completion detection: 4 processes, bounded workload, credit
 /// counting stops the run long before the cycle cap.
 #[cfg(unix)]

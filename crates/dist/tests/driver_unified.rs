@@ -285,6 +285,9 @@ fn host_list_mode_with_prestarted_workers_is_bit_identical() {
                     transport: TransportKind::Tcp,
                     worker_hosts: Some(hosts),
                     ctrl_listen: Some(ctrl),
+                    // Pre-started workers must present the same join nonce
+                    // the coordinator expects (satellite: stray-worker guard).
+                    nonce: Some(777),
                     ..HostOptions::default()
                 },
             )
@@ -304,6 +307,8 @@ fn host_list_mode_with_prestarted_workers_is_bit_identical() {
                     "tcp",
                     "--advertise",
                     advertise,
+                    "--nonce",
+                    "777",
                 ])
                 .stdin(Stdio::null())
                 .stdout(Stdio::null())

@@ -5,6 +5,7 @@
 //! contents of memory travel out-of-band (the DMA model), so a single word is
 //! enough to verify coherence end-to-end while keeping the model light.
 
+use hornet_net::codec::{Dec, Enc};
 use serde::{Deserialize, Serialize};
 
 /// MSI coherence state of a cache line.
@@ -249,6 +250,77 @@ impl Cache {
         self.sets
             .iter()
             .flat_map(|s| s.iter().map(|w| (w.line, w.state, w.value)))
+    }
+
+    /// Serializes the cache's full state for a checkpoint. The LRU tick and
+    /// per-way ages are included — replacement decisions (and therefore the
+    /// miss traffic a restored run generates) must match the uninterrupted
+    /// run exactly. Ways are stored in their in-set order, which
+    /// `swap_remove` permutes over time, so the encoding is reproducible for
+    /// a given history.
+    pub fn snapshot(&self, e: &mut Enc) {
+        e.u64(self.tick);
+        e.u64(self.stats.hits)
+            .u64(self.stats.misses)
+            .u64(self.stats.evictions)
+            .u64(self.stats.dirty_evictions);
+        e.u32(self.sets.len() as u32);
+        for set in &self.sets {
+            e.u32(set.len() as u32);
+            for w in set {
+                e.u64(w.line)
+                    .u8(match w.state {
+                        LineState::Invalid => 0,
+                        LineState::Shared => 1,
+                        LineState::Modified => 2,
+                    })
+                    .u64(w.value)
+                    .u64(w.lru);
+            }
+        }
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot) into this
+    /// cache (which must have the same geometry).
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on a geometry mismatch or corrupt record.
+    pub fn restore(&mut self, d: &mut Dec) -> std::io::Result<()> {
+        let corrupt =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        self.tick = d.u64()?;
+        self.stats = CacheStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            evictions: d.u64()?,
+            dirty_evictions: d.u64()?,
+        };
+        if d.u32()? as usize != self.sets.len() {
+            return Err(corrupt("cache checkpoint: set count mismatch"));
+        }
+        let max_ways = self.config.ways;
+        for set in &mut self.sets {
+            let ways = d.u32()? as usize;
+            if ways > max_ways {
+                return Err(corrupt("cache checkpoint: way count exceeds associativity"));
+            }
+            set.clear();
+            for _ in 0..ways {
+                set.push(Way {
+                    line: d.u64()?,
+                    state: match d.u8()? {
+                        0 => LineState::Invalid,
+                        1 => LineState::Shared,
+                        2 => LineState::Modified,
+                        _ => return Err(corrupt("cache checkpoint: bad line state")),
+                    },
+                    value: d.u64()?,
+                    lru: d.u64()?,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

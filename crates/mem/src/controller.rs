@@ -195,6 +195,59 @@ impl NodeAgent for MemoryControllerAgent {
     fn label(&self) -> &str {
         "memory-controller"
     }
+
+    fn snapshot(&self, e: &mut hornet_net::codec::Enc) {
+        e.u32(self.queue.len() as u32);
+        for r in &self.queue {
+            e.u64(r.line).u32(r.requester.raw()).u64(r.arrived_at);
+        }
+        e.u32(self.in_service.len() as u32);
+        for s in &self.in_service {
+            e.u64(s.line).u32(s.requester.raw()).u64(s.done_at);
+        }
+        let mut values: Vec<(&u64, &u64)> = self.values.iter().collect();
+        values.sort_by_key(|(line, _)| **line);
+        e.u32(values.len() as u32);
+        for (line, value) in values {
+            e.u64(*line).u64(*value);
+        }
+        e.u64(self.stats.reads)
+            .u64(self.stats.writes)
+            .u64(self.stats.total_queue_delay)
+            .u64(self.stats.max_queue_depth as u64);
+    }
+
+    fn restore(&mut self, d: &mut hornet_net::codec::Dec) -> std::io::Result<()> {
+        self.queue.clear();
+        for _ in 0..d.u32()? {
+            self.queue.push_back(PendingRead {
+                line: d.u64()?,
+                requester: NodeId::new(d.u32()?),
+                arrived_at: d.u64()?,
+            });
+        }
+        self.in_service.clear();
+        for _ in 0..d.u32()? {
+            self.in_service.push(InService {
+                line: d.u64()?,
+                requester: NodeId::new(d.u32()?),
+                done_at: d.u64()?,
+            });
+        }
+        self.values.clear();
+        for _ in 0..d.u32()? {
+            let line = d.u64()?;
+            let value = d.u64()?;
+            self.values.insert(line, value);
+        }
+        self.stats = MemoryControllerStats {
+            reads: d.u64()?,
+            writes: d.u64()?,
+            total_queue_delay: d.u64()?,
+            max_queue_depth: d.u64()? as usize,
+        };
+        Ok(())
+    }
 }
 
 /// Places memory controllers on a mesh: `1` puts one in the lower-left corner

@@ -338,6 +338,140 @@ impl DirectorySlice {
             out.extend(self.handle(next));
         }
     }
+
+    /// Serializes the slice's full state — per-line sharing state, in-flight
+    /// transactions, queued requests, functional line values and counters —
+    /// for a checkpoint. Lines are sorted by address so the encoding is
+    /// canonical regardless of hash-map iteration order.
+    pub fn snapshot(&self, e: &mut hornet_net::codec::Enc) {
+        let mut lines: Vec<(&LineAddr, &Entry)> = self.lines.iter().collect();
+        lines.sort_by_key(|(addr, _)| **addr);
+        e.u32(lines.len() as u32);
+        for (addr, entry) in lines {
+            e.u64(*addr);
+            match &entry.state {
+                DirState::Uncached => {
+                    e.u8(0);
+                }
+                DirState::Shared(sharers) => {
+                    e.u8(1).u32(sharers.len() as u32);
+                    for s in sharers {
+                        e.u32(s.raw());
+                    }
+                }
+                DirState::Modified(owner) => {
+                    e.u8(2).u32(owner.raw());
+                }
+            }
+            match &entry.pending {
+                None => {
+                    e.u8(0);
+                }
+                Some(Pending::AwaitWriteback {
+                    requester,
+                    exclusive,
+                    owner,
+                }) => {
+                    e.u8(1)
+                        .u32(requester.raw())
+                        .u8(*exclusive as u8)
+                        .u32(owner.raw());
+                }
+                Some(Pending::AwaitInvAcks {
+                    requester,
+                    remaining,
+                }) => {
+                    e.u8(2).u32(requester.raw()).u32(*remaining as u32);
+                }
+            }
+            e.u32(entry.queued.len() as u32);
+            for msg in &entry.queued {
+                let words = msg.encode();
+                e.u32(words.len() as u32);
+                for w in words.words() {
+                    e.u64(*w);
+                }
+            }
+            e.u64(entry.value);
+        }
+        e.u64(self.stats.get_s)
+            .u64(self.stats.get_m)
+            .u64(self.stats.invalidations)
+            .u64(self.stats.fetches)
+            .u64(self.stats.writebacks)
+            .u64(self.stats.dram_reads)
+            .u64(self.stats.queued);
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on a corrupt record.
+    pub fn restore(&mut self, d: &mut hornet_net::codec::Dec) -> std::io::Result<()> {
+        let corrupt =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        self.lines.clear();
+        for _ in 0..d.u32()? {
+            let addr = d.u64()?;
+            let state = match d.u8()? {
+                0 => DirState::Uncached,
+                1 => {
+                    let mut sharers = BTreeSet::new();
+                    for _ in 0..d.u32()? {
+                        sharers.insert(NodeId::new(d.u32()?));
+                    }
+                    DirState::Shared(sharers)
+                }
+                2 => DirState::Modified(NodeId::new(d.u32()?)),
+                _ => return Err(corrupt("directory checkpoint: bad sharing state")),
+            };
+            let pending = match d.u8()? {
+                0 => None,
+                1 => Some(Pending::AwaitWriteback {
+                    requester: NodeId::new(d.u32()?),
+                    exclusive: d.u8()? != 0,
+                    owner: NodeId::new(d.u32()?),
+                }),
+                2 => Some(Pending::AwaitInvAcks {
+                    requester: NodeId::new(d.u32()?),
+                    remaining: d.u32()? as usize,
+                }),
+                _ => return Err(corrupt("directory checkpoint: bad pending state")),
+            };
+            let mut queued = VecDeque::new();
+            for _ in 0..d.u32()? {
+                let words = (0..d.u32()?)
+                    .map(|_| d.u64())
+                    .collect::<std::io::Result<Vec<u64>>>()?;
+                let payload = hornet_net::flit::Payload::from_words(&words);
+                queued.push_back(
+                    MemMessage::decode(&payload)
+                        .ok_or_else(|| corrupt("directory checkpoint: bad queued message"))?,
+                );
+            }
+            let value = d.u64()?;
+            self.lines.insert(
+                addr,
+                Entry {
+                    state,
+                    pending,
+                    queued,
+                    value,
+                },
+            );
+        }
+        self.stats = DirectoryStats {
+            get_s: d.u64()?,
+            get_m: d.u64()?,
+            invalidations: d.u64()?,
+            fetches: d.u64()?,
+            writebacks: d.u64()?,
+            dram_reads: d.u64()?,
+            queued: d.u64()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -367,6 +367,61 @@ impl MemoryNode {
     pub fn peek(&self, line: LineAddr) -> u64 {
         self.directory.value_of(line)
     }
+
+    /// Serializes the tile's full memory-system state — L1, directory slice,
+    /// the delayed-message queue and the counters — for a checkpoint. The
+    /// construction-time parameters (node, placement, latencies) are not
+    /// stored; the restored node must be built from the same configuration.
+    pub fn snapshot(&self, e: &mut hornet_net::codec::Enc) {
+        self.l1.snapshot(e);
+        self.directory.snapshot(e);
+        e.u32(self.scheduled.len() as u32);
+        for s in &self.scheduled {
+            e.u64(s.ready_at).u32(s.dst.raw());
+            let words = s.msg.encode();
+            e.u32(words.len() as u32);
+            for w in words.words() {
+                e.u64(*w);
+            }
+        }
+        e.u64(self.stats.messages_sent)
+            .u64(self.stats.local_messages)
+            .u64(self.stats.remote_accesses)
+            .u64(self.stats.local_accesses);
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on a corrupt record.
+    pub fn restore(&mut self, d: &mut hornet_net::codec::Dec) -> std::io::Result<()> {
+        self.l1.restore(d)?;
+        self.directory.restore(d)?;
+        self.scheduled.clear();
+        for _ in 0..d.u32()? {
+            let ready_at = d.u64()?;
+            let dst = NodeId::new(d.u32()?);
+            let words = (0..d.u32()?)
+                .map(|_| d.u64())
+                .collect::<std::io::Result<Vec<u64>>>()?;
+            let payload = hornet_net::flit::Payload::from_words(&words);
+            let msg = MemMessage::decode(&payload).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "memory checkpoint: bad scheduled message",
+                )
+            })?;
+            self.scheduled.push_back(Scheduled { ready_at, dst, msg });
+        }
+        self.stats = MemNodeStats {
+            messages_sent: d.u64()?,
+            local_messages: d.u64()?,
+            remote_accesses: d.u64()?,
+            local_accesses: d.u64()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -301,6 +301,83 @@ impl L1Controller {
             self.completion = Some(value);
         }
     }
+
+    /// Serializes the controller's state (cache contents, the outstanding
+    /// miss, any unconsumed completion and the counters) for a checkpoint.
+    pub fn snapshot(&self, e: &mut hornet_net::codec::Enc) {
+        self.cache.snapshot(e);
+        match self.outstanding {
+            None => {
+                e.u8(0);
+            }
+            Some(o) => {
+                e.u8(1);
+                match o.op {
+                    CoreMemOp::Load { addr } => e.u8(0).u64(addr),
+                    CoreMemOp::Store { addr, value } => e.u8(1).u64(addr).u64(value),
+                };
+                e.u64(o.line).u64(o.issued_at);
+            }
+        }
+        match self.completion {
+            None => e.u8(0),
+            Some(v) => e.u8(1).u64(v),
+        };
+        e.u64(self.stats.loads)
+            .u64(self.stats.stores)
+            .u64(self.stats.hits)
+            .u64(self.stats.misses)
+            .u64(self.stats.invalidations)
+            .u64(self.stats.fetches_served)
+            .u64(self.stats.writebacks)
+            .u64(self.stats.total_miss_latency)
+            .u64(self.stats.completed_misses);
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on a corrupt record.
+    pub fn restore(&mut self, d: &mut hornet_net::codec::Dec) -> std::io::Result<()> {
+        let corrupt =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        self.cache.restore(d)?;
+        self.outstanding = match d.u8()? {
+            0 => None,
+            _ => {
+                let op = match d.u8()? {
+                    0 => CoreMemOp::Load { addr: d.u64()? },
+                    1 => CoreMemOp::Store {
+                        addr: d.u64()?,
+                        value: d.u64()?,
+                    },
+                    _ => return Err(corrupt("L1 checkpoint: bad op tag")),
+                };
+                Some(Outstanding {
+                    op,
+                    line: d.u64()?,
+                    issued_at: d.u64()?,
+                })
+            }
+        };
+        self.completion = match d.u8()? {
+            0 => None,
+            _ => Some(d.u64()?),
+        };
+        self.stats = L1Stats {
+            loads: d.u64()?,
+            stores: d.u64()?,
+            hits: d.u64()?,
+            misses: d.u64()?,
+            invalidations: d.u64()?,
+            fetches_served: d.u64()?,
+            writebacks: d.u64()?,
+            total_miss_latency: d.u64()?,
+            completed_misses: d.u64()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

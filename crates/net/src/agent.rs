@@ -7,6 +7,7 @@
 //! [`Bridge`](crate::bridge::Bridge), which facilitates development of new
 //! agent (core) types, exactly as described in the paper (§II-D).
 
+use crate::codec::{Dec, Enc};
 use crate::flit::{DeliveredPacket, Packet};
 use crate::ids::{Cycle, NodeId, PacketId};
 use rand_chacha::ChaCha12Rng;
@@ -68,6 +69,22 @@ pub trait NodeAgent: Send {
     fn label(&self) -> &str {
         "agent"
     }
+
+    /// Serializes the agent's state into a checkpoint. The default writes
+    /// nothing, which is correct only for stateless agents; every agent
+    /// carrying workload state (counters, protocol machines, queues) must
+    /// override both this and [`restore`](Self::restore) or a restored run
+    /// will diverge from an uninterrupted one.
+    fn snapshot(&self, e: &mut Enc) {
+        let _ = e;
+    }
+
+    /// Restores the state written by [`snapshot`](Self::snapshot). The tile
+    /// frames each agent's bytes, so an agent only ever sees its own record.
+    fn restore(&mut self, d: &mut Dec) -> std::io::Result<()> {
+        let _ = d;
+        Ok(())
+    }
 }
 
 /// A no-op agent: consumes delivered packets and never injects. Useful as the
@@ -106,6 +123,15 @@ impl NodeAgent for SinkAgent {
 
     fn label(&self) -> &str {
         "sink"
+    }
+
+    fn snapshot(&self, e: &mut Enc) {
+        e.u64(self.received);
+    }
+
+    fn restore(&mut self, d: &mut Dec) -> std::io::Result<()> {
+        self.received = d.u64()?;
+        Ok(())
     }
 }
 

@@ -191,6 +191,72 @@ impl BoundaryLink {
     pub fn inject_credit(&self, msg: CreditMsg) -> bool {
         self.credits.push(msg)
     }
+
+    // --- checkpoint capture / restore ------------------------------------
+    //
+    // A checkpoint taken at a rendezvous cycle captures the raw channel
+    // state as plain data; the serialization lives with the caller (the
+    // shard snapshot module), keeping this module codec-free.
+
+    /// Checkpoint capture: every flit currently staged in the mailbox, in
+    /// FIFO order. Safe to call while the producer side is still live.
+    pub fn staged_flit_snapshot(&self) -> Vec<Flit> {
+        self.flits.snapshot()
+    }
+
+    /// Checkpoint capture: every credit message currently staged, in FIFO
+    /// order.
+    pub fn staged_credit_snapshot(&self) -> Vec<CreditMsg> {
+        self.credits.snapshot()
+    }
+
+    /// Checkpoint restore of the *sender* side of a link (an outbound half
+    /// under the multi-process backends): re-establishes the cumulative
+    /// `pushed` cursor the credit-counting termination detector balances
+    /// against, refills both rings with the checkpointed items and restores
+    /// the sender's credit window.
+    ///
+    /// Must be called on a freshly created, never-used link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link has already carried traffic or if the checkpointed
+    /// items no longer fit (both indicate a corrupt checkpoint).
+    pub fn restore_outbound(
+        &self,
+        pushed: u64,
+        outstanding: usize,
+        flits: &[Flit],
+        credits: &[CreditMsg],
+    ) {
+        self.flits.rebase(pushed - flits.len() as u64);
+        for &f in flits {
+            assert!(self.flits.push(f), "checkpointed flit overflows the ring");
+        }
+        for &c in credits {
+            assert!(
+                self.credits.push(c),
+                "checkpointed credit overflows the ring"
+            );
+        }
+        self.outstanding
+            .store(outstanding.min(self.capacity), Ordering::Release);
+    }
+
+    /// Checkpoint restore of the *receiver* side of a link (an inbound half
+    /// under the multi-process backends): refills the mailbox with the flits
+    /// that were in flight at the checkpoint. The fresh ring's zero cursor
+    /// base is kept — receiver-side delivery totals are restored in the
+    /// cycle driver, not here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpointed flits no longer fit.
+    pub fn restore_inbound(&self, flits: &[Flit]) {
+        for &f in flits {
+            assert!(self.flits.push(f), "checkpointed flit overflows the ring");
+        }
+    }
 }
 
 /// The receiver-side endpoint of one boundary link: drains the flit mailbox
@@ -287,6 +353,32 @@ impl BoundaryRx {
                 self.pending -= msg.count as u64;
             }
         }
+    }
+
+    /// Checkpoint capture: credits computed but not yet on the wire. The
+    /// rolled-back sender's `outstanding` still counts the flits they cover,
+    /// so a restore must fold them back in via [`restore_owed`]
+    /// (Self::restore_owed) or the link would leak credit window forever.
+    pub fn owed_credits(&self) -> u64 {
+        self.pending
+    }
+
+    /// Checkpoint restore: folds `owed` uncredited pops into the baseline of
+    /// a freshly wired endpoint, so the first post-restore emission covers
+    /// exactly the credits the (equally rolled-back) sender is still waiting
+    /// for.
+    pub fn restore_owed(&mut self, owed: u64) {
+        self.baseline += owed;
+    }
+
+    /// Checkpoint restore: re-reads the credit baseline from the ingress
+    /// buffer's current occupancy. Endpoints are wired before the tile
+    /// restore repopulates the buffers, so the baseline captured at
+    /// construction is stale; call this afterwards, before
+    /// [`restore_owed`](Self::restore_owed).
+    pub fn reset_baseline(&mut self) {
+        debug_assert_eq!(self.forwarded, 0, "reset_baseline on a used endpoint");
+        self.baseline = self.target.occupancy() as u64;
     }
 
     /// Drains every remaining mailbox flit into the ingress buffer (used when

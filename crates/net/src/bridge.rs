@@ -6,6 +6,7 @@
 //! router's CPU-facing ingress port, retrying when the network cannot accept
 //! flits, and reassembling ejected flits back into packets.
 
+use crate::codec::{self, Dec, Enc};
 use crate::flit::{DeliveredPacket, Flit, Packet};
 use crate::ids::{Cycle, NodeId, PacketId};
 use crate::payload::PayloadStore;
@@ -305,6 +306,122 @@ impl Bridge {
     /// hierarchy, which re-attaches payloads from its own protocol state.
     pub fn register_inbound_payload(&mut self, packet: Packet) {
         self.in_flight_payloads.insert(packet.id, packet);
+    }
+
+    /// Serializes the bridge's architectural state: the id allocator, the
+    /// pending queue, the per-VC injection slots, the active reassembly
+    /// slots, the in-flight loopback payloads (sorted by packet id so the
+    /// encoding is canonical) and the delivered-but-unconsumed packets.
+    pub fn snapshot(&self, e: &mut Enc) {
+        e.u64(self.next_packet_seq);
+        e.u32(self.pending.len() as u32);
+        for p in &self.pending {
+            codec::encode_packet(e, p);
+        }
+        e.u32(self.slots.len() as u32);
+        for slot in &self.slots {
+            match slot {
+                None => {
+                    e.u8(0);
+                }
+                Some(s) => {
+                    e.u8(1).u32(s.flits.len() as u32);
+                    for f in &s.flits {
+                        codec::encode_flit(e, f);
+                    }
+                }
+            }
+        }
+        let active: Vec<&ReassemblySlot> =
+            self.reassembly.iter().filter(|s| s.expected != 0).collect();
+        e.u32(active.len() as u32);
+        for slot in active {
+            e.u64(slot.packet.raw()).u32(slot.expected);
+            e.u32(slot.flits.len() as u32);
+            for f in &slot.flits {
+                codec::encode_flit(e, f);
+            }
+        }
+        let mut payloads: Vec<&Packet> = self.in_flight_payloads.values().collect();
+        payloads.sort_by_key(|p| p.id.raw());
+        e.u32(payloads.len() as u32);
+        for p in payloads {
+            codec::encode_packet(e, p);
+        }
+        e.u32(self.delivered.len() as u32);
+        for d in &self.delivered {
+            codec::encode_packet(e, &d.packet);
+            e.u64(d.delivered_at)
+                .u64(d.head_latency)
+                .u64(d.tail_latency)
+                .u32(d.hops);
+        }
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot) into this
+    /// freshly built bridge.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` if the injection VC count does not match or
+    /// the checkpoint is corrupt.
+    pub fn restore(&mut self, d: &mut Dec) -> std::io::Result<()> {
+        let corrupt = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bridge checkpoint: {what}"),
+            )
+        };
+        self.next_packet_seq = d.u64()?;
+        self.pending = (0..d.u32()?)
+            .map(|_| codec::decode_packet(d))
+            .collect::<std::io::Result<_>>()?;
+        if d.u32()? as usize != self.slots.len() {
+            return Err(corrupt("injection VC count mismatch"));
+        }
+        for slot in &mut self.slots {
+            *slot = match d.u8()? {
+                0 => None,
+                _ => Some(InjectionSlot {
+                    flits: (0..d.u32()?)
+                        .map(|_| codec::decode_flit(d))
+                        .collect::<std::io::Result<_>>()?,
+                }),
+            };
+        }
+        self.reassembly.clear();
+        for _ in 0..d.u32()? {
+            let packet = PacketId::new(d.u64()?);
+            let expected = d.u32()?;
+            if expected == 0 {
+                return Err(corrupt("free reassembly slot in checkpoint"));
+            }
+            let flits = (0..d.u32()?)
+                .map(|_| codec::decode_flit(d))
+                .collect::<std::io::Result<_>>()?;
+            self.reassembly.push(ReassemblySlot {
+                packet,
+                expected,
+                flits,
+            });
+        }
+        self.in_flight_payloads.clear();
+        for _ in 0..d.u32()? {
+            let p = codec::decode_packet(d)?;
+            self.in_flight_payloads.insert(p.id, p);
+        }
+        self.delivered.clear();
+        for _ in 0..d.u32()? {
+            let packet = codec::decode_packet(d)?;
+            self.delivered.push_back(DeliveredPacket {
+                packet,
+                delivered_at: d.u64()?,
+                head_latency: d.u64()?,
+                tail_latency: d.u64()?,
+                hops: d.u32()?,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -44,6 +44,7 @@
 pub mod agent;
 pub mod boundary;
 pub mod bridge;
+pub mod codec;
 pub mod config;
 pub mod flit;
 pub mod geometry;

@@ -9,6 +9,7 @@
 
 use crate::agent::{NodeAgent, NodeIo};
 use crate::bridge::Bridge;
+use crate::codec::{self, Dec, Enc};
 use crate::config::{ConfigError, NetworkConfig};
 use crate::flit::{DeliveredPacket, Packet};
 use crate::geometry::Geometry;
@@ -172,6 +173,61 @@ impl NetworkNode {
     /// Clears the tile's statistics (used to discard the warm-up window).
     pub fn reset_stats(&mut self) {
         *self.router.stats_mut() = NetworkStats::new();
+    }
+
+    /// Serializes the tile's full state: the PRNG cursor, the router, every
+    /// attached agent (each blob-framed so agents only ever decode their own
+    /// record) and the bridge. Must be called between cycles.
+    pub fn snapshot(&self, e: &mut Enc) {
+        e.u32(self.node.raw());
+        for w in self.rng.state() {
+            e.u64(w);
+        }
+        self.router.snapshot(e);
+        e.u32(self.agents.len() as u32);
+        for agent in &self.agents {
+            let mut sub = Enc::new();
+            agent.snapshot(&mut sub);
+            e.blob(sub.bytes());
+        }
+        self.bridge.snapshot(e);
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot) into this
+    /// freshly built tile. The tile must already have the same agents
+    /// attached, in the same order, as when the snapshot was taken.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` if the tile identity, topology or agent roster
+    /// does not match the checkpoint.
+    pub fn restore(&mut self, d: &mut Dec) -> std::io::Result<()> {
+        let corrupt = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+        let node = d.u32()?;
+        if node != self.node.raw() {
+            return Err(corrupt(format!(
+                "tile checkpoint for node {node} restored into node {}",
+                self.node.raw()
+            )));
+        }
+        let mut state = [0u64; 4];
+        for w in &mut state {
+            *w = d.u64()?;
+        }
+        self.rng = ChaCha12Rng::from_state(state);
+        self.router.restore(d)?;
+        if d.u32()? as usize != self.agents.len() {
+            return Err(corrupt(format!(
+                "agent roster mismatch on node {node}: the restored network \
+                 must attach the same agents as the checkpointed one"
+            )));
+        }
+        for agent in &mut self.agents {
+            let blob = d.blob()?;
+            agent.restore(&mut Dec::new(blob))?;
+        }
+        self.bridge.restore(d)?;
+        Ok(())
     }
 }
 
@@ -426,6 +482,54 @@ impl Network {
     /// Per-tile statistics (indexed by node), e.g. for thermal maps.
     pub fn per_node_stats(&self) -> Vec<NetworkStats> {
         self.nodes.iter().map(|n| n.stats().clone()).collect()
+    }
+
+    /// Serializes the full simulation state — the clock, every tile (PRNG,
+    /// router, agents, bridge) and the out-of-band payload store — into a
+    /// deterministic byte string. Restoring it into a freshly built network
+    /// (same configuration, seed and agent roster) and running on produces
+    /// results bit-identical to never having snapshotted at all.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.cycle);
+        e.u32(self.nodes.len() as u32);
+        for node in &self.nodes {
+            let mut sub = Enc::new();
+            node.snapshot(&mut sub);
+            e.blob(sub.bytes());
+        }
+        let packets = self.payload_store.snapshot_packets();
+        e.u32(packets.len() as u32);
+        for p in &packets {
+            codec::encode_packet(&mut e, p);
+        }
+        e.into_bytes()
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot) into this
+    /// freshly built network (same configuration, seed and agent roster).
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` if the checkpoint does not match this
+    /// network's shape or is corrupt.
+    pub fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut d = Dec::new(bytes);
+        self.cycle = d.u64()?;
+        if d.u32()? as usize != self.nodes.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "checkpoint node count does not match this network",
+            ));
+        }
+        for node in &mut self.nodes {
+            let blob = d.blob()?;
+            node.restore(&mut Dec::new(blob))?;
+        }
+        for _ in 0..d.u32()? {
+            self.payload_store.deposit(codec::decode_packet(&mut d)?);
+        }
+        Ok(())
     }
 }
 

@@ -59,6 +59,19 @@ impl PayloadStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Checkpoint capture: every parked packet, sorted by packet id so the
+    /// serialized form is deterministic regardless of hash-map iteration
+    /// order.
+    pub fn snapshot_packets(&self) -> Vec<Packet> {
+        let mut all: Vec<Packet> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().values().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_by_key(|p| p.id.raw());
+        all
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 //! [`buffered_flits`]: Router::buffered_flits
 
 use crate::boundary::EgressChannel;
+use crate::codec::{self, Dec, Enc};
 use crate::flit::Flit;
 use crate::ids::{Cycle, FlowId, NodeId, PacketId, VcId};
 use crate::link::BidirLink;
@@ -828,6 +829,166 @@ impl Router {
             self.head_cache.as_ptr() as usize,
             self.staged.as_ptr() as usize,
         ]
+    }
+}
+
+fn vc_state_snapshot(e: &mut Enc, s: &VcState) {
+    match *s {
+        VcState::Idle => {
+            e.u8(0);
+        }
+        VcState::Routed { egress, next_flow } => {
+            e.u8(1).u32(egress as u32);
+            codec::encode_flow(e, next_flow);
+        }
+        VcState::Active {
+            egress,
+            out_vc,
+            next_flow,
+        } => {
+            e.u8(2).u32(egress as u32).u32(out_vc as u32);
+            codec::encode_flow(e, next_flow);
+        }
+        VcState::Dropping => {
+            e.u8(3);
+        }
+    }
+}
+
+fn vc_state_restore(d: &mut Dec) -> std::io::Result<VcState> {
+    Ok(match d.u8()? {
+        0 => VcState::Idle,
+        1 => VcState::Routed {
+            egress: d.u32()? as usize,
+            next_flow: codec::decode_flow(d)?,
+        },
+        2 => VcState::Active {
+            egress: d.u32()? as usize,
+            out_vc: d.u32()? as usize,
+            next_flow: codec::decode_flow(d)?,
+        },
+        3 => VcState::Dropping,
+        t => return Err(corrupt(&format!("bad VC state tag {t}"))),
+    })
+}
+
+fn corrupt(what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("router checkpoint: {what}"),
+    )
+}
+
+/// Checkpoint capture / restore.
+///
+/// The snapshot covers the *architectural* state: the clock, the statistics,
+/// every ingress VC buffer (split at its absorb boundary so the restored
+/// cursors land exactly where the originals were), the per-VC receiver state
+/// machines, the sender-side downstream VC allocations and any flits parked
+/// in the local delivery queue. Derived and scratch state (head cache,
+/// staged moves, arbitration tables) is rebuilt from scratch at the next
+/// positive edge and is deliberately excluded.
+impl Router {
+    /// Serializes this router's architectural state. Must be called between
+    /// cycles (no staged moves outstanding).
+    pub fn snapshot(&self, e: &mut Enc) {
+        debug_assert!(self.staged.is_empty(), "snapshot mid-cycle");
+        e.u64(self.cycle);
+        codec::encode_stats(e, &self.stats);
+        e.u32(self.ingress.len() as u32);
+        for port in &self.ingress {
+            e.u32(port.vcs.len() as u32);
+            for (vc, state) in port.vcs.iter().zip(&port.state) {
+                vc_state_snapshot(e, state);
+                let (visible, pending) = vc.snapshot_split();
+                e.u32(visible.len() as u32);
+                for f in &visible {
+                    codec::encode_flit(e, f);
+                }
+                e.u32(pending.len() as u32);
+                for f in &pending {
+                    codec::encode_flit(e, f);
+                }
+            }
+        }
+        e.u32(self.egress.len() as u32);
+        for port in &self.egress {
+            e.u32(port.out_state.len() as u32);
+            for out in &port.out_state {
+                match out.owner {
+                    Some(p) => e.u8(1).u64(p.raw()),
+                    None => e.u8(0),
+                };
+                match out.resident_flow {
+                    Some(f) => {
+                        e.u8(1);
+                        codec::encode_flow(e, f);
+                    }
+                    None => {
+                        e.u8(0);
+                    }
+                };
+            }
+        }
+        e.u32(self.delivered.len() as u32);
+        for f in &self.delivered {
+            codec::encode_flit(e, f);
+        }
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot) into this
+    /// freshly built (empty, fully wired) router.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` if the checkpoint does not match this
+    /// router's topology (port or VC counts differ) or is corrupt.
+    pub fn restore(&mut self, d: &mut Dec) -> std::io::Result<()> {
+        self.cycle = d.u64()?;
+        self.stats = codec::decode_stats(d)?;
+        if d.u32()? as usize != self.ingress.len() {
+            return Err(corrupt("ingress port count mismatch"));
+        }
+        for port in &mut self.ingress {
+            if d.u32()? as usize != port.vcs.len() {
+                return Err(corrupt("ingress VC count mismatch"));
+            }
+            for (vc, state) in port.vcs.iter().zip(port.state.iter_mut()) {
+                *state = vc_state_restore(d)?;
+                let visible = (0..d.u32()?)
+                    .map(|_| codec::decode_flit(d))
+                    .collect::<std::io::Result<Vec<_>>>()?;
+                let pending = (0..d.u32()?)
+                    .map(|_| codec::decode_flit(d))
+                    .collect::<std::io::Result<Vec<_>>>()?;
+                if visible.len() + pending.len() > vc.capacity() {
+                    return Err(corrupt("VC snapshot exceeds buffer capacity"));
+                }
+                vc.restore_split(&visible, &pending);
+            }
+        }
+        if d.u32()? as usize != self.egress.len() {
+            return Err(corrupt("egress port count mismatch"));
+        }
+        for port in &mut self.egress {
+            if d.u32()? as usize != port.out_state.len() {
+                return Err(corrupt("egress VC count mismatch"));
+            }
+            for out in &mut port.out_state {
+                out.owner = match d.u8()? {
+                    0 => None,
+                    _ => Some(PacketId::new(d.u64()?)),
+                };
+                out.resident_flow = match d.u8()? {
+                    0 => None,
+                    _ => Some(codec::decode_flow(d)?),
+                };
+            }
+        }
+        self.delivered = (0..d.u32()?)
+            .map(|_| codec::decode_flit(d))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(())
     }
 }
 

@@ -138,4 +138,38 @@ impl<T: Copy> Spsc<T> {
     pub fn pop(&self) -> Option<T> {
         self.pop_if(|_| true)
     }
+
+    /// Consumer side: a non-destructive copy of every item currently in the
+    /// ring, in FIFO order (checkpoint capture). Reads `tail` once, so it is
+    /// safe to call while the producer is still appending — items published
+    /// after the load are simply not part of the snapshot.
+    pub fn snapshot(&self) -> Vec<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        (head..tail)
+            // SAFETY: `pos < tail` with the acquire load above proves the
+            // producer published the slot; we are the only consumer, and we
+            // do not advance `head`, so the producer cannot reuse it.
+            .map(|pos| unsafe {
+                (*self.slots[(pos % self.capacity as u64) as usize].get()).assume_init()
+            })
+            .collect()
+    }
+
+    /// Sets both cursors of an *empty, quiescent* ring to `count`, as if
+    /// `count` items had been pushed and popped over its lifetime. Checkpoint
+    /// restore uses this to re-establish the cumulative `pushed`/`popped`
+    /// counters the credit-counting termination detector balances against;
+    /// kept items are re-`push`ed afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is not empty — rebasing would orphan its items.
+    pub fn rebase(&self, count: u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        assert_eq!(head, tail, "rebase requires an empty ring");
+        self.head.store(count, Ordering::Release);
+        self.tail.store(count, Ordering::Release);
+    }
 }

@@ -280,6 +280,48 @@ impl VcBuffer {
         self.occupancy() == 0
     }
 
+    /// A non-destructive copy of the buffer's contents, split at the absorb
+    /// boundary: `(visible, pending)` where `visible` holds the flits at
+    /// `read_pos..visible` (already absorbed into the consumer's pipeline
+    /// view) and `pending` the flits at `visible..write_pos` (deposited but
+    /// not yet absorbed). Checkpoint restore replays the two runs around an
+    /// [`absorb_tail`](Self::absorb_tail) call so the restored buffer's
+    /// cursors land exactly where the snapshot's were. Callers must be
+    /// quiescent (no concurrent producer).
+    pub fn snapshot_split(&self) -> (Vec<Flit>, Vec<Flit>) {
+        let head = self.head.lock();
+        let _tail = self.tail.lock();
+        let published = self.write_pos.load(Ordering::Acquire);
+        let visible = (head.read_pos..head.visible)
+            // SAFETY: head lock held, read_pos ≤ pos < visible.
+            .map(|pos| unsafe { self.read_slot(pos) })
+            .collect();
+        let pending = (head.visible..published)
+            // SAFETY: tail lock held (no producer mid-deposit) and every slot
+            // below `write_pos` was initialized by a completed push.
+            .map(|pos| unsafe { self.read_slot(pos) })
+            .collect();
+        (visible, pending)
+    }
+
+    /// Restores the contents captured by [`snapshot_split`](Self::snapshot_split)
+    /// into this (empty, freshly built) buffer: the `visible` run is pushed
+    /// and absorbed, the `pending` run pushed but left unabsorbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not empty or the snapshot exceeds capacity.
+    pub fn restore_split(&self, visible: &[Flit], pending: &[Flit]) {
+        assert!(self.is_empty(), "restore into a non-empty VC buffer");
+        for f in visible {
+            assert!(self.push(*f), "snapshot exceeds VC buffer capacity");
+        }
+        self.absorb_tail();
+        for f in pending {
+            assert!(self.push(*f), "snapshot exceeds VC buffer capacity");
+        }
+    }
+
     /// Drains every flit out of the buffer (test / teardown helper).
     pub fn drain_all(&self) -> Vec<Flit> {
         let mut head = self.head.lock();

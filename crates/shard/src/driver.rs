@@ -59,6 +59,14 @@ pub trait PayloadChannel: Send + Sync {
     /// `true` when both endpoints share the backing store — payloads need
     /// not (and must not) be moved by the transport.
     fn shared(&self) -> bool;
+
+    /// Checkpoint capture: every packet currently parked in this process's
+    /// store, in canonical (packet-id) order. Channels whose store is shared
+    /// across shards return nothing — the host snapshots such stores once,
+    /// not per shard.
+    fn parked(&self) -> Vec<Packet> {
+        Vec::new()
+    }
 }
 
 /// The payload channel of backends whose shards share one address space:
@@ -118,6 +126,13 @@ impl PayloadChannel for PayloadEndpoint {
     fn shared(&self) -> bool {
         !self.remote
     }
+    fn parked(&self) -> Vec<Packet> {
+        if self.remote {
+            self.store.snapshot_packets()
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 /// How one shard's data plane reaches its neighbors. One implementation per
@@ -163,6 +178,20 @@ pub trait TransportPump {
     }
 }
 
+/// Where the driver persists periodic checkpoints.
+///
+/// The driver captures the shard's complete resumable state (see
+/// [`crate::snapshot`]) at every rendezvous cycle that is a multiple of
+/// [`DriverParams::checkpoint_every`] and hands the serialized bytes here.
+/// The sink decides what durability means: keep the latest in memory, write
+/// a cycle-stamped file, or ship the bytes to a coordinator.
+pub trait CheckpointSink {
+    /// Persists the checkpoint taken at `cycle`. An error aborts the run
+    /// (a shard that cannot persist its state must not outrun its last
+    /// recoverable cycle indefinitely).
+    fn checkpoint(&mut self, cycle: Cycle, state: &[u8]) -> io::Result<()>;
+}
+
 /// How the driver's wait loop backs off while a neighbor lags.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum WaitProfile {
@@ -196,6 +225,14 @@ pub struct DriverParams {
     pub fast_forward: bool,
     /// Wait-loop backoff profile.
     pub wait: WaitProfile,
+    /// Capture a checkpoint at every rendezvous cycle that is a multiple of
+    /// this period (requires `strict` and a [`CycleDriver::checkpoint`]
+    /// sink; ignored otherwise). `None` disables checkpointing.
+    pub checkpoint_every: Option<u64>,
+    /// Initial value of the cumulative mailbox-delivery counter: 0 for a
+    /// fresh run, the checkpointed `received` when resuming, so ledger
+    /// credit accounting continues seamlessly across a restore.
+    pub received_start: u64,
 }
 
 /// What one driven run reports back to its host.
@@ -213,7 +250,7 @@ pub struct DriveOutcome {
 
 /// One shard's execution state, borrowed from the host for the duration of a
 /// run. The driver owns the *protocol*; the host owns wiring and results.
-pub struct CycleDriver<'a, T: TransportPump + ?Sized> {
+pub struct CycleDriver<'a, 'c, T: TransportPump + ?Sized> {
     /// Shard index (diagnostics only).
     pub shard: usize,
     /// The shard's tiles.
@@ -232,9 +269,13 @@ pub struct CycleDriver<'a, T: TransportPump + ?Sized> {
     pub skip_to: &'a AtomicU64,
     /// This shard's published termination ledger.
     pub ledger: &'a ShardLedger,
+    /// Destination of periodic checkpoints (`None` disables them even when
+    /// [`DriverParams::checkpoint_every`] is set). Carries its own lifetime
+    /// so a sink borrowed for longer than the shard state can be supplied.
+    pub checkpoint: Option<&'c mut dyn CheckpointSink>,
 }
 
-impl<T: TransportPump + ?Sized> CycleDriver<'_, T> {
+impl<T: TransportPump + ?Sized> CycleDriver<'_, '_, T> {
     /// Flits buffered or pending anywhere in this shard (the ledger's `busy`
     /// term): router buffers, non-idle tiles, and in-flight mailbox flits.
     fn busy_now(&self) -> u64 {
@@ -329,7 +370,7 @@ impl<T: TransportPump + ?Sized> CycleDriver<'_, T> {
         let end = p.start + p.cycles;
         let quantum = p.quantum.max(1);
         let mut now = p.start;
-        let mut recv_total = 0u64;
+        let mut recv_total = p.received_start;
         let mut last_published = LedgerState::default();
         let mut published_once = false;
 
@@ -344,6 +385,27 @@ impl<T: TransportPump + ?Sized> CycleDriver<'_, T> {
                 break;
             }
             self.transport.ingest(self.payloads);
+            // Rendezvous checkpoint. Capture happens after the drift gate and
+            // ingestion: with `slack = 0` every peer has finished cycle `now`
+            // and its emissions for it have been ingested, so the stamp
+            // filters in `snapshot_shard` see a consistent global cut (see
+            // `crate::snapshot` for the argument). Strict mode only: loose
+            // schedules are not bit-reproducible, so a checkpoint of one
+            // cannot promise an identical resumed run.
+            if let (Some(every), Some(sink)) = (p.checkpoint_every, self.checkpoint.as_deref_mut())
+            {
+                if p.strict && now > p.start && every > 0 && now.is_multiple_of(every) {
+                    let bytes = crate::snapshot::snapshot_shard(
+                        now,
+                        recv_total,
+                        self.tiles,
+                        self.outbound,
+                        self.inbound,
+                        self.payloads,
+                    );
+                    sink.checkpoint(now, &bytes)?;
+                }
+            }
             while now < batch_end {
                 if self.stop.load(Ordering::Acquire) {
                     break 'run;

@@ -46,12 +46,14 @@
 pub mod driver;
 pub mod partition;
 pub mod runtime;
+pub mod snapshot;
 pub mod sys;
 pub mod termination;
 
 pub use driver::{
-    CycleDriver, DriveOutcome, DriverParams, NoPayloads, PayloadChannel, PayloadEndpoint,
-    TransportPump, WaitProfile,
+    CheckpointSink, CycleDriver, DriveOutcome, DriverParams, NoPayloads, PayloadChannel,
+    PayloadEndpoint, TransportPump, WaitProfile,
 };
 pub use partition::{CutOrientation, Partition, Partitioner};
 pub use runtime::{RunOutcome, RunParams, ShardConfig, ShardRuntime};
+pub use snapshot::{restore_shard, snapshot_shard, LatestCheckpoint};

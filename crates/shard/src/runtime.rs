@@ -307,6 +307,9 @@ fn run_shard(job: Job) -> JobResult {
         stop: &sync.stop,
         skip_to: &sync.skip_to,
         ledger: &sync.ledgers[shard],
+        // The thread backend restarts runs from returned tiles instead of
+        // checkpoints (its workers cannot crash independently of the host).
+        checkpoint: None,
     };
     let outcome = driver
         .run(&DriverParams {
@@ -318,6 +321,8 @@ fn run_shard(job: Job) -> JobResult {
             track_ledger: p.fast_forward || p.detect_completion,
             fast_forward: p.fast_forward,
             wait: WaitProfile::Spin,
+            checkpoint_every: None,
+            received_start: 0,
         })
         .expect("thread transport cannot fail");
 

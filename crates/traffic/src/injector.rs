@@ -144,6 +144,21 @@ impl NodeAgent for SyntheticInjector {
     fn label(&self) -> &str {
         self.config.pattern.label()
     }
+
+    fn snapshot(&self, e: &mut hornet_net::codec::Enc) {
+        e.u64(self.state.injected)
+            .u64(self.offered)
+            .u64(self.received)
+            .u64(self.last_cycle_seen);
+    }
+
+    fn restore(&mut self, d: &mut hornet_net::codec::Dec) -> std::io::Result<()> {
+        self.state.injected = d.u64()?;
+        self.offered = d.u64()?;
+        self.received = d.u64()?;
+        self.last_cycle_seen = d.u64()?;
+        Ok(())
+    }
 }
 
 /// Attaches one [`SyntheticInjector`] with the same configuration to every

@@ -34,6 +34,24 @@ impl Xoshiro256pp {
         Self { s }
     }
 
+    /// The four raw state words (for checkpoint serialization).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from raw state words previously returned by
+    /// [`state`](Self::state). The all-zero state is mapped to the same
+    /// fallback word `from_u64` uses, so a restored generator can never land
+    /// on the forbidden fixed point.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            return Self {
+                s: [0x9E37_79B9_7F4A_7C15, 0, 0, 0],
+            };
+        }
+        Self { s }
+    }
+
     /// The next 64 bits of the stream.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {

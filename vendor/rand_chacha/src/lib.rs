@@ -16,6 +16,19 @@ use rand::{RngCore, SeedableRng};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChaCha12Rng(Xoshiro256pp);
 
+impl ChaCha12Rng {
+    /// The raw generator state words (for checkpoint serialization).
+    pub fn state(&self) -> [u64; 4] {
+        self.0.state()
+    }
+
+    /// Rebuilds a generator from raw state words previously returned by
+    /// [`state`](Self::state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self(Xoshiro256pp::from_state(s))
+    }
+}
+
 impl SeedableRng for ChaCha12Rng {
     fn seed_from_u64(state: u64) -> Self {
         // Domain-separate from StdRng so the two never share a stream.
