@@ -8,6 +8,12 @@
 //! * `mesh8x8_t4_periodic5` — 4 worker threads, loose synchronization every
 //!   5 cycles (the paper's headline configuration, Table I).
 //!
+//! A third scenario, `mesh8x8_seq_traced`, repeats the sequential run with
+//! flit-lifecycle event tracing enabled; the emitted
+//! `tracing_overhead_pct` is the throughput cost of turning tracing on
+//! (`mesh8x8_seq` itself measures the tracing-compiled-in-but-disabled
+//! configuration, which the observability work must keep within noise).
+//!
 //! Usage: `cargo run --release -p hornet-bench --bin bench_hotpath [--baseline
 //! FILE] [--out FILE]`. When `--baseline` points at a previous emission, its
 //! `current` section is embedded under `baseline` in the new file, so a single
@@ -28,6 +34,9 @@ struct Scenario {
     name: &'static str,
     threads: usize,
     sync: SyncMode,
+    /// Per-tile trace-ring capacity; 0 leaves tracing disabled (the
+    /// compiled-in-but-off configuration every other scenario measures).
+    trace_events: usize,
 }
 
 fn run_scenario(s: &Scenario) -> (f64, u64) {
@@ -38,6 +47,7 @@ fn run_scenario(s: &Scenario) -> (f64, u64) {
         .seed(SEED)
         .threads(s.threads)
         .sync(s.sync)
+        .trace_events(s.trace_events)
         .build()
         .expect("valid config");
     let start = Instant::now();
@@ -104,15 +114,24 @@ fn main() {
             name: "mesh8x8_seq",
             threads: 1,
             sync: SyncMode::CycleAccurate,
+            trace_events: 0,
         },
         Scenario {
             name: "mesh8x8_t4_periodic5",
             threads: 4,
             sync: SyncMode::Periodic(5),
+            trace_events: 0,
+        },
+        Scenario {
+            name: "mesh8x8_seq_traced",
+            threads: 1,
+            sync: SyncMode::CycleAccurate,
+            trace_events: 1 << 16,
         },
     ];
 
     let mut current_fields = Vec::new();
+    let mut cps_by_name: Vec<(&str, f64)> = Vec::new();
     for s in &scenarios {
         // Warm-up run (page in code + allocator), then the measured run.
         run_scenario(s);
@@ -123,6 +142,21 @@ fn main() {
         );
         current_fields.push(format!("\"{}_cycles_per_sec\": {:.0}", s.name, cps));
         current_fields.push(format!("\"{}_delivered_packets\": {}", s.name, delivered));
+        cps_by_name.push((s.name, cps));
+    }
+    // Tracing-on vs. tracing-off delta for the sequential hot path.
+    let cps_of = |name: &str| {
+        cps_by_name
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    };
+    let (off, on) = (cps_of("mesh8x8_seq"), cps_of("mesh8x8_seq_traced"));
+    if off > 0.0 {
+        let overhead_pct = (off - on) / off * 100.0;
+        println!("tracing overhead       {overhead_pct:>12.2} %");
+        current_fields.push(format!("\"tracing_overhead_pct\": {overhead_pct:.2}"));
     }
     for (key, median) in criterion_medians() {
         current_fields.push(format!("\"{key}\": {median}"));

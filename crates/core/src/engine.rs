@@ -39,6 +39,9 @@ use hornet_net::ids::Cycle;
 use hornet_net::network::{Network, NetworkNode};
 use hornet_net::payload::PayloadStore;
 use hornet_net::stats::NetworkStats;
+use hornet_obs::metrics::TelemetrySample;
+use hornet_obs::profile::StallProfile;
+use hornet_obs::trace::TraceDump;
 use hornet_shard::{Partitioner, RunParams, ShardConfig, ShardRuntime};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -125,6 +128,9 @@ pub struct ShardRunInfo {
     pub cut_links: usize,
     /// Statistics merged per shard by its worker (no cross-thread atomics).
     pub per_shard_stats: Vec<NetworkStats>,
+    /// Per-shard wall-time attribution (all zeros unless profiling was
+    /// enabled with [`ParallelEngine::set_profiling`]).
+    pub per_shard_profiles: Vec<StallProfile>,
 }
 
 /// The parallel cycle-level simulation engine.
@@ -145,6 +151,18 @@ pub struct ParallelEngine {
     runtime: Option<ShardRuntime>,
     /// Shard layout and per-shard statistics of the last parallel run.
     shard_info: Option<ShardRunInfo>,
+    /// Attribute worker wall time to compute/wait/ingest/flush phases.
+    profile: bool,
+    /// Telemetry sampling period in cycles (`None` = off).
+    telemetry_every: Option<u64>,
+    /// Ring capacity used when tracing was enabled (also sizes the per-shard
+    /// runtime rings of parallel runs); 0 = tracing off.
+    trace_capacity: usize,
+    /// Telemetry samples accumulated across runs (drained by the caller).
+    samples: Vec<TelemetrySample>,
+    /// Runtime events (slack waits, checkpoints) accumulated across parallel
+    /// runs (drained by the caller).
+    runtime_trace: TraceDump,
 }
 
 impl std::fmt::Debug for ParallelEngine {
@@ -193,7 +211,57 @@ impl ParallelEngine {
             mesh_dims: None,
             runtime: None,
             shard_info: None,
+            profile: false,
+            telemetry_every: None,
+            trace_capacity: 0,
+            samples: Vec::new(),
+            runtime_trace: TraceDump::default(),
         }
+    }
+
+    /// Enables flit-lifecycle event tracing on every tile (ring of
+    /// `capacity` events per tile) plus, on parallel runs, a per-shard
+    /// runtime event ring of the same capacity. Tracing never perturbs the
+    /// simulation: traced runs are bit-identical to untraced ones.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace_capacity = capacity;
+        for n in &mut self.nodes {
+            n.enable_tracing(capacity);
+        }
+    }
+
+    /// Collects every tile's flit-lifecycle events into one dump, in
+    /// node-index order (use [`TraceDump::canonicalize`] before comparing
+    /// dumps across backends).
+    pub fn drain_trace(&mut self) -> TraceDump {
+        let mut dump = TraceDump::default();
+        for n in &mut self.nodes {
+            n.drain_trace(&mut dump);
+        }
+        dump
+    }
+
+    /// Takes the runtime events (slack waits, checkpoint captures)
+    /// accumulated by parallel runs since the last call.
+    pub fn take_runtime_trace(&mut self) -> TraceDump {
+        std::mem::take(&mut self.runtime_trace)
+    }
+
+    /// Enables per-shard wall-time phase attribution (reported in
+    /// [`ShardRunInfo::per_shard_profiles`]).
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profile = enabled;
+    }
+
+    /// Enables periodic telemetry sampling every `every` cycles on parallel
+    /// runs (collected via [`take_samples`](Self::take_samples)).
+    pub fn set_telemetry_every(&mut self, every: Option<u64>) {
+        self.telemetry_every = every;
+    }
+
+    /// Takes the telemetry samples accumulated since the last call.
+    pub fn take_samples(&mut self) -> Vec<TelemetrySample> {
+        std::mem::take(&mut self.samples)
     }
 
     /// The shared payload store (the DMA side channel), when the engine was
@@ -358,6 +426,9 @@ impl ParallelEngine {
             barrier_batches,
             fast_forward: self.config.fast_forward,
             detect_completion,
+            profile: self.profile,
+            telemetry_every: self.telemetry_every,
+            trace_runtime: self.trace_capacity,
         };
         let pin = self.config.pin_threads;
         let runtime = self.runtime.get_or_insert_with(|| {
@@ -367,6 +438,8 @@ impl ParallelEngine {
         let outcome = runtime.run(nodes, &partition, params);
         self.nodes = outcome.nodes;
         self.cycle = outcome.final_cycle;
+        self.samples.extend(outcome.samples);
+        self.runtime_trace.merge(outcome.runtime_trace);
         self.shard_info = Some(ShardRunInfo {
             shards: partition.shard_count(),
             tiles_per_shard: (0..partition.shard_count())
@@ -374,6 +447,7 @@ impl ParallelEngine {
                 .collect(),
             cut_links: outcome.cut_links,
             per_shard_stats: outcome.per_shard_stats,
+            per_shard_profiles: outcome.per_shard_profiles,
         });
     }
 }

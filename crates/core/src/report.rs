@@ -3,8 +3,10 @@
 
 use hornet_net::ids::Cycle;
 use hornet_net::stats::NetworkStats;
+use hornet_obs::profile::StallProfile;
 use hornet_power::energy::PowerSample;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Power results of a simulation run.
@@ -81,6 +83,9 @@ pub struct ShardSummary {
     /// load-imbalance diagnostics and, for distributed runs, per-process
     /// reporting).
     pub per_shard: Vec<NetworkStats>,
+    /// Per-shard wall-time attribution (compute / slack-wait / ingest /
+    /// flush), in shard order. Empty unless stall profiling was enabled.
+    pub stalls: Vec<StallProfile>,
 }
 
 impl ShardSummary {
@@ -104,6 +109,33 @@ impl ShardSummary {
             max / avg
         }
     }
+
+    /// Causal breakdown of the imbalance reported by
+    /// [`load_imbalance`](Self::load_imbalance): one line per shard
+    /// attributing its wall time to compute vs. slack-wait vs. ingest vs.
+    /// flush. A shard whose neighbors lag shows up as wait-heavy; the
+    /// lagging shard itself as compute-heavy. Empty when profiling was off.
+    pub fn stall_breakdown(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.stalls.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "shard {i}: {} ({:.1} ms attributed)",
+                p.summary(),
+                p.total_ns() as f64 / 1e6
+            );
+        }
+        out
+    }
+
+    /// All shards' stall profiles merged into one.
+    pub fn total_stalls(&self) -> StallProfile {
+        let mut total = StallProfile::default();
+        for p in &self.stalls {
+            total.merge(p);
+        }
+        total
+    }
 }
 
 /// The complete result of one simulation run.
@@ -117,6 +149,9 @@ pub struct SimReport {
     pub measured_cycles: Cycle,
     /// Wall-clock time spent simulating the measured window.
     pub wall_time: Duration,
+    /// Wall-clock time spent simulating the warm-up window (zero when no
+    /// warm-up was configured).
+    pub warmup_wall_time: Duration,
     /// Host threads used.
     pub threads: usize,
     /// Synchronization mode label.
@@ -127,6 +162,13 @@ pub struct SimReport {
     pub thermal: Option<ThermalReport>,
     /// Shard layout of the run, when it executed on the sharded runtime.
     pub shard: Option<ShardSummary>,
+    /// Flit-lifecycle event trace of the measured window, when tracing was
+    /// enabled on the builder (in node-index order; canonical by
+    /// construction for a sequential run).
+    pub trace: Option<hornet_obs::trace::TraceDump>,
+    /// Telemetry samples collected during parallel runs, when periodic
+    /// sampling was enabled.
+    pub samples: Vec<hornet_obs::metrics::TelemetrySample>,
 }
 
 impl SimReport {
@@ -139,6 +181,97 @@ impl SimReport {
         } else {
             self.measured_cycles as f64 / secs
         }
+    }
+
+    /// Human-readable summary: headline throughput (cycles/sec), wall-clock
+    /// phase totals, network statistics, and — when profiling ran — the
+    /// per-shard stall breakdown.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "simulated {} cycles in {:.3} s ({:.0} cycles/sec, {} threads, {})",
+            self.measured_cycles,
+            self.wall_time.as_secs_f64(),
+            self.simulation_speed(),
+            self.threads,
+            self.sync_label
+        );
+        let _ = writeln!(
+            out,
+            "wall clock: warmup {:.3} s, measured {:.3} s",
+            self.warmup_wall_time.as_secs_f64(),
+            self.wall_time.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "network: {} packets / {} flits delivered, avg latency {:.2} cycles",
+            self.network.delivered_packets,
+            self.network.delivered_flits,
+            self.network.avg_packet_latency()
+        );
+        if let Some(shard) = &self.shard {
+            let _ = writeln!(
+                out,
+                "shards: {} ({} cut links), load imbalance {:.3}",
+                shard.shards,
+                shard.cut_links,
+                shard.load_imbalance()
+            );
+            if !shard.stalls.is_empty() {
+                out.push_str(&shard.stall_breakdown());
+            }
+        }
+        out
+    }
+
+    /// Machine-readable summary of the same fields as [`text`](Self::text),
+    /// as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"measured_cycles\":{},\"wall_time_s\":{:.6},\"warmup_wall_time_s\":{:.6},\
+             \"cycles_per_sec\":{:.1},\"threads\":{},\"sync\":\"{}\"",
+            self.measured_cycles,
+            self.wall_time.as_secs_f64(),
+            self.warmup_wall_time.as_secs_f64(),
+            self.simulation_speed(),
+            self.threads,
+            self.sync_label
+        );
+        let _ = write!(
+            out,
+            ",\"delivered_packets\":{},\"delivered_flits\":{},\"avg_packet_latency\":{:.4}",
+            self.network.delivered_packets,
+            self.network.delivered_flits,
+            self.network.avg_packet_latency()
+        );
+        if let Some(shard) = &self.shard {
+            let _ = write!(
+                out,
+                ",\"shards\":{},\"cut_links\":{},\"load_imbalance\":{:.4}",
+                shard.shards,
+                shard.cut_links,
+                shard.load_imbalance()
+            );
+            if !shard.stalls.is_empty() {
+                out.push_str(",\"stalls\":[");
+                for (i, p) in shard.stalls.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"compute_ns\":{},\"wait_ns\":{},\"ingest_ns\":{},\"flush_ns\":{}}}",
+                        p.compute_ns, p.wait_ns, p.ingest_ns, p.flush_ns
+                    );
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+        out
     }
 }
 

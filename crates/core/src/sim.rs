@@ -145,6 +145,9 @@ pub struct SimulationBuilder {
     fast_forward: bool,
     pin_threads: bool,
     power: Option<PowerOptions>,
+    trace_events: usize,
+    profile: bool,
+    telemetry_every: Option<u64>,
 }
 
 impl Default for SimulationBuilder {
@@ -176,6 +179,9 @@ impl SimulationBuilder {
             fast_forward: false,
             pin_threads: false,
             power: None,
+            trace_events: 0,
+            profile: false,
+            telemetry_every: None,
         }
     }
 
@@ -280,6 +286,29 @@ impl SimulationBuilder {
     /// a no-op elsewhere).
     pub fn pin_threads(mut self, enabled: bool) -> Self {
         self.pin_threads = enabled;
+        self
+    }
+
+    /// Enables cycle-stamped flit-lifecycle event tracing with a per-tile
+    /// ring of `capacity` events; the measured window's trace lands in
+    /// [`SimReport::trace`](crate::report::SimReport). `0` disables tracing.
+    pub fn trace_events(mut self, capacity: usize) -> Self {
+        self.trace_events = capacity;
+        self
+    }
+
+    /// Enables per-shard wall-time stall profiling (compute / slack-wait /
+    /// ingest / flush), reported in the shard summary.
+    pub fn profile_stalls(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
+        self
+    }
+
+    /// Collects a telemetry sample per shard roughly every `every` cycles
+    /// during parallel runs, reported in
+    /// [`SimReport::samples`](crate::report::SimReport).
+    pub fn telemetry_every(mut self, every: Option<u64>) -> Self {
+        self.telemetry_every = every;
         self
     }
 
@@ -400,7 +429,7 @@ impl SimulationBuilder {
             network.attach_agent(node, agent);
         }
 
-        let engine = ParallelEngine::from_network(
+        let mut engine = ParallelEngine::from_network(
             network,
             EngineConfig {
                 threads: self.threads,
@@ -409,12 +438,18 @@ impl SimulationBuilder {
                 pin_threads: self.pin_threads,
             },
         );
+        if self.trace_events > 0 {
+            engine.enable_tracing(self.trace_events);
+        }
+        engine.set_profiling(self.profile);
+        engine.set_telemetry_every(self.telemetry_every);
         Ok(Simulation {
             engine,
             geometry: (*geometry).clone(),
             warmup: self.warmup,
             measured: self.measured,
             power: self.power,
+            trace_events: self.trace_events,
         })
     }
 }
@@ -426,6 +461,7 @@ fn shard_summary(engine: &ParallelEngine) -> Option<ShardSummary> {
         tiles_per_shard: info.tiles_per_shard.clone(),
         cut_links: info.cut_links,
         per_shard: info.per_shard_stats.clone(),
+        stalls: info.per_shard_profiles.clone(),
     })
 }
 
@@ -436,6 +472,7 @@ pub struct Simulation {
     warmup: Cycle,
     measured: Cycle,
     power: Option<PowerOptions>,
+    trace_events: usize,
 }
 
 impl Simulation {
@@ -456,9 +493,19 @@ impl Simulation {
     /// Currently infallible at run time; the `Result` is kept so future
     /// frontends (e.g. external trace files) can report I/O failures.
     pub fn run(mut self) -> Result<SimReport, SimError> {
+        let warmup_start = Instant::now();
+        let mut warmup_wall_time = std::time::Duration::ZERO;
         if self.warmup > 0 {
             self.engine.run(self.warmup);
+            // Discard warm-up statistics, trace events and telemetry so the
+            // report covers exactly the measured window.
             self.engine.reset_stats();
+            self.engine.take_samples();
+            self.engine.take_runtime_trace();
+            if self.trace_events > 0 {
+                self.engine.drain_trace();
+            }
+            warmup_wall_time = warmup_start.elapsed();
         }
         let start = Instant::now();
         let power_options = self.power.take();
@@ -473,16 +520,25 @@ impl Simulation {
         let network = self.engine.stats();
         let per_node = self.engine.per_node_stats();
         let shard = shard_summary(&self.engine);
+        let trace = (self.trace_events > 0).then(|| {
+            let mut dump = self.engine.drain_trace();
+            dump.merge(self.engine.take_runtime_trace());
+            dump
+        });
+        let samples = self.engine.take_samples();
         Ok(SimReport {
             network,
             per_node,
             measured_cycles: self.measured,
             wall_time,
+            warmup_wall_time,
             threads: self.engine.config().threads,
             sync_label: self.engine.config().sync.label(),
             power,
             thermal,
             shard,
+            trace,
+            samples,
         })
     }
 
@@ -503,16 +559,25 @@ impl Simulation {
         }
         let wall_time = start.elapsed();
         let shard = shard_summary(&self.engine);
+        let trace = (self.trace_events > 0).then(|| {
+            let mut dump = self.engine.drain_trace();
+            dump.merge(self.engine.take_runtime_trace());
+            dump
+        });
+        let samples = self.engine.take_samples();
         Ok(SimReport {
             network: self.engine.stats(),
             per_node: self.engine.per_node_stats(),
             measured_cycles: self.engine.cycle(),
             wall_time,
+            warmup_wall_time: std::time::Duration::ZERO,
             threads: self.engine.config().threads,
             sync_label: self.engine.config().sync.label(),
             power: None,
             thermal: None,
             shard,
+            trace,
+            samples,
         })
     }
 

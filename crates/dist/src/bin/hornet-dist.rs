@@ -21,6 +21,7 @@
 
 use hornet_dist::spec::{DistSpec, DistSync, DistWorkload, RunKind};
 use hornet_dist::{run_distributed, HostOptions, TransportKind};
+use hornet_obs::metrics::TelemetrySample;
 use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
 use std::process::ExitCode;
 
@@ -32,9 +33,12 @@ fn usage() -> ExitCode {
          [--pattern transpose|uniform|bitcomp|shuffle|tornado|neighbor] [--rate F]\n    \
          [--cycles N | --to-completion MAX] [--packet-len N] [--max-packets N]\n    \
          [--seed N] [--sync ca|slack:K|periodic:N] [--fast-forward]\n    \
-         [--checkpoint-every N] [--max-restarts N] [--json] [--verbose]\n  \
+         [--checkpoint-every N] [--max-restarts N]\n    \
+         [--metrics-out FILE] [--metrics-every N] [--trace CAPACITY] [--trace-out FILE]\n    \
+         [--json] [--verbose]\n  \
          hornet-dist worker --connect ADDR --family unix|tcp [--advertise HOST:PORT]\n    \
-         [--nonce N]"
+         [--nonce N]\n  \
+         hornet-dist validate-metrics FILE"
     );
     ExitCode::from(2)
 }
@@ -44,8 +48,37 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("worker") => worker(&args[1..]),
         Some("host") => host(&args[1..]),
+        Some("validate-metrics") => validate_metrics(&args[1..]),
         _ => usage(),
     }
+}
+
+/// Checks every line of an NDJSON metrics stream against the telemetry
+/// schema; prints a per-file verdict and fails on the first bad line.
+fn validate_metrics(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate-metrics: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = TelemetrySample::validate_ndjson_line(line) {
+            eprintln!("validate-metrics: {path}:{}: {e}", i + 1);
+            return ExitCode::FAILURE;
+        }
+        n += 1;
+    }
+    println!("{path}: {n} samples, schema ok");
+    ExitCode::SUCCESS
 }
 
 fn worker(args: &[String]) -> ExitCode {
@@ -93,6 +126,8 @@ fn host(args: &[String]) -> ExitCode {
         ..HostOptions::default()
     };
     let mut json = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_every: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = || it.next().cloned().unwrap_or_default();
@@ -178,10 +213,22 @@ fn host(args: &[String]) -> ExitCode {
             "--fast-forward" => spec.fast_forward = true,
             "--checkpoint-every" => spec.checkpoint_every = next().parse().ok(),
             "--max-restarts" => opts.max_restarts = next().parse().unwrap_or(2),
+            "--metrics-out" => opts.metrics_out = Some(next().into()),
+            "--metrics-every" => metrics_every = next().parse().ok(),
+            "--trace" => spec.trace_capacity = next().parse().ok(),
+            "--trace-out" => trace_out = Some(next()),
             "--json" => json = true,
             "--verbose" => opts.verbose = true,
             _ => return usage(),
         }
+    }
+    // `--metrics-out` alone implies the default sampling period; a capacity
+    // for `--trace-out` likewise.
+    if opts.metrics_out.is_some() || metrics_every.is_some() {
+        spec.telemetry_every = Some(metrics_every.unwrap_or(1_000));
+    }
+    if trace_out.is_some() && spec.trace_capacity.is_none() {
+        spec.trace_capacity = Some(65_536);
     }
 
     let start = std::time::Instant::now();
@@ -189,6 +236,14 @@ fn host(args: &[String]) -> ExitCode {
         Ok(outcome) => {
             let secs = start.elapsed().as_secs_f64();
             let cps = outcome.final_cycle as f64 / secs.max(1e-9);
+            if let Some(path) = &trace_out {
+                let mut trace = outcome.trace.clone();
+                trace.canonicalize();
+                if let Err(e) = std::fs::write(path, trace.to_chrome_trace()) {
+                    eprintln!("[host] cannot write trace to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             if json {
                 println!(
                     "{{ \"shards\": {}, \"cut_links\": {}, \"final_cycle\": {}, \
@@ -219,6 +274,27 @@ fn host(args: &[String]) -> ExitCode {
                     outcome.stats.avg_packet_latency(),
                     cps
                 );
+                // Per-shard progress/imbalance summary with the causal
+                // breakdown from the workers' stall profiles.
+                let busy: Vec<u64> = outcome.per_shard.iter().map(|s| s.busy_cycles).collect();
+                let max_busy = busy.iter().copied().max().unwrap_or(0) as f64;
+                let avg_busy = busy.iter().sum::<u64>() as f64 / busy.len().max(1) as f64;
+                println!(
+                    "load imbalance {:.3} (busiest shard / average)",
+                    if avg_busy > 0.0 {
+                        max_busy / avg_busy
+                    } else {
+                        1.0
+                    }
+                );
+                for (i, p) in outcome.per_shard_profiles.iter().enumerate() {
+                    println!(
+                        "  shard {i}: {} delivered | {} ({:.1} ms attributed)",
+                        outcome.per_shard[i].delivered_packets,
+                        p.summary(),
+                        p.total_ns() as f64 / 1e6
+                    );
+                }
             }
             ExitCode::SUCCESS
         }

@@ -18,6 +18,12 @@ use crate::wire::{read_frame, write_frame};
 use crate::wiring::{build_shards, cut_channels, cut_pairs, partition_for};
 use crate::worker::{ShardWorker, WorkerControl};
 use hornet_net::stats::NetworkStats;
+use hornet_obs::log::{set_max_level, Level};
+use hornet_obs::metrics::TelemetrySample;
+use hornet_obs::profile::StallProfile;
+use hornet_obs::trace::{TraceDump, TraceEvent, TraceKind, TraceRing};
+use hornet_obs::{olog_debug, olog_info, olog_warn};
+use hornet_shard::driver::TelemetrySink;
 use hornet_shard::termination::{credits_balance, LedgerState, Quiescence, QuiescenceScan};
 use hornet_shard::Partition;
 use std::collections::HashMap;
@@ -71,6 +77,10 @@ pub struct HostOptions {
     /// Run handshake nonce; workers whose Hello carries a different nonce
     /// are rejected. Freshly randomized per run when `None`.
     pub nonce: Option<u64>,
+    /// Append every telemetry sample the workers ship (requires the spec's
+    /// `telemetry_every`) to this file as one NDJSON line each, flushed per
+    /// sample so the stream can be tailed live.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for HostOptions {
@@ -87,6 +97,7 @@ impl Default for HostOptions {
             heartbeat_timeout: Duration::from_secs(10),
             max_restarts: 2,
             nonce: None,
+            metrics_out: None,
         }
     }
 }
@@ -108,6 +119,15 @@ pub struct DistOutcome {
     pub shards: usize,
     /// How many times the run was restarted after losing a worker.
     pub restarts: u32,
+    /// Per-shard wall-time attribution (compute / wait / ingest / flush),
+    /// in shard order.
+    pub per_shard_profiles: Vec<StallProfile>,
+    /// Merged event trace: every shard's tile/runtime rings (when the spec
+    /// enabled tracing) plus the coordinator's own supervision events
+    /// (checkpoint commits, worker losses, rollbacks, respawns).
+    pub trace: TraceDump,
+    /// Every telemetry sample the workers shipped, in arrival order.
+    pub samples: Vec<TelemetrySample>,
 }
 
 fn proto_err(msg: &str) -> io::Error {
@@ -151,9 +171,11 @@ impl CommitLog {
         }
     }
 
-    fn record(&mut self, shard: usize, cycle: u64, data: Vec<u8>) {
+    /// Stages one shard's capture; returns `Some((cycle, total_bytes))` when
+    /// this report completed a new committed set.
+    fn record(&mut self, shard: usize, cycle: u64, data: Vec<u8>) -> Option<(u64, usize)> {
         if shard >= self.staged.len() {
-            return;
+            return None;
         }
         self.staged[shard].insert(cycle, data);
         // Commit the newest cycle staged by every shard (checkpoint cadence
@@ -169,21 +191,59 @@ impl CommitLog {
             if self.staged.iter().all(|m| m.contains_key(&cycle))
                 && self.committed.as_ref().is_none_or(|(c, _)| *c < cycle)
             {
-                let set = self
+                let set: Vec<Vec<u8>> = self
                     .staged
                     .iter_mut()
                     .map(|m| m.get(&cycle).cloned().expect("checked membership"))
                     .collect();
+                let bytes = set.iter().map(Vec::len).sum();
                 self.committed = Some((cycle, set));
                 for m in &mut self.staged {
                     *m = m.split_off(&(cycle + 1));
                 }
+                return Some((cycle, bytes));
             }
         }
+        None
     }
 
     fn take_committed(&mut self) -> Option<(u64, Vec<Vec<u8>>)> {
         self.committed.take()
+    }
+}
+
+/// Coordinator-side telemetry aggregation: every sample is kept for the
+/// final outcome and, when `--metrics-out` is set, appended to the stream
+/// file as one NDJSON line — flushed per sample, so `tail -f` sees the run
+/// live.
+struct MetricsStream {
+    out: Option<std::io::BufWriter<std::fs::File>>,
+    samples: Vec<TelemetrySample>,
+}
+
+impl MetricsStream {
+    fn open(path: Option<&std::path::Path>) -> io::Result<Self> {
+        let out = match path {
+            Some(p) => Some(std::io::BufWriter::new(std::fs::File::create(p)?)),
+            None => None,
+        };
+        Ok(Self {
+            out,
+            samples: Vec::new(),
+        })
+    }
+
+    fn absorb(&mut self, sample: TelemetrySample) {
+        olog_debug!(
+            "host",
+            { shard = sample.shard, cycle = sample.cycle },
+            "telemetry sample"
+        );
+        if let Some(w) = &mut self.out {
+            let _ = writeln!(w, "{}", sample.to_ndjson());
+            let _ = w.flush();
+        }
+        self.samples.push(sample);
     }
 }
 
@@ -232,6 +292,9 @@ fn scratch_dir() -> io::Result<PathBuf> {
 /// spawned process, socket and segment is cleaned up on all paths, including
 /// the final abort.
 pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOutcome> {
+    if opts.verbose {
+        set_max_level(Level::Info);
+    }
     let workers = opts
         .worker_hosts
         .as_ref()
@@ -246,6 +309,11 @@ pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOu
     }
     let nonce = opts.nonce.unwrap_or_else(fresh_nonce);
     let dir = scratch_dir()?;
+    // Supervision events (checkpoint commits, losses, rollbacks, respawns)
+    // span attempts, so the ring lives here and is folded into the final
+    // outcome's trace. The metrics stream likewise persists across restarts.
+    let mut host_ring = TraceRing::new(1024);
+    let mut metrics = MetricsStream::open(opts.metrics_out.as_deref())?;
     let result = (|| {
         let mut resume: Option<(u64, Vec<Vec<u8>>)> = None;
         let mut restarts = 0u32;
@@ -263,10 +331,16 @@ pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOu
                 nonce,
                 resume.as_ref(),
                 &mut commit,
+                &mut host_ring,
+                &mut metrics,
             );
             match attempt {
                 Ok(mut outcome) => {
                     outcome.restarts = restarts;
+                    let mut supervision = TraceDump::default();
+                    host_ring.drain_into(&mut supervision);
+                    outcome.trace.merge(supervision);
+                    outcome.samples = std::mem::take(&mut metrics.samples);
                     return Ok(outcome);
                 }
                 Err(e)
@@ -281,16 +355,37 @@ pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOu
                     if let Some(c) = commit.take_committed() {
                         resume = Some(c);
                     }
-                    if opts.verbose {
-                        eprintln!(
-                            "[host] {e}; restart {restarts}/{} from {}",
-                            opts.max_restarts,
-                            match &resume {
-                                Some((cycle, _)) => format!("checkpoint cycle {cycle}"),
-                                None => "scratch (nothing committed yet)".into(),
-                            }
-                        );
-                    }
+                    let rollback_to = resume.as_ref().map_or(0, |(cycle, _)| *cycle);
+                    host_ring.record(TraceEvent {
+                        cycle: rollback_to,
+                        node: u32::MAX,
+                        kind: TraceKind::WorkerLost,
+                        a: u64::from(restarts),
+                        b: 0,
+                    });
+                    host_ring.record(TraceEvent {
+                        cycle: rollback_to,
+                        node: u32::MAX,
+                        kind: TraceKind::Rollback,
+                        a: u64::from(resume.is_some()),
+                        b: 0,
+                    });
+                    host_ring.record(TraceEvent {
+                        cycle: rollback_to,
+                        node: u32::MAX,
+                        kind: TraceKind::Respawn,
+                        a: u64::from(restarts),
+                        b: 0,
+                    });
+                    olog_warn!(
+                        "host",
+                        { restart = restarts, max = opts.max_restarts },
+                        "{e}; restarting from {}",
+                        match &resume {
+                            Some((cycle, _)) => format!("checkpoint cycle {cycle}"),
+                            None => "scratch (nothing committed yet)".into(),
+                        }
+                    );
                 }
                 Err(e) => return Err(e),
             }
@@ -300,6 +395,7 @@ pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOu
     result
 }
 
+#[allow(clippy::too_many_arguments)] // internal per-attempt entry
 fn run_distributed_inner(
     spec: &DistSpec,
     opts: &HostOptions,
@@ -308,6 +404,8 @@ fn run_distributed_inner(
     nonce: u64,
     resume: Option<&(u64, Vec<Vec<u8>>)>,
     commit: &mut CommitLog,
+    host_ring: &mut TraceRing,
+    metrics: &mut MetricsStream,
 ) -> io::Result<DistOutcome> {
     let shards = partition.shard_count();
     let geometry = spec.network_config().geometry;
@@ -344,10 +442,13 @@ fn run_distributed_inner(
         let bind = opts.ctrl_listen.as_deref().unwrap_or("0.0.0.0:0");
         let l = TcpListener::bind(bind)?;
         let addr = l.local_addr()?.to_string();
-        eprintln!(
-            "[host] waiting for {shards} workers on {addr} \
-             (start each as: hornet-dist worker --connect <this host>:{} --family tcp \
-             --advertise <its host:port> --nonce {nonce})",
+        // Warn level: the run blocks here until the operator starts the
+        // remote workers, so the instructions must be visible by default.
+        olog_warn!(
+            "host",
+            { workers = shards, addr = addr },
+            "waiting for workers (start each as: hornet-dist worker --connect <this host>:{} \
+             --family tcp --advertise <its host:port> --nonce {nonce})",
             addr.rsplit(':').next().unwrap_or("?")
         );
         (CtrlListener::Tcp(l), addr, "tcp")
@@ -448,9 +549,11 @@ fn run_distributed_inner(
                 // A stray worker — stale respawn from a killed attempt, or
                 // someone else's run — must not claim a shard slot. Drop the
                 // connection and keep accepting.
-                if opts.verbose {
-                    eprintln!("[host] rejected worker with stale nonce ({advertise:?})");
-                }
+                olog_warn!(
+                    "host",
+                    {},
+                    "rejected worker with stale nonce ({advertise:?})"
+                );
                 stream.shutdown();
                 continue;
             }
@@ -468,9 +571,7 @@ fn run_distributed_inner(
                     idx
                 }
             };
-            if opts.verbose {
-                eprintln!("[host] worker {shard} connected ({advertise})");
-            }
+            olog_info!("host", { shard = shard }, "worker connected ({advertise})");
             conn_slots[shard] = Some((WorkerConn { writer: stream }, reader));
             accepted += 1;
         }
@@ -569,9 +670,11 @@ fn run_distributed_inner(
         for conn in conns.iter_mut() {
             conn.send(&CtrlMsg::Start)?;
         }
-        if opts.verbose {
-            eprintln!("[host] started {shards} workers ({transport:?})");
-        }
+        olog_info!(
+            "host",
+            { workers = shards },
+            "started workers ({transport:?})"
+        );
 
         // Post-start: reader threads feed one event queue.
         let (tx, rx): (Sender<Event>, Receiver<Event>) = channel();
@@ -600,11 +703,10 @@ fn run_distributed_inner(
         }
         drop(tx);
 
-        let outcome = supervise(spec, opts, &mut conns, &rx, shards, cut_links, commit)?;
-        let dbg = std::env::var_os("HORNET_DIST_DEBUG").is_some();
-        if dbg {
-            eprintln!("[host] supervise complete");
-        }
+        let outcome = supervise(
+            spec, opts, &mut conns, &rx, shards, cut_links, commit, host_ring, metrics,
+        )?;
+        olog_debug!("host", {}, "supervise complete");
 
         // Shut every control socket down first (drop alone is not enough:
         // the reader threads hold clones, so the workers would never see
@@ -621,9 +723,7 @@ fn run_distributed_inner(
         for t in reader_threads {
             let _ = t.join();
         }
-        if dbg {
-            eprintln!("[host] workers reaped, readers joined");
-        }
+        olog_debug!("host", {}, "workers reaped, readers joined");
         Ok(outcome)
     })();
 
@@ -632,9 +732,11 @@ fn run_distributed_inner(
     if run.is_err() {
         for (i, child) in children.iter_mut().enumerate() {
             if let Ok(Some(status)) = child.try_wait() {
-                if opts.verbose {
-                    eprintln!("[host] worker process {i} exited with {status}");
-                }
+                olog_info!(
+                    "host",
+                    { process = i },
+                    "worker process exited with {status}"
+                );
             }
             let _ = child.kill();
             let _ = child.wait();
@@ -648,6 +750,7 @@ fn run_distributed_inner(
 /// drives probe-round termination detection. A worker going silent past the
 /// heartbeat timeout, or its control channel closing before it reported, is
 /// a recoverable loss ([`lost`]).
+#[allow(clippy::too_many_arguments)] // internal supervision entry
 fn supervise(
     spec: &DistSpec,
     opts: &HostOptions,
@@ -656,9 +759,20 @@ fn supervise(
     shards: usize,
     cut_links: usize,
     commit: &mut CommitLog,
+    host_ring: &mut TraceRing,
+    metrics: &mut MetricsStream,
 ) -> io::Result<DistOutcome> {
+    /// One shard's final report.
+    struct DoneReport {
+        final_now: u64,
+        completed: bool,
+        stats: NetworkStats,
+        profile: StallProfile,
+        trace: Vec<u8>,
+    }
+
     let detector = spec.needs_detector();
-    let mut done: Vec<Option<(u64, bool, NetworkStats)>> = (0..shards).map(|_| None).collect();
+    let mut done: Vec<Option<DoneReport>> = (0..shards).map(|_| None).collect();
     let mut n_done = 0usize;
     let mut round = 0u64;
     let mut stopped = false;
@@ -666,42 +780,69 @@ fn supervise(
     let mut last_seen: Vec<Instant> = (0..shards).map(|_| Instant::now()).collect();
     let mut last_event = Instant::now();
 
-    // Handles every non-ledger message in one place, so checkpoints and
-    // Done reports are never dropped regardless of which wait they arrive
-    // in. Returns the recoverable-loss error for a silent unreported exit.
+    // Handles every non-ledger message in one place, so checkpoints, Done
+    // reports and telemetry are never dropped regardless of which wait they
+    // arrive in.
     fn absorb(
         shard: usize,
         msg: CtrlMsg,
-        done: &mut [Option<(u64, bool, NetworkStats)>],
+        done: &mut [Option<DoneReport>],
         n_done: &mut usize,
         commit: &mut CommitLog,
+        host_ring: &mut TraceRing,
+        metrics: &mut MetricsStream,
     ) {
         match msg {
             CtrlMsg::Done {
                 final_now,
                 completed,
                 stats,
+                profile,
+                trace,
             } => {
-                if std::env::var_os("HORNET_DIST_DEBUG").is_some() {
-                    eprintln!("[host] Done from w{shard} at {final_now}");
-                }
+                olog_debug!("host", { shard = shard, cycle = final_now }, "Done received");
                 if done[shard]
-                    .replace((final_now, completed, *stats))
+                    .replace(DoneReport {
+                        final_now,
+                        completed,
+                        stats: *stats,
+                        profile,
+                        trace,
+                    })
                     .is_none()
                 {
                     *n_done += 1;
                 }
             }
-            CtrlMsg::Checkpoint { cycle, data } => commit.record(shard, cycle, data),
+            CtrlMsg::Checkpoint { cycle, data } => {
+                if let Some((cycle, bytes)) = commit.record(shard, cycle, data) {
+                    host_ring.record(TraceEvent {
+                        cycle,
+                        node: u32::MAX,
+                        kind: TraceKind::CheckpointCommit,
+                        a: bytes as u64,
+                        b: 0,
+                    });
+                    olog_info!(
+                        "host",
+                        { cycle = cycle, bytes = bytes },
+                        "checkpoint set committed"
+                    );
+                }
+            }
+            CtrlMsg::Telemetry { sample } => metrics.absorb(*sample),
             _ => {} // heartbeats carry no payload beyond liveness
         }
     }
 
     // Collects one probe round's replies, absorbing interleaved traffic.
+    #[allow(clippy::too_many_arguments)]
     let collect_round = |round: u64,
-                         done: &mut Vec<Option<(u64, bool, NetworkStats)>>,
+                         done: &mut Vec<Option<DoneReport>>,
                          n_done: &mut usize,
                          commit: &mut CommitLog,
+                         host_ring: &mut TraceRing,
+                         metrics: &mut MetricsStream,
                          last_seen: &mut [Instant],
                          last_event: &mut Instant|
      -> io::Result<Option<Vec<(u64, LedgerState)>>> {
@@ -727,7 +868,7 @@ fn supervise(
                             }
                         }
                         CtrlMsg::Ledger { .. } => {} // stale round
-                        other => absorb(shard, other, done, n_done, commit),
+                        other => absorb(shard, other, done, n_done, commit, host_ring, metrics),
                     }
                 }
                 Ok(Event::Gone(shard)) => {
@@ -784,6 +925,8 @@ fn supervise(
                 &mut done,
                 &mut n_done,
                 commit,
+                host_ring,
+                metrics,
                 &mut last_seen,
                 &mut last_event,
             )?;
@@ -800,6 +943,8 @@ fn supervise(
                         &mut done,
                         &mut n_done,
                         commit,
+                        host_ring,
+                        metrics,
                         &mut last_seen,
                         &mut last_event,
                     )?;
@@ -845,12 +990,18 @@ fn supervise(
                 Ok(Event::Msg(shard, msg)) => {
                     last_seen[shard] = Instant::now();
                     last_event = Instant::now();
-                    absorb(shard, msg, &mut done, &mut n_done, commit);
+                    absorb(
+                        shard,
+                        msg,
+                        &mut done,
+                        &mut n_done,
+                        commit,
+                        host_ring,
+                        metrics,
+                    );
                 }
                 Ok(Event::Gone(shard)) => {
-                    if std::env::var_os("HORNET_DIST_DEBUG").is_some() {
-                        eprintln!("[host] Gone from w{shard}");
-                    }
+                    olog_debug!("host", { shard = shard }, "control channel closed");
                     if done[shard].is_none() {
                         return Err(lost(&format!("shard {shard} exited before reporting")));
                     }
@@ -863,14 +1014,22 @@ fn supervise(
 
     let mut merged = NetworkStats::new();
     let mut per_shard = Vec::with_capacity(shards);
+    let mut per_shard_profiles = Vec::with_capacity(shards);
+    let mut trace = TraceDump::default();
     let mut final_cycle = 0u64;
     let mut completed = true;
-    for entry in done.into_iter() {
-        let (final_now, done_completed, stats) = entry.expect("all workers reported");
-        merged.merge(&stats);
-        per_shard.push(stats);
-        final_cycle = final_cycle.max(final_now);
-        completed &= done_completed;
+    for (shard, entry) in done.into_iter().enumerate() {
+        let report = entry.expect("all workers reported");
+        merged.merge(&report.stats);
+        per_shard.push(report.stats);
+        per_shard_profiles.push(report.profile);
+        if !report.trace.is_empty() {
+            trace.merge(TraceDump::decode(&report.trace).map_err(|e| {
+                proto_err(&format!("shard {shard} shipped an unreadable trace: {e}"))
+            })?);
+        }
+        final_cycle = final_cycle.max(report.final_now);
+        completed &= report.completed;
     }
     Ok(DistOutcome {
         stats: merged,
@@ -880,6 +1039,9 @@ fn supervise(
         cut_links,
         shards,
         restarts: 0,
+        per_shard_profiles,
+        trace,
+        samples: Vec::new(), // filled by `run_distributed` from the stream
     })
 }
 
@@ -958,7 +1120,20 @@ pub fn run_threaded(spec: &DistSpec, workers: usize) -> io::Result<DistOutcome> 
     let budget = spec.cycle_budget();
     let handles: Vec<_> = workers_vec
         .into_iter()
-        .map(|w| std::thread::spawn(move || w.run(0, budget, 0, None)))
+        .map(|w| {
+            std::thread::spawn(move || {
+                let want_samples = w.telemetry_every.is_some();
+                let mut samples: Vec<TelemetrySample> = Vec::new();
+                let outcome = w.run(
+                    0,
+                    budget,
+                    0,
+                    None,
+                    want_samples.then_some(&mut samples as &mut dyn TelemetrySink),
+                )?;
+                Ok::<_, io::Error>((outcome, samples))
+            })
+        })
         .collect();
 
     // Caller thread = detector (when the run needs one; otherwise it just
@@ -1002,16 +1177,22 @@ pub fn run_threaded(spec: &DistSpec, workers: usize) -> io::Result<DistOutcome> 
 
     let mut merged = NetworkStats::new();
     let mut per_shard = Vec::with_capacity(shards);
+    let mut per_shard_profiles = Vec::with_capacity(shards);
+    let mut trace = TraceDump::default();
+    let mut all_samples = Vec::new();
     let mut final_cycle = 0;
     let mut completed = true;
     for handle in handles {
-        let outcome = handle
+        let (outcome, samples) = handle
             .join()
             .map_err(|_| proto_err("worker thread panicked"))??;
         merged.merge(&outcome.stats);
         final_cycle = final_cycle.max(outcome.final_now);
         completed &= outcome.completed;
         per_shard.push(outcome.stats);
+        per_shard_profiles.push(outcome.profile);
+        trace.merge(outcome.trace);
+        all_samples.extend(samples);
     }
     if matches!(spec.run, RunKind::Cycles(_)) {
         completed = true;
@@ -1024,5 +1205,8 @@ pub fn run_threaded(spec: &DistSpec, workers: usize) -> io::Result<DistOutcome> 
         cut_links,
         shards,
         restarts: 0,
+        per_shard_profiles,
+        trace,
+        samples: all_samples,
     })
 }

@@ -7,6 +7,8 @@
 use crate::spec::DistSpec;
 use crate::wire::{decode_stats, encode_stats, Dec, Enc, WIRE_VERSION};
 use hornet_net::stats::NetworkStats;
+use hornet_obs::metrics::TelemetrySample;
+use hornet_obs::profile::StallProfile;
 use hornet_shard::termination::LedgerState;
 use std::io;
 
@@ -139,6 +141,12 @@ pub enum CtrlMsg {
         completed: bool,
         /// Per-shard statistics.
         stats: Box<NetworkStats>,
+        /// Wall-time attribution of the worker's run (all zeros unless the
+        /// spec asked for profiling).
+        profile: StallProfile,
+        /// Encoded [`hornet_obs::trace::TraceDump`] of the shard's tile and
+        /// runtime rings (empty when tracing was off).
+        trace: Vec<u8>,
     },
     /// Worker → worker: identifies the connecting shard on a data socket.
     PeerHello {
@@ -157,6 +165,12 @@ pub enum CtrlMsg {
         cycle: u64,
         /// The serialized shard state ([`hornet_shard::snapshot`] layout).
         data: Vec<u8>,
+    },
+    /// Worker → coordinator: periodic telemetry sample (wire v4). The
+    /// coordinator aggregates these into the live metrics stream.
+    Telemetry {
+        /// The sample.
+        sample: Box<TelemetrySample>,
     },
 }
 
@@ -238,9 +252,16 @@ impl CtrlMsg {
                 final_now,
                 completed,
                 stats,
+                profile,
+                trace,
             } => {
                 e.u8(10).u64(*final_now).u8(u8::from(*completed));
                 encode_stats(&mut e, stats);
+                e.u64(profile.compute_ns)
+                    .u64(profile.wait_ns)
+                    .u64(profile.ingest_ns)
+                    .u64(profile.flush_ns);
+                e.blob(trace);
             }
             CtrlMsg::PeerHello { from } => {
                 e.u8(11).u32(*from);
@@ -250,6 +271,11 @@ impl CtrlMsg {
             }
             CtrlMsg::Checkpoint { cycle, data } => {
                 e.u8(13).u64(*cycle).blob(data);
+            }
+            CtrlMsg::Telemetry { sample } => {
+                let mut buf = Vec::new();
+                sample.encode_into(&mut buf);
+                e.u8(14).blob(&buf);
             }
         }
         e.into_bytes()
@@ -320,6 +346,13 @@ impl CtrlMsg {
                 final_now: d.u64()?,
                 completed: d.u8()? != 0,
                 stats: Box::new(decode_stats(&mut d)?),
+                profile: StallProfile {
+                    compute_ns: d.u64()?,
+                    wait_ns: d.u64()?,
+                    ingest_ns: d.u64()?,
+                    flush_ns: d.u64()?,
+                },
+                trace: d.blob()?.to_vec(),
             },
             11 => CtrlMsg::PeerHello { from: d.u32()? },
             12 => CtrlMsg::Heartbeat { cycle: d.u64()? },
@@ -327,6 +360,13 @@ impl CtrlMsg {
                 cycle: d.u64()?,
                 data: d.blob()?.to_vec(),
             },
+            14 => {
+                let blob = d.blob()?;
+                let mut cursor = blob;
+                CtrlMsg::Telemetry {
+                    sample: Box::new(TelemetrySample::decode_from(&mut cursor)?),
+                }
+            }
             t => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -394,12 +434,38 @@ mod tests {
                 final_now: 800,
                 completed: true,
                 stats: Box::new(NetworkStats::new()),
+                profile: StallProfile {
+                    compute_ns: 1,
+                    wait_ns: 2,
+                    ingest_ns: 3,
+                    flush_ns: 4,
+                },
+                trace: vec![7; 32],
             },
             CtrlMsg::PeerHello { from: 3 },
             CtrlMsg::Heartbeat { cycle: 1234 },
             CtrlMsg::Checkpoint {
                 cycle: 512,
                 data: vec![9; 64],
+            },
+            CtrlMsg::Telemetry {
+                sample: Box::new(TelemetrySample {
+                    shard: 3,
+                    cycle: 4096,
+                    received: 17,
+                    busy: 900,
+                    delivered_packets: 10,
+                    delivered_flits: 40,
+                    injected_flits: 44,
+                    buffered_flits: 4,
+                    profile: StallProfile {
+                        compute_ns: 5,
+                        wait_ns: 6,
+                        ingest_ns: 7,
+                        flush_ns: 8,
+                    },
+                    metrics: vec![("batch_wait_ns.count".into(), 12)],
+                }),
             },
         ];
         for msg in msgs {
@@ -412,6 +478,27 @@ mod tests {
                 "{msg:?}"
             );
             if let (CtrlMsg::Ledger { state: a, .. }, CtrlMsg::Ledger { state: b, .. }) =
+                (&msg, &back)
+            {
+                assert_eq!(a, b);
+            }
+            if let (
+                CtrlMsg::Done {
+                    profile: a,
+                    trace: ta,
+                    ..
+                },
+                CtrlMsg::Done {
+                    profile: b,
+                    trace: tb,
+                    ..
+                },
+            ) = (&msg, &back)
+            {
+                assert_eq!(a, b);
+                assert_eq!(ta, tb);
+            }
+            if let (CtrlMsg::Telemetry { sample: a }, CtrlMsg::Telemetry { sample: b }) =
                 (&msg, &back)
             {
                 assert_eq!(a, b);

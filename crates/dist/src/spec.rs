@@ -159,6 +159,10 @@ pub struct DistSpec {
     /// Capture a resumable checkpoint every this many cycles (strict modes
     /// only — loose synchronization has no consistent rendezvous cut).
     pub checkpoint_every: Option<u64>,
+    /// Ship a telemetry sample to the coordinator every this many cycles.
+    pub telemetry_every: Option<u64>,
+    /// Per-tile event-trace ring capacity (tracing off when `None`).
+    pub trace_capacity: Option<u32>,
 }
 
 impl Default for DistSpec {
@@ -185,6 +189,8 @@ impl Default for DistSpec {
             run: RunKind::Cycles(1_000),
             fast_forward: false,
             checkpoint_every: None,
+            telemetry_every: None,
+            trace_capacity: None,
         }
     }
 }
@@ -412,6 +418,10 @@ impl DistSpec {
         }
         e.u8(u8::from(self.checkpoint_every.is_some()))
             .u64(self.checkpoint_every.unwrap_or(0));
+        e.u8(u8::from(self.telemetry_every.is_some()))
+            .u64(self.telemetry_every.unwrap_or(0));
+        e.u8(u8::from(self.trace_capacity.is_some()))
+            .u32(self.trace_capacity.unwrap_or(0));
     }
 
     /// Decodes a spec written by [`encode`](Self::encode).
@@ -518,6 +528,16 @@ impl DistSpec {
             let v = d.u64()?;
             some.then_some(v)
         };
+        let telemetry_every = {
+            let some = d.u8()? != 0;
+            let v = d.u64()?;
+            some.then_some(v)
+        };
+        let trace_capacity = {
+            let some = d.u8()? != 0;
+            let v = d.u32()?;
+            some.then_some(v)
+        };
         Ok(Self {
             width,
             height,
@@ -540,6 +560,8 @@ impl DistSpec {
             run,
             fast_forward,
             checkpoint_every,
+            telemetry_every,
+            trace_capacity,
         })
     }
 }
@@ -570,6 +592,8 @@ mod tests {
             run: RunKind::ToCompletion { max: 100_000 },
             fast_forward: true,
             checkpoint_every: Some(256),
+            telemetry_every: Some(1_000),
+            trace_capacity: Some(4_096),
             ..DistSpec::default()
         };
         let mut e = Enc::new();

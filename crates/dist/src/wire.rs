@@ -18,4 +18,6 @@ pub use hornet_net::codec::{
 /// hellos.
 /// v3: handshake nonces, heartbeats, checkpoint shipping and resume-bearing
 /// shard assignments (fault-tolerant supervision).
-pub const WIRE_VERSION: u32 = 3;
+/// v4: periodic telemetry samples (`CtrlMsg::Telemetry`), stall profiles and
+/// event-trace blobs in the final report, telemetry/trace knobs in the spec.
+pub const WIRE_VERSION: u32 = 4;

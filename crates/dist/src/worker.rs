@@ -20,8 +20,13 @@ use hornet_net::boundary::{BoundaryLink, BoundaryRx};
 use hornet_net::ids::Cycle;
 use hornet_net::network::NetworkNode;
 use hornet_net::stats::NetworkStats;
+use hornet_obs::metrics::{MetricsRegistry, TelemetrySample};
+use hornet_obs::olog_debug;
+use hornet_obs::profile::StallProfile;
+use hornet_obs::trace::{TraceDump, TraceRing};
 use hornet_shard::driver::{
-    merge_tile_stats, CheckpointSink, CycleDriver, DriverParams, PayloadChannel, WaitProfile,
+    merge_tile_stats, CheckpointSink, CycleDriver, DriverParams, PayloadChannel, TelemetrySink,
+    WaitProfile,
 };
 use hornet_shard::termination::ShardLedger;
 use std::collections::HashMap;
@@ -72,6 +77,12 @@ pub struct WorkerOutcome {
     pub completed: bool,
     /// The tiles (for in-process callers that want to inspect them).
     pub tiles: Vec<NetworkNode>,
+    /// Wall-time attribution of the shard loop (compute / wait / ingest /
+    /// flush).
+    pub profile: StallProfile,
+    /// Event trace of the shard's tile and runtime rings (empty unless the
+    /// spec enabled tracing).
+    pub trace: TraceDump,
 }
 
 /// One shard's execution state, generic over the boundary transport.
@@ -103,6 +114,10 @@ pub struct ShardWorker {
     pub fast_forward: bool,
     /// Capture a resumable checkpoint every this many cycles (strict only).
     pub checkpoint_every: Option<u64>,
+    /// Ship a telemetry sample every this many cycles.
+    pub telemetry_every: Option<u64>,
+    /// Per-tile event-trace ring capacity (0 disables tracing).
+    pub trace_capacity: usize,
     /// Control-plane state.
     pub control: WorkerControl,
 }
@@ -132,6 +147,8 @@ impl ShardWorker {
             track_ledger: spec.needs_detector(),
             fast_forward: spec.fast_forward,
             checkpoint_every: spec.checkpoint_every,
+            telemetry_every: spec.telemetry_every,
+            trace_capacity: spec.trace_capacity.unwrap_or(0) as usize,
             control,
         }
     }
@@ -154,14 +171,16 @@ impl ShardWorker {
     /// everything to the unified [`CycleDriver`] — the per-cycle protocol
     /// has exactly one implementation, shared with the thread backend.
     /// `received_start` seeds the cumulative delivery counter (nonzero when
-    /// resuming from a checkpoint) and `checkpoint` receives the periodic
-    /// state captures when `checkpoint_every` is set.
-    pub fn run(
+    /// resuming from a checkpoint), `checkpoint` receives the periodic
+    /// state captures when `checkpoint_every` is set, and `telemetry`
+    /// receives periodic samples when the spec set `telemetry_every`.
+    pub fn run<'c>(
         self,
         start: Cycle,
         cycles: Cycle,
         received_start: u64,
-        checkpoint: Option<&mut dyn CheckpointSink>,
+        checkpoint: Option<&'c mut dyn CheckpointSink>,
+        telemetry: Option<&'c mut dyn TelemetrySink>,
     ) -> io::Result<WorkerOutcome> {
         let ShardWorker {
             shard,
@@ -177,8 +196,17 @@ impl ShardWorker {
             track_ledger,
             fast_forward,
             checkpoint_every,
+            telemetry_every,
+            trace_capacity,
             control,
         } = self;
+        if trace_capacity > 0 {
+            for tile in &mut tiles {
+                tile.enable_tracing(trace_capacity);
+            }
+        }
+        let metrics = telemetry_every.map(|_| MetricsRegistry::default());
+        let mut runtime_ring = (trace_capacity > 0).then(|| TraceRing::new(trace_capacity));
         let mut set = TransportSet(&mut transports);
         let driver = CycleDriver {
             shard,
@@ -191,6 +219,9 @@ impl ShardWorker {
             skip_to: &control.skip_to,
             ledger: &control.ledger,
             checkpoint,
+            telemetry,
+            metrics: metrics.as_ref(),
+            tracer: runtime_ring.as_mut(),
         };
         let outcome = driver.run(&DriverParams {
             start,
@@ -203,7 +234,21 @@ impl ShardWorker {
             checkpoint_every,
             received_start,
             wait: WaitProfile::Sleep,
+            // Wall-time attribution is always on for distributed workers:
+            // the loop is already syscall-bound, so the handful of clock
+            // reads per cycle vanish in the noise, and the coordinator's
+            // imbalance summary needs every shard's breakdown.
+            profile: true,
+            telemetry_every,
         })?;
+
+        let mut trace = TraceDump::default();
+        for tile in &mut tiles {
+            tile.drain_trace(&mut trace);
+        }
+        if let Some(ring) = runtime_ring.as_mut() {
+            ring.drain_into(&mut trace);
+        }
 
         // `busy` comes from the driver — the same definition the
         // termination detector scanned, so host and detector cannot drift.
@@ -213,6 +258,8 @@ impl ShardWorker {
             stats: merge_tile_stats(&tiles),
             completed,
             tiles,
+            profile: outcome.profile,
+            trace,
         })
     }
 }
@@ -256,6 +303,24 @@ impl CheckpointSink for CtrlCheckpointSink {
                 data: state.to_vec(),
             },
         )
+    }
+}
+
+/// Ships every periodic telemetry sample to the coordinator over the control
+/// plane. Send failures are swallowed: telemetry is advisory, and a lost
+/// coordinator already stops the run through the control reader.
+struct CtrlTelemetrySink {
+    writer: Arc<Mutex<Stream>>,
+}
+
+impl TelemetrySink for CtrlTelemetrySink {
+    fn emit(&mut self, sample: &TelemetrySample) {
+        let _ = send_ctrl(
+            &self.writer,
+            &CtrlMsg::Telemetry {
+                sample: Box::new(sample.clone()),
+            },
+        );
     }
 }
 
@@ -582,9 +647,7 @@ pub fn worker_main(
                     Ok(f) => f,
                     Err(e) => {
                         if !done_flag.load(Ordering::Acquire) {
-                            if std::env::var_os("HORNET_DIST_DEBUG").is_some() {
-                                eprintln!("[ctrl-rx] read failed mid-run: {e}");
-                            }
+                            olog_debug!("ctrl-rx", {}, "read failed mid-run: {}", e);
                             // Coordinator lost mid-run: unwind.
                             control.stop.store(true, Ordering::Release);
                         }
@@ -635,22 +698,32 @@ pub fn worker_main(
             })?;
     }
 
-    let debug = std::env::var_os("HORNET_DIST_DEBUG").is_some();
     let budget = spec.cycle_budget();
     let mut sink = CtrlCheckpointSink {
         shard,
         writer: Arc::clone(&writer),
         crash: crash_token(),
     };
+    let mut telemetry_sink = CtrlTelemetrySink {
+        writer: Arc::clone(&writer),
+    };
+    let telemetry = spec
+        .telemetry_every
+        .is_some()
+        .then_some(&mut telemetry_sink as &mut dyn TelemetrySink);
     let outcome = worker.run(
         start_cycle,
         budget.saturating_sub(start_cycle),
         received_start,
         Some(&mut sink),
+        telemetry,
     )?;
-    if debug {
-        eprintln!("[w{shard}] run complete at {}", outcome.final_now);
-    }
+    olog_debug!("worker", { shard = shard, cycle = outcome.final_now }, "run complete");
+    let trace_blob = if outcome.trace.events.is_empty() && outcome.trace.dropped == 0 {
+        Vec::new()
+    } else {
+        outcome.trace.encode()
+    };
     send_ctrl(
         &writer,
         &CtrlMsg::Done {
@@ -660,18 +733,16 @@ pub fn worker_main(
                 RunKind::ToCompletion { .. } => outcome.completed,
             },
             stats: Box::new(outcome.stats),
+            profile: outcome.profile,
+            trace: trace_blob,
         },
     )?;
     done_flag.store(true, Ordering::Release);
-    if debug {
-        eprintln!("[w{shard}] done sent");
-    }
+    olog_debug!("worker", { shard = shard }, "done sent");
     // Hold every socket open until the coordinator closes the control
     // channel: peers may still be draining our final frames.
     let _ = ctrl_thread.join();
-    if debug {
-        eprintln!("[w{shard}] ctrl closed, exiting");
-    }
+    olog_debug!("worker", { shard = shard }, "ctrl closed, exiting");
     Ok(())
 }
 

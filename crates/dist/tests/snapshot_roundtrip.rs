@@ -184,6 +184,9 @@ fn sharded_resume_from_sequential_snapshot_is_bit_identical() {
                 barrier_batches: false,
                 fast_forward: false,
                 detect_completion: false,
+                profile: false,
+                telemetry_every: None,
+                trace_runtime: 0,
             },
         );
         assert_eq!(outcome.final_cycle, total, "seed {seed} cut {cut}: cycle");

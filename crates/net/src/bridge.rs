@@ -12,6 +12,7 @@ use crate::ids::{Cycle, NodeId, PacketId};
 use crate::payload::PayloadStore;
 use crate::stats::NetworkStats;
 use crate::vcbuf::VcBuffer;
+use hornet_obs::trace::{TraceEvent, TraceKind, TraceRing};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -160,6 +161,19 @@ impl Bridge {
     /// buffer capacity, wormhole ordering (one packet per VC at a time) and
     /// the injection bandwidth.
     pub fn inject(&mut self, now: Cycle, stats: &mut NetworkStats) {
+        self.inject_traced(now, stats, None);
+    }
+
+    /// [`inject`](Self::inject) with an optional event tracer: records a
+    /// [`TraceKind::FlitInject`] event per flit that actually enters the
+    /// router's injection VCs (back-pressured flits are not traced until the
+    /// cycle they go in).
+    pub fn inject_traced(
+        &mut self,
+        now: Cycle,
+        stats: &mut NetworkStats,
+        mut tracer: Option<&mut TraceRing>,
+    ) {
         // Fill idle slots with pending packets.
         for (vc, slot) in self.slots.iter_mut().enumerate() {
             if slot.is_none() {
@@ -205,6 +219,15 @@ impl Bridge {
                     slot.flits.pop_front();
                     stats.injected_flits += 1;
                     budget -= 1;
+                    if let Some(t) = tracer.as_deref_mut() {
+                        t.record(TraceEvent {
+                            cycle: now,
+                            node: self.node.raw(),
+                            kind: TraceKind::FlitInject,
+                            a: flit.packet.raw(),
+                            b: flit.seq as u64,
+                        });
+                    }
                 } else {
                     break;
                 }

@@ -20,6 +20,7 @@ use crate::router::{Router, RouterConfig};
 use crate::routing::build_routing;
 use crate::stats::NetworkStats;
 use crate::vca::{VcAllocKind, VcaPolicy};
+use hornet_obs::trace::{TraceDump, TraceEvent, TraceKind, TraceRing};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::sync::Arc;
@@ -65,6 +66,10 @@ pub struct NetworkNode {
     agents: Vec<Box<dyn NodeAgent>>,
     rng: ChaCha12Rng,
     node: NodeId,
+    /// Flit-lifecycle event ring; boxed so untraced tiles pay one pointer.
+    /// Deliberately excluded from snapshots: the trace observes a run, it is
+    /// not part of the simulated state.
+    tracer: Option<Box<TraceRing>>,
 }
 
 impl std::fmt::Debug for NetworkNode {
@@ -109,9 +114,35 @@ impl NetworkNode {
         self.router.stats()
     }
 
+    /// Starts recording flit-lifecycle events (inject / route / eject) into
+    /// a fresh ring of `capacity` events. Tracing observes the simulation
+    /// without perturbing it: traced and untraced runs are bit-identical.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Some(Box::new(TraceRing::new(capacity)));
+    }
+
+    /// Stops recording and discards the ring.
+    pub fn disable_tracing(&mut self) {
+        self.tracer = None;
+    }
+
+    /// The tile's trace ring, when tracing is enabled.
+    pub fn tracer(&self) -> Option<&TraceRing> {
+        self.tracer.as_deref()
+    }
+
+    /// Moves this tile's recorded events (and drop count) into `dump`,
+    /// leaving the ring empty for the next window.
+    pub fn drain_trace(&mut self, dump: &mut TraceDump) {
+        if let Some(t) = &mut self.tracer {
+            t.drain_into(dump);
+        }
+    }
+
     /// Positive clock edge: run the router pipeline and step the agents.
     pub fn posedge(&mut self, now: Cycle) {
-        self.router.posedge(now, &mut self.rng);
+        self.router
+            .posedge_traced(now, &mut self.rng, self.tracer.as_deref_mut());
         for agent in &mut self.agents {
             let mut io = TileIo {
                 bridge: &mut self.bridge,
@@ -129,9 +160,21 @@ impl NetworkNode {
         // cycle (the router hot path never gives up scratch capacity).
         let (delivered, stats) = self.router.delivered_and_stats_mut();
         if !delivered.is_empty() {
+            if let Some(t) = self.tracer.as_deref_mut() {
+                for flit in delivered.iter() {
+                    t.record(TraceEvent {
+                        cycle: now,
+                        node: self.node.raw(),
+                        kind: TraceKind::FlitEject,
+                        a: flit.packet.raw(),
+                        b: flit.seq as u64,
+                    });
+                }
+            }
             self.bridge.accept(delivered, now, stats);
         }
-        self.bridge.inject(now, self.router.stats_mut());
+        self.bridge
+            .inject_traced(now, self.router.stats_mut(), self.tracer.as_deref_mut());
     }
 
     /// True if the tile has no buffered flits and nothing queued for
@@ -171,8 +214,13 @@ impl NetworkNode {
     }
 
     /// Clears the tile's statistics (used to discard the warm-up window).
+    /// Also clears the trace ring, so a trace covers exactly the measured
+    /// window regardless of backend.
     pub fn reset_stats(&mut self) {
         *self.router.stats_mut() = NetworkStats::new();
+        if let Some(t) = &mut self.tracer {
+            t.clear();
+        }
     }
 
     /// Serializes the tile's full state: the PRNG cursor, the router, every
@@ -328,6 +376,7 @@ impl Network {
                     agents: Vec::new(),
                     rng,
                     node,
+                    tracer: None,
                 }
             })
             .collect();
@@ -380,6 +429,25 @@ impl Network {
     /// The current simulated cycle.
     pub fn cycle(&self) -> Cycle {
         self.cycle
+    }
+
+    /// Enables flit-lifecycle tracing on every tile, each with its own ring
+    /// of `capacity` events (per-tile rings keep the recorded sequence —
+    /// including deterministic drop-newest truncation — a pure function of
+    /// the workload, independent of how tiles are sharded across hosts).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        for node in &mut self.nodes {
+            node.enable_tracing(capacity);
+        }
+    }
+
+    /// Collects every tile's trace into one dump, in node-index order.
+    pub fn drain_trace(&mut self) -> TraceDump {
+        let mut dump = TraceDump::default();
+        for node in &mut self.nodes {
+            node.drain_trace(&mut dump);
+        }
+        dump
     }
 
     /// Consumes the network and returns its tiles (plus the payload store) so

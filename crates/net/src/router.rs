@@ -46,6 +46,7 @@ use crate::routing::{NextHop, RoutingPolicy};
 use crate::stats::NetworkStats;
 use crate::vca::{DownstreamVc, VcaPolicy, VcaRequest};
 use crate::vcbuf::VcBuffer;
+use hornet_obs::trace::{TraceEvent, TraceKind, TraceRing};
 use rand::Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -481,6 +482,20 @@ impl Router {
     /// movements. No shared state is mutated except the tail→head absorption
     /// of this router's own buffers.
     pub fn posedge<R: Rng>(&mut self, now: Cycle, rng: &mut R) {
+        self.posedge_traced(now, rng, None);
+    }
+
+    /// [`posedge`](Self::posedge) with an optional event tracer. When a
+    /// tracer is supplied, a [`TraceKind::FlitRoute`] event is recorded each
+    /// time the RC stage binds a packet to an egress port. The tracer only
+    /// observes decisions — it never influences them — so traced and
+    /// untraced runs stay bit-identical.
+    pub fn posedge_traced<R: Rng>(
+        &mut self,
+        now: Cycle,
+        rng: &mut R,
+        tracer: Option<&mut TraceRing>,
+    ) {
         self.cycle = now;
         self.staged.clear();
         self.staged_drops.clear();
@@ -517,7 +532,7 @@ impl Router {
         self.vc_allocation(now, rng);
 
         // --- RC stage (per packet).
-        self.route_computation(now, rng);
+        self.route_computation(now, rng, tracer);
 
         self.stats.simulated_cycles += 1;
         self.stats.last_cycle = now;
@@ -530,7 +545,12 @@ impl Router {
         self.head_cache[self.ingress_offsets[port] + vc].filter(|f| f.visible_at <= now)
     }
 
-    fn route_computation<R: Rng>(&mut self, now: Cycle, rng: &mut R) {
+    fn route_computation<R: Rng>(
+        &mut self,
+        now: Cycle,
+        rng: &mut R,
+        mut tracer: Option<&mut TraceRing>,
+    ) {
         let mut candidates = std::mem::take(&mut self.route_scratch);
         for p in 0..self.ingress.len() {
             for v in 0..self.ingress[p].vcs.len() {
@@ -589,6 +609,15 @@ impl Router {
                     egress,
                     next_flow: choice.next_flow,
                 };
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.record(TraceEvent {
+                        cycle: now,
+                        node: self.node.raw(),
+                        kind: TraceKind::FlitRoute,
+                        a: flit.packet.raw(),
+                        b: egress as u64,
+                    });
+                }
             }
         }
         self.route_scratch = candidates;

@@ -1,0 +1,201 @@
+//! Leveled structured logging in logfmt style.
+//!
+//! One line per event on stderr, machine-parseable:
+//!
+//! ```text
+//! level=info target=host shard=2 cycle=41300 msg="worker connected"
+//! ```
+//!
+//! The threshold comes from `HORNET_LOG=debug|info|warn|off` (default
+//! `warn`, so instrumented libraries stay quiet unless asked); hosts may
+//! override it programmatically (e.g. `--verbose` ⇒ `info`) with
+//! [`set_max_level`] — the environment variable, when set, always wins.
+//! Call sites use the [`olog_debug!`](crate::olog_debug),
+//! [`olog_info!`](crate::olog_info) and [`olog_warn!`](crate::olog_warn)
+//! macros, which evaluate their fields and message only when the level is
+//! enabled.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, ordered.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Everything, including per-message supervision chatter.
+    Debug = 0,
+    /// Lifecycle events: workers connecting, runs completing, recoveries.
+    Info = 1,
+    /// Anomalies: stalls, losses, rejected peers.
+    Warn = 2,
+    /// Nothing.
+    Off = 3,
+}
+
+impl Level {
+    /// Lowercase name (the logfmt `level=` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Off => "off",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "off" | "none" => Some(Level::Off),
+            _ => None,
+        }
+    }
+}
+
+/// `HORNET_LOG` at first use; `None` when unset or unparsable.
+fn env_level() -> Option<Level> {
+    static ENV: OnceLock<Option<Level>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("HORNET_LOG")
+            .ok()
+            .as_deref()
+            .and_then(Level::parse)
+    })
+}
+
+/// Programmatic override slot; `u8::MAX` = not set.
+static OVERRIDE: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Sets the threshold when `HORNET_LOG` is not set (the environment always
+/// wins, so an operator can turn a quiet deployment loud without touching
+/// flags).
+pub fn set_max_level(level: Level) {
+    OVERRIDE.store(level as u8, Ordering::Relaxed);
+}
+
+/// The active threshold.
+pub fn max_level() -> Level {
+    if let Some(env) = env_level() {
+        return env;
+    }
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => Level::Debug,
+        1 => Level::Info,
+        2 => Level::Warn,
+        3 => Level::Off,
+        _ => Level::Warn,
+    }
+}
+
+/// True when `level` would be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level >= max_level() && level != Level::Off
+}
+
+/// Writes one logfmt line to stderr. Prefer the macros, which gate on
+/// [`enabled`] before evaluating anything.
+pub fn emit(level: Level, target: &str, fields: &[(&str, &dyn fmt::Display)], msg: fmt::Arguments) {
+    let mut line = String::with_capacity(96);
+    let _ = fmt::Write::write_fmt(
+        &mut line,
+        format_args!("level={} target={target}", level.name()),
+    );
+    for (k, v) in fields {
+        let _ = fmt::Write::write_fmt(&mut line, format_args!(" {k}={v}"));
+    }
+    let rendered = msg.to_string();
+    let _ = fmt::Write::write_fmt(
+        &mut line,
+        format_args!(
+            " msg=\"{}\"",
+            rendered.replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+    );
+    line.push('\n');
+    // One write_all so concurrent shards/processes interleave whole lines.
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Emits at an explicit level: `olog!(Level::Info, "host", { shard = 2, cycle = c }, "connected")`.
+#[macro_export]
+macro_rules! olog {
+    ($lvl:expr, $target:expr, { $($k:ident = $v:expr),* $(,)? }, $($msg:tt)+) => {
+        if $crate::log::enabled($lvl) {
+            $crate::log::emit(
+                $lvl,
+                $target,
+                &[$((stringify!($k), &$v as &dyn ::std::fmt::Display)),*],
+                ::core::format_args!($($msg)+),
+            );
+        }
+    };
+}
+
+/// `olog!` at [`Level::Debug`](crate::log::Level::Debug).
+#[macro_export]
+macro_rules! olog_debug {
+    ($target:expr, { $($f:tt)* }, $($msg:tt)+) => {
+        $crate::olog!($crate::log::Level::Debug, $target, { $($f)* }, $($msg)+)
+    };
+}
+
+/// `olog!` at [`Level::Info`](crate::log::Level::Info).
+#[macro_export]
+macro_rules! olog_info {
+    ($target:expr, { $($f:tt)* }, $($msg:tt)+) => {
+        $crate::olog!($crate::log::Level::Info, $target, { $($f)* }, $($msg)+)
+    };
+}
+
+/// `olog!` at [`Level::Warn`](crate::log::Level::Warn).
+#[macro_export]
+macro_rules! olog_warn {
+    ($target:expr, { $($f:tt)* }, $($msg:tt)+) => {
+        $crate::olog!($crate::log::Level::Warn, $target, { $($f)* }, $($msg)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Debug < Level::Info);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn override_gates_unless_env_set() {
+        // The test environment does not set HORNET_LOG, so the programmatic
+        // override decides.
+        if env_level().is_none() {
+            set_max_level(Level::Warn);
+            assert!(enabled(Level::Warn));
+            assert!(!enabled(Level::Info));
+            set_max_level(Level::Debug);
+            assert!(enabled(Level::Debug));
+            set_max_level(Level::Off);
+            assert!(!enabled(Level::Warn));
+            set_max_level(Level::Warn); // restore the default
+        }
+    }
+
+    #[test]
+    fn macro_compiles_with_and_without_fields() {
+        set_max_level(Level::Off);
+        olog_info!("test", {}, "no fields");
+        let shard = 3;
+        olog_warn!("test", { shard = shard, cycle = 10 }, "fields {}", 1);
+        if env_level().is_none() {
+            set_max_level(Level::Warn);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Wall-time stall attribution for the shard driver's cycle loop.
+//!
+//! `load_imbalance()` says shards diverged; the [`StallProfile`] says *why*:
+//! every nanosecond of a driven run is attributed to exactly one of four
+//! phases, so per-shard comparisons separate "this shard had more work"
+//! (compute) from "this shard waited on a lagging neighbor" (slack-wait)
+//! from transport costs (ingest / flush).
+
+/// Wall time of one shard's run, split by phase. All fields in nanoseconds.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StallProfile {
+    /// Simulating tiles: posedge/negedge, mailbox delivery, ledger upkeep.
+    pub compute_ns: u64,
+    /// Parked in the drift gate (slack wait) or a batch rendezvous.
+    pub wait_ns: u64,
+    /// Draining inbound wire traffic into local staging rings.
+    pub ingest_ns: u64,
+    /// Publishing outbound flits/credits/progress (transport pump).
+    pub flush_ns: u64,
+}
+
+impl StallProfile {
+    /// Total attributed wall time.
+    pub fn total_ns(&self) -> u64 {
+        self.compute_ns + self.wait_ns + self.ingest_ns + self.flush_ns
+    }
+
+    /// `[compute, wait, ingest, flush]` as fractions of the total (zeros
+    /// when nothing was recorded).
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total_ns();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        let t = total as f64;
+        [
+            self.compute_ns as f64 / t,
+            self.wait_ns as f64 / t,
+            self.ingest_ns as f64 / t,
+            self.flush_ns as f64 / t,
+        ]
+    }
+
+    /// Accumulates another profile into this one.
+    pub fn merge(&mut self, other: &StallProfile) {
+        self.compute_ns += other.compute_ns;
+        self.wait_ns += other.wait_ns;
+        self.ingest_ns += other.ingest_ns;
+        self.flush_ns += other.flush_ns;
+    }
+
+    /// One-line human rendering, e.g. `compute 62.1% wait 30.0% ingest 3.9% flush 4.0%`.
+    pub fn summary(&self) -> String {
+        let [c, w, i, f] = self.fractions();
+        format!(
+            "compute {:.1}% wait {:.1}% ingest {:.1}% flush {:.1}%",
+            c * 100.0,
+            w * 100.0,
+            i * 100.0,
+            f * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one_and_merge_accumulates() {
+        let mut p = StallProfile {
+            compute_ns: 600,
+            wait_ns: 300,
+            ingest_ns: 50,
+            flush_ns: 50,
+        };
+        let f = p.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.6).abs() < 1e-12);
+        p.merge(&p.clone());
+        assert_eq!(p.total_ns(), 2000);
+        assert_eq!(StallProfile::default().fractions(), [0.0; 4]);
+    }
+}

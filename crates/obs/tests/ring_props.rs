@@ -1,0 +1,72 @@
+//! Property-based tests of the trace ring's truncation contract: whatever
+//! the capacity and push sequence, retained + dropped always accounts for
+//! every recorded event, and every export carries the drop counter — ring
+//! truncation can lose events, never the fact that events were lost.
+
+use hornet_obs::trace::{TraceDump, TraceEvent, TraceKind, TraceRing};
+use proptest::prelude::*;
+
+fn event(i: u64) -> TraceEvent {
+    TraceEvent {
+        cycle: i,
+        node: (i % 7) as u32,
+        kind: TraceKind::ALL[(i % TraceKind::ALL.len() as u64) as usize],
+        a: i.wrapping_mul(31),
+        b: i ^ 0x5555,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Retained + dropped == pushed, retention is the earliest prefix, and
+    /// both exporters emit the exact drop count even when the ring is full.
+    #[test]
+    fn truncation_never_drops_the_drop_counter(
+        capacity in 0usize..48,
+        pushes in 0u64..200,
+    ) {
+        let mut ring = TraceRing::new(capacity);
+        for i in 0..pushes {
+            ring.record(event(i));
+        }
+        let retained = ring.events().len() as u64;
+        prop_assert!(retained <= capacity as u64);
+        prop_assert_eq!(retained + ring.dropped(), pushes, "every push is accounted for");
+        // Drop-newest: the retained events are exactly the earliest prefix.
+        for (i, e) in ring.events().iter().enumerate() {
+            prop_assert_eq!(e, &event(i as u64));
+        }
+
+        let mut dump = TraceDump::default();
+        ring.drain_into(&mut dump);
+        prop_assert_eq!(dump.dropped, pushes.saturating_sub(retained));
+
+        // The wire round trip preserves the counter bit-exactly.
+        let back = TraceDump::decode(&dump.encode()).unwrap();
+        prop_assert_eq!(&back, &dump);
+
+        // Both exports state the drop count, unconditionally.
+        let jsonl = dump.to_jsonl();
+        let last = jsonl.lines().last().expect("summary line");
+        prop_assert!(last.contains(&format!("\"dropped\":{}", dump.dropped)));
+        prop_assert_eq!(jsonl.lines().count() as u64, retained + 1);
+        let chrome = dump.to_chrome_trace();
+        prop_assert!(chrome.contains(&format!("\"dropped\":{}", dump.dropped)));
+    }
+
+    /// Draining a ring resets it: a reused ring never double-counts.
+    #[test]
+    fn drain_resets_the_ring(capacity in 1usize..16, pushes in 0u64..64) {
+        let mut ring = TraceRing::new(capacity);
+        for i in 0..pushes {
+            ring.record(event(i));
+        }
+        let mut dump = TraceDump::default();
+        ring.drain_into(&mut dump);
+        prop_assert_eq!(ring.events().len(), 0);
+        prop_assert_eq!(ring.dropped(), 0);
+        ring.record(event(0));
+        prop_assert_eq!(ring.events().len(), 1);
+    }
+}

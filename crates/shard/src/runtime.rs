@@ -61,6 +61,9 @@ use hornet_net::boundary::{BoundaryLink, BoundaryRx, EgressChannel};
 use hornet_net::ids::Cycle;
 use hornet_net::network::NetworkNode;
 use hornet_net::stats::NetworkStats;
+use hornet_obs::metrics::{MetricsRegistry, TelemetrySample};
+use hornet_obs::profile::StallProfile;
+use hornet_obs::trace::{TraceDump, TraceRing};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -89,6 +92,16 @@ pub struct RunParams {
     pub fast_forward: bool,
     /// Stop early once every agent reports completion and the network drains.
     pub detect_completion: bool,
+    /// Attribute each worker's wall time to compute / slack-wait / ingest /
+    /// flush phases (reported per shard in [`RunOutcome::per_shard_profiles`]).
+    pub profile: bool,
+    /// Collect a [`TelemetrySample`] per shard roughly every this many
+    /// cycles (rounded up to the quantum); `None` disables sampling.
+    pub telemetry_every: Option<u64>,
+    /// Capacity of each shard's runtime event ring (slack waits, checkpoint
+    /// captures); 0 disables runtime event tracing. Flit-lifecycle tracing is
+    /// per tile and enabled on the tiles themselves.
+    pub trace_runtime: usize,
 }
 
 /// Result of one sharded run.
@@ -104,6 +117,14 @@ pub struct RunOutcome {
     pub per_shard_stats: Vec<NetworkStats>,
     /// Number of physical links cut by the partition.
     pub cut_links: usize,
+    /// Per-shard wall-time attribution (all zeros unless
+    /// [`RunParams::profile`] was set).
+    pub per_shard_profiles: Vec<StallProfile>,
+    /// Telemetry samples from every shard, in (shard, emission) order.
+    pub samples: Vec<TelemetrySample>,
+    /// Runtime events (slack waits, checkpoints) from every shard's ring,
+    /// merged in shard order. Empty unless [`RunParams::trace_runtime`] > 0.
+    pub runtime_trace: TraceDump,
 }
 
 /// Shared synchronization state of one run.
@@ -165,6 +186,12 @@ struct JobResult {
     /// The shard's simulation panicked; `tiles` is empty and the whole run
     /// must be aborted (the caller re-raises after unblocking the others).
     panicked: bool,
+    /// Wall-time attribution of this shard's run.
+    profile: StallProfile,
+    /// Telemetry samples this shard emitted.
+    samples: Vec<TelemetrySample>,
+    /// This shard's runtime events (empty when runtime tracing is off).
+    runtime_trace: TraceDump,
 }
 
 /// Spins until every listed shard's counter reaches `floor`, or the stop
@@ -296,6 +323,9 @@ fn run_shard(job: Job) -> JobResult {
         phase_wait,
         barrier_batches: p.barrier_batches,
     };
+    let mut samples: Vec<TelemetrySample> = Vec::new();
+    let metrics = p.telemetry_every.map(|_| MetricsRegistry::default());
+    let mut runtime_ring = (p.trace_runtime > 0).then(|| TraceRing::new(p.trace_runtime));
     let driver = CycleDriver {
         shard,
         tiles: &mut tiles,
@@ -310,6 +340,9 @@ fn run_shard(job: Job) -> JobResult {
         // The thread backend restarts runs from returned tiles instead of
         // checkpoints (its workers cannot crash independently of the host).
         checkpoint: None,
+        telemetry: p.telemetry_every.is_some().then_some(&mut samples as _),
+        metrics: metrics.as_ref(),
+        tracer: runtime_ring.as_mut(),
     };
     let outcome = driver
         .run(&DriverParams {
@@ -323,6 +356,8 @@ fn run_shard(job: Job) -> JobResult {
             wait: WaitProfile::Spin,
             checkpoint_every: None,
             received_start: 0,
+            profile: p.profile,
+            telemetry_every: p.telemetry_every,
         })
         .expect("thread transport cannot fail");
 
@@ -330,6 +365,10 @@ fn run_shard(job: Job) -> JobResult {
     // result channel and flushes the returned inbound endpoints afterwards,
     // when every sender has provably exited.
     let stats = merge_tile_stats(&tiles);
+    let mut runtime_trace = TraceDump::default();
+    if let Some(ring) = &mut runtime_ring {
+        ring.drain_into(&mut runtime_trace);
+    }
     JobResult {
         shard,
         tiles,
@@ -337,6 +376,9 @@ fn run_shard(job: Job) -> JobResult {
         final_now: outcome.final_now,
         inbound,
         panicked: false,
+        profile: outcome.profile,
+        samples,
+        runtime_trace,
     }
 }
 
@@ -425,6 +467,9 @@ impl ShardRuntime {
                                     final_now: 0,
                                     inbound: Vec::new(),
                                     panicked: true,
+                                    profile: StallProfile::default(),
+                                    samples: Vec::new(),
+                                    runtime_trace: TraceDump::default(),
                                 });
                             }
                         }
@@ -566,8 +611,14 @@ impl ShardRuntime {
 
         let mut slots: Vec<Option<NetworkNode>> = (0..node_count).map(|_| None).collect();
         let mut per_shard_stats = vec![NetworkStats::new(); shards];
+        let mut per_shard_profiles = vec![StallProfile::default(); shards];
+        let mut samples = Vec::new();
+        let mut runtime_trace = TraceDump::default();
         for result in results {
             per_shard_stats[result.shard] = result.stats;
+            per_shard_profiles[result.shard] = result.profile;
+            samples.extend(result.samples);
+            runtime_trace.merge(result.runtime_trace);
             for (&idx, mut tile) in partition.members(result.shard).iter().zip(result.tiles) {
                 if stopped {
                     tile.set_cycle(final_cycle);
@@ -587,6 +638,9 @@ impl ShardRuntime {
             final_cycle,
             per_shard_stats,
             cut_links: wiring.cut_count,
+            per_shard_profiles,
+            samples,
+            runtime_trace,
         }
     }
 }
