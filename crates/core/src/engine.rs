@@ -41,6 +41,7 @@ use hornet_net::payload::PayloadStore;
 use hornet_net::stats::NetworkStats;
 use hornet_obs::metrics::TelemetrySample;
 use hornet_obs::profile::StallProfile;
+use hornet_obs::serve::ObsHub;
 use hornet_obs::trace::TraceDump;
 use hornet_shard::{Partitioner, RunParams, ShardConfig, ShardRuntime};
 use serde::{Deserialize, Serialize};
@@ -163,6 +164,9 @@ pub struct ParallelEngine {
     /// Runtime events (slack waits, checkpoints) accumulated across parallel
     /// runs (drained by the caller).
     runtime_trace: TraceDump,
+    /// Live observation hub fed a copy of every telemetry sample as it is
+    /// emitted (the embedded HTTP server's data source); `None` = off.
+    live_hub: Option<Arc<ObsHub>>,
 }
 
 impl std::fmt::Debug for ParallelEngine {
@@ -216,6 +220,7 @@ impl ParallelEngine {
             trace_capacity: 0,
             samples: Vec::new(),
             runtime_trace: TraceDump::default(),
+            live_hub: None,
         }
     }
 
@@ -262,6 +267,14 @@ impl ParallelEngine {
     /// Takes the telemetry samples accumulated since the last call.
     pub fn take_samples(&mut self) -> Vec<TelemetrySample> {
         std::mem::take(&mut self.samples)
+    }
+
+    /// Attaches (or detaches) a live observation hub: parallel runs push a
+    /// copy of every telemetry sample into it as emitted, so an embedded
+    /// HTTP server can report progress mid-run. Strictly write-only from the
+    /// simulation's point of view — results are unaffected.
+    pub fn set_live_hub(&mut self, hub: Option<Arc<ObsHub>>) {
+        self.live_hub = hub;
     }
 
     /// The shared payload store (the DMA side channel), when the engine was
@@ -429,6 +442,7 @@ impl ParallelEngine {
             profile: self.profile,
             telemetry_every: self.telemetry_every,
             trace_runtime: self.trace_capacity,
+            live: self.live_hub.clone(),
         };
         let pin = self.config.pin_threads;
         let runtime = self.runtime.get_or_insert_with(|| {

@@ -183,6 +183,21 @@ impl SimReport {
         }
     }
 
+    /// Estimated packet-latency quantiles `(p50, p95, p99)` in cycles,
+    /// recovered from the merged log₂ latency histogram; `None` until a
+    /// packet has been delivered.
+    pub fn latency_quantiles(&self) -> Option<(f64, f64, f64)> {
+        let h = &self.network.latency_histogram;
+        if h.is_empty() || h.iter().all(|&c| c == 0) {
+            return None;
+        }
+        Some((
+            hornet_obs::history::histogram_quantile(h, 0.50),
+            hornet_obs::history::histogram_quantile(h, 0.95),
+            hornet_obs::history::histogram_quantile(h, 0.99),
+        ))
+    }
+
     /// Human-readable summary: headline throughput (cycles/sec), wall-clock
     /// phase totals, network statistics, and — when profiling ran — the
     /// per-shard stall breakdown.
@@ -210,6 +225,13 @@ impl SimReport {
             self.network.delivered_flits,
             self.network.avg_packet_latency()
         );
+        if let Some((p50, p95, p99)) = self.latency_quantiles() {
+            let _ = writeln!(
+                out,
+                "latency quantiles (est. from log2 histogram): p50 {p50:.1}, p95 {p95:.1}, \
+                 p99 {p99:.1} cycles"
+            );
+        }
         if let Some(shard) = &self.shard {
             let _ = writeln!(
                 out,
@@ -247,6 +269,12 @@ impl SimReport {
             self.network.delivered_flits,
             self.network.avg_packet_latency()
         );
+        if let Some((p50, p95, p99)) = self.latency_quantiles() {
+            let _ = write!(
+                out,
+                ",\"latency_p50\":{p50:.4},\"latency_p95\":{p95:.4},\"latency_p99\":{p99:.4}"
+            );
+        }
         if let Some(shard) = &self.shard {
             let _ = write!(
                 out,

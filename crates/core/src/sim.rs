@@ -16,6 +16,7 @@ use hornet_net::network::Network;
 use hornet_net::routing::{FlowSpec, RoutingKind};
 use hornet_net::stats::RouterActivity;
 use hornet_net::vca::VcAllocKind;
+use hornet_obs::serve::{ObsHub, ObsServer};
 use hornet_power::energy::{activity_delta, PowerConfig, RouterPowerModel};
 use hornet_power::thermal::{ThermalConfig, ThermalGrid};
 use hornet_traffic::injector::{flows_for_pattern, SyntheticConfig, SyntheticInjector};
@@ -32,6 +33,8 @@ pub enum SimError {
     Config(ConfigError),
     /// The requested traffic frontend cannot be applied to the geometry.
     Traffic(String),
+    /// The live-monitoring HTTP server could not be started.
+    Http(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -39,6 +42,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Config(e) => write!(f, "invalid network configuration: {e}"),
             SimError::Traffic(msg) => write!(f, "invalid traffic configuration: {msg}"),
+            SimError::Http(msg) => write!(f, "cannot start HTTP server: {msg}"),
         }
     }
 }
@@ -148,6 +152,7 @@ pub struct SimulationBuilder {
     trace_events: usize,
     profile: bool,
     telemetry_every: Option<u64>,
+    http_addr: Option<String>,
 }
 
 impl Default for SimulationBuilder {
@@ -182,6 +187,7 @@ impl SimulationBuilder {
             trace_events: 0,
             profile: false,
             telemetry_every: None,
+            http_addr: None,
         }
     }
 
@@ -309,6 +315,17 @@ impl SimulationBuilder {
     /// [`SimReport::samples`](crate::report::SimReport).
     pub fn telemetry_every(mut self, every: Option<u64>) -> Self {
         self.telemetry_every = every;
+        self
+    }
+
+    /// Serves live run state over HTTP on `addr` (e.g. `"127.0.0.1:9464"`)
+    /// for the duration of [`Simulation::run`]: `/healthz`, `/status`,
+    /// `/metrics` (Prometheus text exposition), `/trace?since_cycle=N` and
+    /// `/alerts`. The server is strictly read-only — enabling it does not
+    /// perturb simulation results. Implies a default telemetry period of
+    /// 1 000 cycles when [`telemetry_every`](Self::telemetry_every) is unset.
+    pub fn http_addr(mut self, addr: Option<String>) -> Self {
+        self.http_addr = addr;
         self
     }
 
@@ -442,7 +459,24 @@ impl SimulationBuilder {
             engine.enable_tracing(self.trace_events);
         }
         engine.set_profiling(self.profile);
-        engine.set_telemetry_every(self.telemetry_every);
+        let telemetry_every = match (self.telemetry_every, &self.http_addr) {
+            (None, Some(_)) => Some(1_000),
+            (every, _) => every,
+        };
+        engine.set_telemetry_every(telemetry_every);
+        // Start the live-monitoring server now (rather than inside `run`) so
+        // callers can learn the bound address — `http_addr` may name port 0 —
+        // before the run starts.
+        let http = match &self.http_addr {
+            None => None,
+            Some(addr) => {
+                let hub = Arc::new(ObsHub::new());
+                engine.set_live_hub(Some(Arc::clone(&hub)));
+                let server =
+                    ObsServer::spawn(addr, hub).map_err(|e| SimError::Http(e.to_string()))?;
+                Some(server)
+            }
+        };
         Ok(Simulation {
             engine,
             geometry: (*geometry).clone(),
@@ -450,6 +484,7 @@ impl SimulationBuilder {
             measured: self.measured,
             power: self.power,
             trace_events: self.trace_events,
+            http,
         })
     }
 }
@@ -473,6 +508,7 @@ pub struct Simulation {
     measured: Cycle,
     power: Option<PowerOptions>,
     trace_events: usize,
+    http: Option<ObsServer>,
 }
 
 impl Simulation {
@@ -484,6 +520,12 @@ impl Simulation {
     /// Mutable access to the underlying engine.
     pub fn engine_mut(&mut self) -> &mut ParallelEngine {
         &mut self.engine
+    }
+
+    /// The address the live-monitoring HTTP server is bound to, when
+    /// [`SimulationBuilder::http_addr`] was set (useful with port 0).
+    pub fn http_local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(ObsServer::addr)
     }
 
     /// Runs the warm-up and measured windows and produces the report.
@@ -526,6 +568,9 @@ impl Simulation {
             dump
         });
         let samples = self.engine.take_samples();
+        if let Some(mut server) = self.http.take() {
+            server.shutdown();
+        }
         Ok(SimReport {
             network,
             per_node,
@@ -565,6 +610,9 @@ impl Simulation {
             dump
         });
         let samples = self.engine.take_samples();
+        if let Some(mut server) = self.http.take() {
+            server.shutdown();
+        }
         Ok(SimReport {
             network: self.engine.stats(),
             per_node: self.engine.per_node_stats(),

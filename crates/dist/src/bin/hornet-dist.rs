@@ -17,11 +17,16 @@
 //! `host` partitions the mesh, spawns N copies of this binary in `worker`
 //! mode (or waits for the listed remote workers), wires the cut links onto
 //! the chosen transport, runs the workload and prints the merged report
-//! (optionally as JSON with `--json`).
+//! (optionally as JSON with `--json`). With `--http ADDR` the coordinator
+//! additionally serves `/healthz`, `/status`, `/metrics`, `/trace` and
+//! `/alerts` for the duration of the run; `watch` renders a live per-shard
+//! table from any such endpoint, and `lint-prom` validates a scraped
+//! Prometheus exposition.
 
 use hornet_dist::spec::{DistSpec, DistSync, DistWorkload, RunKind};
 use hornet_dist::{run_distributed, HostOptions, TransportKind};
 use hornet_obs::metrics::TelemetrySample;
+use hornet_obs::serve::{http_get, lint_prometheus, Json};
 use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
 use std::process::ExitCode;
 
@@ -35,9 +40,11 @@ fn usage() -> ExitCode {
          [--seed N] [--sync ca|slack:K|periodic:N] [--fast-forward]\n    \
          [--checkpoint-every N] [--max-restarts N]\n    \
          [--metrics-out FILE] [--metrics-every N] [--trace CAPACITY] [--trace-out FILE]\n    \
-         [--json] [--verbose]\n  \
+         [--http ADDR] [--json] [--verbose]\n  \
          hornet-dist worker --connect ADDR --family unix|tcp [--advertise HOST:PORT]\n    \
          [--nonce N]\n  \
+         hornet-dist watch --http ADDR [--interval MS] [--iterations N]\n  \
+         hornet-dist lint-prom FILE\n  \
          hornet-dist validate-metrics FILE"
     );
     ExitCode::from(2)
@@ -48,8 +55,142 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("worker") => worker(&args[1..]),
         Some("host") => host(&args[1..]),
+        Some("watch") => watch(&args[1..]),
+        Some("lint-prom") => lint_prom(&args[1..]),
         Some("validate-metrics") => validate_metrics(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Validates a scraped `/metrics` payload against the Prometheus text
+/// exposition format.
+fn lint_prom(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lint-prom: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lint_prometheus(&text) {
+        Ok(()) => {
+            println!("{path}: exposition ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lint-prom: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Polls a coordinator's (or in-process engine's) `/status` endpoint and
+/// renders a live per-shard table. `--iterations 0` polls until the server
+/// goes away.
+fn watch(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut interval_ms = 1_000u64;
+    let mut iterations = 0u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().cloned().unwrap_or_default();
+        match a.as_str() {
+            "--http" => addr = Some(next()),
+            "--interval" => interval_ms = next().parse().unwrap_or(1_000),
+            "--iterations" => iterations = next().parse().unwrap_or(0),
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+    let mut done = 0u64;
+    loop {
+        let status = match http_get(&addr, "/status") {
+            Ok((200, body)) => body,
+            Ok((code, _)) => {
+                eprintln!("watch: {addr}/status returned {code}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                if done > 0 {
+                    // The run ended and took the server with it.
+                    println!("watch: {addr} gone ({e}); run over");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("watch: cannot reach {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match Json::parse(&status) {
+            Ok(doc) => print_status_table(&addr, &doc),
+            Err(e) => {
+                eprintln!("watch: bad /status payload: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        done += 1;
+        if iterations > 0 && done >= iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// One `watch` frame: headline gauges, then one row per reporting shard.
+fn print_status_table(addr: &str, doc: &Json) {
+    let num = |j: Option<&Json>| j.and_then(Json::as_f64);
+    let uptime_s = num(doc.get("uptime_ms")).unwrap_or(0.0) / 1e3;
+    let alerts = num(doc.get("alerts").and_then(|a| a.get("active"))).unwrap_or(0.0);
+    let imbalance = num(doc.get("load_imbalance"));
+    print!("\x1b[H\x1b[2J"); // home + clear: repaint in place
+    print!("{addr} | up {uptime_s:.0}s | active alerts {alerts:.0}");
+    if let Some(i) = imbalance {
+        print!(" | imbalance {i:.3}");
+    }
+    if let Some(lat) = doc.get("latency") {
+        if let (Some(p50), Some(p95), Some(p99)) = (
+            num(lat.get("p50")),
+            num(lat.get("p95")),
+            num(lat.get("p99")),
+        ) {
+            print!(" | latency p50 {p50:.1} p95 {p95:.1} p99 {p99:.1}");
+        }
+    }
+    println!();
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>10} {:>8} {:>7}",
+        "shard", "cycle", "cycles/sec", "delivered", "buffered", "wait%", "age_ms"
+    );
+    let Some(shards) = doc.get("shards").and_then(Json::as_array) else {
+        return;
+    };
+    for s in shards {
+        let cps =
+            num(s.get("cycles_per_sec")).map_or_else(|| "-".to_string(), |v| format!("{v:.0}"));
+        let wait = s
+            .get("stall")
+            .and_then(|st| {
+                let total: f64 = ["compute", "wait", "ingest", "flush"]
+                    .iter()
+                    .filter_map(|k| num(st.get(k)))
+                    .sum();
+                num(st.get("wait")).map(|w| if total > 0.0 { w / total * 100.0 } else { 0.0 })
+            })
+            .map_or_else(|| "-".to_string(), |v| format!("{v:.1}"));
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>10} {:>8} {:>7}",
+            num(s.get("shard")).unwrap_or(-1.0) as i64,
+            num(s.get("cycle")).unwrap_or(0.0) as u64,
+            cps,
+            num(s.get("delivered_packets")).unwrap_or(0.0) as u64,
+            num(s.get("buffered_flits")).unwrap_or(0.0) as u64,
+            wait,
+            num(s.get("age_ms")).unwrap_or(0.0) as u64,
+        );
     }
 }
 
@@ -67,8 +208,22 @@ fn validate_metrics(args: &[String]) -> ExitCode {
         }
     };
     let mut n = 0usize;
+    let mut summaries = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
+            continue;
+        }
+        // Summary records (flushed on rollback/abort and at the end of the
+        // run) are JSON objects too, but not telemetry samples.
+        if line.starts_with("{\"summary\":true") {
+            if Json::parse(line).is_err() {
+                eprintln!(
+                    "validate-metrics: {path}:{}: malformed summary record",
+                    i + 1
+                );
+                return ExitCode::FAILURE;
+            }
+            summaries += 1;
             continue;
         }
         if let Err(e) = TelemetrySample::validate_ndjson_line(line) {
@@ -77,7 +232,7 @@ fn validate_metrics(args: &[String]) -> ExitCode {
         }
         n += 1;
     }
-    println!("{path}: {n} samples, schema ok");
+    println!("{path}: {n} samples, {summaries} summary records, schema ok");
     ExitCode::SUCCESS
 }
 
@@ -215,6 +370,7 @@ fn host(args: &[String]) -> ExitCode {
             "--max-restarts" => opts.max_restarts = next().parse().unwrap_or(2),
             "--metrics-out" => opts.metrics_out = Some(next().into()),
             "--metrics-every" => metrics_every = next().parse().ok(),
+            "--http" => opts.http = Some(next()),
             "--trace" => spec.trace_capacity = next().parse().ok(),
             "--trace-out" => trace_out = Some(next()),
             "--json" => json = true,
@@ -222,9 +378,10 @@ fn host(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
-    // `--metrics-out` alone implies the default sampling period; a capacity
-    // for `--trace-out` likewise.
-    if opts.metrics_out.is_some() || metrics_every.is_some() {
+    // `--metrics-out` or `--http` alone implies the default sampling period
+    // (a live endpoint with no telemetry would have nothing to show); a
+    // capacity for `--trace-out` likewise.
+    if opts.metrics_out.is_some() || metrics_every.is_some() || opts.http.is_some() {
         spec.telemetry_every = Some(metrics_every.unwrap_or(1_000));
     }
     if trace_out.is_some() && spec.trace_capacity.is_none() {

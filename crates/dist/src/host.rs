@@ -21,12 +21,14 @@ use hornet_net::stats::NetworkStats;
 use hornet_obs::log::{set_max_level, Level};
 use hornet_obs::metrics::TelemetrySample;
 use hornet_obs::profile::StallProfile;
+use hornet_obs::serve::{ObsHub, ObsServer};
 use hornet_obs::trace::{TraceDump, TraceEvent, TraceKind, TraceRing};
 use hornet_obs::{olog_debug, olog_info, olog_warn};
 use hornet_shard::driver::TelemetrySink;
 use hornet_shard::termination::{credits_balance, LedgerState, Quiescence, QuiescenceScan};
 use hornet_shard::Partition;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::io::{self, BufReader, Write};
 use std::net::TcpListener;
 #[cfg(unix)]
@@ -81,6 +83,11 @@ pub struct HostOptions {
     /// `telemetry_every`) to this file as one NDJSON line each, flushed per
     /// sample so the stream can be tailed live.
     pub metrics_out: Option<PathBuf>,
+    /// Serve live run state over HTTP on this address for the duration of
+    /// the run: `/healthz`, `/status`, `/metrics` (Prometheus text
+    /// exposition), `/trace?since_cycle=N` and `/alerts`. The server is
+    /// strictly read-only; enabling it does not perturb results.
+    pub http: Option<String>,
 }
 
 impl Default for HostOptions {
@@ -98,6 +105,7 @@ impl Default for HostOptions {
             max_restarts: 2,
             nonce: None,
             metrics_out: None,
+            http: None,
         }
     }
 }
@@ -219,6 +227,10 @@ impl CommitLog {
 struct MetricsStream {
     out: Option<std::io::BufWriter<std::fs::File>>,
     samples: Vec<TelemetrySample>,
+    /// Live-introspection hub: every sample is also ingested here when the
+    /// run serves HTTP, and supervision events are mirrored into its trace
+    /// buffer.
+    hub: Option<Arc<ObsHub>>,
 }
 
 impl MetricsStream {
@@ -230,6 +242,7 @@ impl MetricsStream {
         Ok(Self {
             out,
             samples: Vec::new(),
+            hub: None,
         })
     }
 
@@ -243,7 +256,68 @@ impl MetricsStream {
             let _ = writeln!(w, "{}", sample.to_ndjson());
             let _ = w.flush();
         }
+        if let Some(hub) = &self.hub {
+            hub.ingest(&sample);
+        }
         self.samples.push(sample);
+    }
+
+    /// Mirrors a coordinator supervision event into the live trace buffer
+    /// (no-op without a hub).
+    fn mirror_trace(&self, event: TraceEvent) {
+        if let Some(hub) = &self.hub {
+            hub.record_trace(event);
+        }
+    }
+
+    /// The per-shard `packet_latency` log₂ histograms from each shard's
+    /// newest sample, merged (they are cumulative over the run, so the
+    /// newest per shard is the shard's total).
+    fn merged_latency(&self) -> Option<Vec<u64>> {
+        let mut latest: HashMap<u32, &TelemetrySample> = HashMap::new();
+        for s in &self.samples {
+            latest.insert(s.shard, s); // arrival order: later wins
+        }
+        let mut merged: Option<Vec<u64>> = None;
+        for s in latest.values() {
+            if let Some(h) = hornet_obs::history::metrics_histogram(&s.metrics, "packet_latency") {
+                let m = merged.get_or_insert_with(|| vec![0u64; h.len()]);
+                for (acc, c) in m.iter_mut().zip(h.iter()) {
+                    *acc += c;
+                }
+            }
+        }
+        merged
+    }
+
+    /// Appends a summary record to the NDJSON stream and flushes it, so
+    /// everything absorbed so far survives a rollback or abort; `event` is
+    /// `"rollback"`, `"abort"` or `"end"`. Carries the merged
+    /// packet-latency quantile estimates when any shard shipped them.
+    fn summarize(&mut self, event: &str, restarts: u32) {
+        let quantiles = self.merged_latency().map(|h| {
+            (
+                hornet_obs::history::histogram_quantile(&h, 0.50),
+                hornet_obs::history::histogram_quantile(&h, 0.95),
+                hornet_obs::history::histogram_quantile(&h, 0.99),
+            )
+        });
+        if let Some(w) = &mut self.out {
+            let mut line = format!(
+                "{{\"summary\":true,\"event\":\"{event}\",\"restarts\":{restarts},\
+                 \"samples\":{}",
+                self.samples.len()
+            );
+            if let Some((p50, p95, p99)) = quantiles {
+                let _ = write!(
+                    line,
+                    ",\"latency_p50\":{p50:.4},\"latency_p95\":{p95:.4},\"latency_p99\":{p99:.4}"
+                );
+            }
+            line.push('}');
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
     }
 }
 
@@ -314,6 +388,25 @@ pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOu
     // outcome's trace. The metrics stream likewise persists across restarts.
     let mut host_ring = TraceRing::new(1024);
     let mut metrics = MetricsStream::open(opts.metrics_out.as_deref())?;
+    // Live-monitoring server: spawned before the first attempt so scrapes
+    // observe the whole run, including rollbacks. Strictly read-only.
+    let mut http_server = match &opts.http {
+        None => None,
+        Some(addr) => {
+            let hub = Arc::new(ObsHub::new());
+            hub.set_gauge("shards", shards as u64);
+            hub.set_gauge("restarts", 0);
+            let server = ObsServer::spawn(addr, Arc::clone(&hub))?;
+            olog_info!(
+                "host",
+                { addr = server.addr() },
+                "live monitoring at http://{}/status",
+                server.addr()
+            );
+            metrics.hub = Some(hub);
+            Some(server)
+        }
+    };
     let result = (|| {
         let mut resume: Option<(u64, Vec<Vec<u8>>)> = None;
         let mut restarts = 0u32;
@@ -340,6 +433,7 @@ pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOu
                     let mut supervision = TraceDump::default();
                     host_ring.drain_into(&mut supervision);
                     outcome.trace.merge(supervision);
+                    metrics.summarize("end", restarts);
                     outcome.samples = std::mem::take(&mut metrics.samples);
                     return Ok(outcome);
                 }
@@ -356,27 +450,39 @@ pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOu
                         resume = Some(c);
                     }
                     let rollback_to = resume.as_ref().map_or(0, |(cycle, _)| *cycle);
-                    host_ring.record(TraceEvent {
-                        cycle: rollback_to,
-                        node: u32::MAX,
-                        kind: TraceKind::WorkerLost,
-                        a: u64::from(restarts),
-                        b: 0,
-                    });
-                    host_ring.record(TraceEvent {
-                        cycle: rollback_to,
-                        node: u32::MAX,
-                        kind: TraceKind::Rollback,
-                        a: u64::from(resume.is_some()),
-                        b: 0,
-                    });
-                    host_ring.record(TraceEvent {
-                        cycle: rollback_to,
-                        node: u32::MAX,
-                        kind: TraceKind::Respawn,
-                        a: u64::from(restarts),
-                        b: 0,
-                    });
+                    for event in [
+                        TraceEvent {
+                            cycle: rollback_to,
+                            node: u32::MAX,
+                            kind: TraceKind::WorkerLost,
+                            a: u64::from(restarts),
+                            b: 0,
+                        },
+                        TraceEvent {
+                            cycle: rollback_to,
+                            node: u32::MAX,
+                            kind: TraceKind::Rollback,
+                            a: u64::from(resume.is_some()),
+                            b: 0,
+                        },
+                        TraceEvent {
+                            cycle: rollback_to,
+                            node: u32::MAX,
+                            kind: TraceKind::Respawn,
+                            a: u64::from(restarts),
+                            b: 0,
+                        },
+                    ] {
+                        host_ring.record(event);
+                        metrics.mirror_trace(event);
+                    }
+                    if let Some(hub) = &metrics.hub {
+                        hub.set_gauge("restarts", u64::from(restarts));
+                    }
+                    // Flush the stream with a rollback marker: every sample
+                    // absorbed before the loss is durable even if the
+                    // respawned attempt dies too.
+                    metrics.summarize("rollback", restarts);
                     olog_warn!(
                         "host",
                         { restart = restarts, max = opts.max_restarts },
@@ -387,10 +493,18 @@ pub fn run_distributed(spec: &DistSpec, opts: &HostOptions) -> io::Result<DistOu
                         }
                     );
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    // Fatal abort: flush the stream so samples absorbed
+                    // before the failure are never lost.
+                    metrics.summarize("abort", restarts);
+                    return Err(e);
+                }
             }
         }
     })();
+    if let Some(mut server) = http_server.take() {
+        server.shutdown();
+    }
     let _ = std::fs::remove_dir_all(&dir);
     result
 }
@@ -816,13 +930,18 @@ fn supervise(
             }
             CtrlMsg::Checkpoint { cycle, data } => {
                 if let Some((cycle, bytes)) = commit.record(shard, cycle, data) {
-                    host_ring.record(TraceEvent {
+                    let event = TraceEvent {
                         cycle,
                         node: u32::MAX,
                         kind: TraceKind::CheckpointCommit,
                         a: bytes as u64,
                         b: 0,
-                    });
+                    };
+                    host_ring.record(event);
+                    metrics.mirror_trace(event);
+                    if let Some(hub) = &metrics.hub {
+                        hub.set_gauge("checkpoint_cycle", cycle);
+                    }
                     olog_info!(
                         "host",
                         { cycle = cycle, bytes = bytes },

@@ -88,17 +88,31 @@ fn four_process_traced_run_is_bit_identical_and_streams_valid_metrics() {
     }
 
     // Telemetry arrived in-band and as the NDJSON stream on disk; every
-    // line satisfies the schema and shards progressed to the final cycle.
+    // sample line satisfies the schema, the stream closes with the terminal
+    // summary record (carrying the merged latency quantiles), and shards
+    // progressed to the final cycle.
     assert!(!outcome.samples.is_empty(), "workers shipped samples");
     let text = std::fs::read_to_string(&metrics_path).expect("metrics stream written");
     let _ = std::fs::remove_file(&metrics_path);
     let mut lines = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if line.starts_with("{\"summary\":true") {
+            continue;
+        }
         TelemetrySample::validate_ndjson_line(line)
             .unwrap_or_else(|e| panic!("bad NDJSON line {line:?}: {e}"));
         lines += 1;
     }
     assert_eq!(lines, outcome.samples.len(), "stream mirrors the samples");
+    let last = text.lines().rev().find(|l| !l.trim().is_empty()).unwrap();
+    assert!(
+        last.starts_with("{\"summary\":true") && last.contains("\"event\":\"end\""),
+        "stream must close with the terminal summary: {last:?}"
+    );
+    assert!(
+        last.contains("\"latency_p50\":") && last.contains("\"latency_p99\":"),
+        "summary carries merged latency quantiles: {last:?}"
+    );
     let max_cycle = outcome.samples.iter().map(|s| s.cycle).max().unwrap_or(0);
     assert!(
         max_cycle >= 1_000,

@@ -187,6 +187,7 @@ fn sharded_resume_from_sequential_snapshot_is_bit_identical() {
                 profile: false,
                 telemetry_every: None,
                 trace_runtime: 0,
+                live: None,
             },
         );
         assert_eq!(outcome.final_cycle, total, "seed {seed} cut {cut}: cycle");

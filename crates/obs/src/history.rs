@@ -1,0 +1,236 @@
+//! Fixed-capacity telemetry history and log₂-histogram quantile estimation —
+//! the state behind the live `/status` endpoint.
+//!
+//! [`TelemetryHistory`] retains the most recent samples (across all shards)
+//! tagged with a coarse wall-clock offset, so consumers can report *rates*
+//! (cycles/sec over a sliding window) and deltas instead of only the latest
+//! absolute counters. [`histogram_quantile`] inverts a log₂-bucketed
+//! packet-latency histogram (`NetworkStats` convention: bucket `i` counts
+//! values in `[2^i, 2^(i+1))`, with bucket 0 also holding zero) into an
+//! estimated percentile by linear interpolation inside the covering bucket.
+
+use crate::metrics::{TelemetrySample, HISTOGRAM_BUCKETS};
+use std::collections::VecDeque;
+
+/// One retained observation: wall-clock offset in milliseconds since the hub
+/// started, plus the sample itself.
+#[derive(Clone, Debug)]
+pub struct HistoryEntry {
+    /// Milliseconds since the owning hub's start when the sample arrived.
+    pub at_ms: u64,
+    /// The observed sample.
+    pub sample: TelemetrySample,
+}
+
+/// A bounded, drop-oldest ring of telemetry samples.
+///
+/// Old samples age out silently: the history exists to answer "what happened
+/// recently", not to archive the run (that is what `--metrics-out` is for).
+#[derive(Debug)]
+pub struct TelemetryHistory {
+    capacity: usize,
+    entries: VecDeque<HistoryEntry>,
+}
+
+impl TelemetryHistory {
+    /// Creates a history retaining at most `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, at_ms: u64, sample: TelemetrySample) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(HistoryEntry { at_ms, sample });
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// All retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &HistoryEntry> {
+        self.entries.iter()
+    }
+
+    /// The most recent entry for every shard seen, ordered by shard id.
+    pub fn latest_per_shard(&self) -> Vec<&HistoryEntry> {
+        let mut latest: Vec<&HistoryEntry> = Vec::new();
+        for e in &self.entries {
+            match latest.iter_mut().find(|l| l.sample.shard == e.sample.shard) {
+                Some(slot) => *slot = e,
+                None => latest.push(e),
+            }
+        }
+        latest.sort_by_key(|e| e.sample.shard);
+        latest
+    }
+
+    /// Simulated cycles per wall-clock second for `shard` over the trailing
+    /// `window_ms` (ending at `now_ms`). `None` until the window holds two
+    /// samples separated by measurable wall time.
+    pub fn cycles_per_sec(&self, shard: u32, window_ms: u64, now_ms: u64) -> Option<f64> {
+        let cutoff = now_ms.saturating_sub(window_ms);
+        let mut first: Option<&HistoryEntry> = None;
+        let mut last: Option<&HistoryEntry> = None;
+        for e in self
+            .entries
+            .iter()
+            .filter(|e| e.sample.shard == shard && e.at_ms >= cutoff)
+        {
+            if first.is_none() {
+                first = Some(e);
+            }
+            last = Some(e);
+        }
+        let (a, b) = (first?, last?);
+        let dt_ms = b.at_ms.saturating_sub(a.at_ms);
+        if dt_ms == 0 {
+            return None;
+        }
+        Some(b.sample.cycle.saturating_sub(a.sample.cycle) as f64 * 1000.0 / dt_ms as f64)
+    }
+}
+
+/// Recovers a dense log₂ histogram from the flattened `<name>_count` +
+/// sparse `<name>_b<i>` pairs produced by `MetricsRegistry::sample` (and by
+/// the shard driver's packet-latency export). `None` when `<name>_count` is
+/// absent from the sample.
+pub fn metrics_histogram(
+    metrics: &[(String, u64)],
+    name: &str,
+) -> Option<[u64; HISTOGRAM_BUCKETS]> {
+    let count_key = format!("{name}_count");
+    metrics.iter().find(|(n, _)| *n == count_key)?;
+    let mut out = [0u64; HISTOGRAM_BUCKETS];
+    let prefix = format!("{name}_b");
+    for (n, v) in metrics {
+        if let Some(idx) = n.strip_prefix(&prefix) {
+            if let Ok(i) = idx.parse::<usize>() {
+                if i < HISTOGRAM_BUCKETS {
+                    out[i] = *v;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Estimated `q`-quantile (`0.0 ..= 1.0`) of a log₂-bucketed histogram in
+/// the packet-latency convention (bucket `i` covers `[2^i, 2^(i+1))`, bucket
+/// 0 also counts zero), with linear interpolation inside the covering
+/// bucket. Returns 0.0 for an empty histogram.
+pub fn histogram_quantile(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        let next = cum + b;
+        if next as f64 >= target {
+            let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+            let hi = (1u128 << (i + 1)) as f64;
+            let frac = (target - cum as f64) / b as f64;
+            return lo + frac * (hi - lo);
+        }
+        cum = next;
+    }
+    (1u128 << buckets.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(shard: u32, cycle: u64) -> TelemetrySample {
+        TelemetrySample {
+            shard,
+            cycle,
+            ..TelemetrySample::default()
+        }
+    }
+
+    #[test]
+    fn history_evicts_oldest_and_tracks_latest_per_shard() {
+        let mut h = TelemetryHistory::new(3);
+        h.push(0, sample(0, 100));
+        h.push(10, sample(1, 100));
+        h.push(20, sample(0, 200));
+        h.push(30, sample(1, 200)); // evicts the first entry
+        assert_eq!(h.len(), 3);
+        let latest = h.latest_per_shard();
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest[0].sample.shard, 0);
+        assert_eq!(latest[0].sample.cycle, 200);
+        assert_eq!(latest[1].sample.cycle, 200);
+    }
+
+    #[test]
+    fn rate_uses_the_window_endpoints() {
+        let mut h = TelemetryHistory::new(16);
+        h.push(0, sample(0, 0));
+        h.push(500, sample(0, 1_000));
+        h.push(1_000, sample(0, 2_000));
+        let rate = h.cycles_per_sec(0, 10_000, 1_000).expect("two samples");
+        assert!((rate - 2_000.0).abs() < 1e-9, "rate {rate}");
+        assert!(
+            h.cycles_per_sec(9, 10_000, 1_000).is_none(),
+            "unknown shard"
+        );
+        // A window excluding all but one sample yields no rate.
+        assert!(h.cycles_per_sec(0, 0, 1_000).is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        // 100 values in bucket 3 ([8, 16)).
+        let mut b = [0u64; HISTOGRAM_BUCKETS];
+        b[3] = 100;
+        let p50 = histogram_quantile(&b, 0.5);
+        assert!((8.0..16.0).contains(&p50), "p50 {p50}");
+        assert!(histogram_quantile(&b, 1.0) <= 16.0);
+        assert_eq!(histogram_quantile(&[0; 4], 0.5), 0.0);
+        // Mass split across buckets: p25 in the lower, p75 in the upper.
+        let mut b = [0u64; HISTOGRAM_BUCKETS];
+        b[1] = 50; // [2, 4)
+        b[4] = 50; // [16, 32)
+        assert!(histogram_quantile(&b, 0.25) < 4.0);
+        assert!(histogram_quantile(&b, 0.75) >= 16.0);
+    }
+
+    #[test]
+    fn flattened_histograms_round_trip() {
+        let metrics = vec![
+            ("packet_latency_count".to_string(), 7u64),
+            ("packet_latency_b2".to_string(), 4),
+            ("packet_latency_b5".to_string(), 3),
+            ("other".to_string(), 1),
+        ];
+        let h = metrics_histogram(&metrics, "packet_latency").expect("present");
+        assert_eq!(h[2], 4);
+        assert_eq!(h[5], 3);
+        assert_eq!(h.iter().sum::<u64>(), 7);
+        assert!(metrics_histogram(&metrics, "absent").is_none());
+    }
+}

@@ -27,13 +27,30 @@
 //! * [`log`] — leveled structured logging (`HORNET_LOG=debug|info|warn|off`)
 //!   in logfmt style, replacing ad-hoc `eprintln!` supervision messages with
 //!   machine-parseable, shard- and cycle-tagged lines.
+//! * [`history`] — a fixed-capacity ring of recent telemetry samples with
+//!   sliding-window rate estimation and log₂-histogram quantile recovery,
+//!   the state behind live rate/delta reporting.
+//! * [`alert`] — rising-edge threshold alerting over the telemetry stream
+//!   (stall fraction, load imbalance, no-progress, trace drops).
+//! * [`serve`] — the embedded live-introspection control plane: a
+//!   dependency-free HTTP/1.1 server over `std::net::TcpListener` exposing
+//!   `/healthz`, `/status`, `/metrics` (Prometheus text exposition),
+//!   `/trace?since_cycle=N` and `/alerts` from a shared [`serve::ObsHub`],
+//!   plus the matching hand-rolled client, a minimal JSON parser, and the
+//!   exposition-format linter.
 
+pub mod alert;
+pub mod history;
 pub mod log;
 pub mod metrics;
 pub mod profile;
+pub mod serve;
 pub mod trace;
 
+pub use alert::{AlertConfig, AlertEvaluator, AlertFiring};
+pub use history::TelemetryHistory;
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, TelemetrySample};
 pub use profile::StallProfile;
+pub use serve::{ObsHub, ObsServer};
 pub use trace::{TraceDump, TraceEvent, TraceKind, TraceRing};

@@ -669,6 +669,35 @@ impl<T: TransportPump + ?Sized> CycleDriver<'_, '_, T> {
         for tile in self.tiles.iter() {
             stats.merge(tile.stats());
         }
+        let mut metrics = self
+            .metrics
+            .map(MetricsRegistry::sample)
+            .unwrap_or_default();
+        // The merged packet-latency histogram rides along flattened in the
+        // registry convention (`_count` + sparse `_b<i>`), so coordinators
+        // can merge shards and estimate quantiles without a wire-format
+        // change.
+        if !stats.latency_histogram.is_empty() {
+            metrics.push((
+                "packet_latency_count".to_string(),
+                stats.latency_histogram.iter().sum(),
+            ));
+            for (i, &b) in stats.latency_histogram.iter().enumerate() {
+                if b != 0 {
+                    metrics.push((format!("packet_latency_b{i}"), b));
+                }
+            }
+        }
+        // Trace truncation as a metric: the sum of runtime-ring and per-tile
+        // ring drops so far, alertable the moment it goes nonzero.
+        let trace_dropped = self.tracer.as_deref().map_or(0, TraceRing::dropped)
+            + self
+                .tiles
+                .iter()
+                .filter_map(|t| t.tracer())
+                .map(TraceRing::dropped)
+                .sum::<u64>();
+        metrics.push(("trace_dropped".to_string(), trace_dropped));
         let sample = TelemetrySample {
             shard: self.shard as u32,
             cycle,
@@ -679,10 +708,7 @@ impl<T: TransportPump + ?Sized> CycleDriver<'_, '_, T> {
             injected_flits: stats.injected_flits,
             buffered_flits: self.tiles.iter().map(|t| t.buffered_flits() as u64).sum(),
             profile: *profile,
-            metrics: self
-                .metrics
-                .map(MetricsRegistry::sample)
-                .unwrap_or_default(),
+            metrics,
         };
         if let Some(sink) = self.telemetry.as_deref_mut() {
             sink.emit(&sample);

@@ -51,8 +51,8 @@
 //! usual neighbor drift gates.
 
 use crate::driver::{
-    merge_tile_stats, CycleDriver, DriverParams, NoPayloads, PayloadChannel, TransportPump,
-    WaitProfile,
+    merge_tile_stats, CycleDriver, DriverParams, NoPayloads, PayloadChannel, TelemetrySink,
+    TransportPump, WaitProfile,
 };
 use crate::partition::Partition;
 use crate::sys;
@@ -63,6 +63,7 @@ use hornet_net::network::NetworkNode;
 use hornet_net::stats::NetworkStats;
 use hornet_obs::metrics::{MetricsRegistry, TelemetrySample};
 use hornet_obs::profile::StallProfile;
+use hornet_obs::serve::ObsHub;
 use hornet_obs::trace::{TraceDump, TraceRing};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -70,7 +71,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Parameters of one sharded run.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunParams {
     /// First cycle already completed (the run simulates `start+1 ..= start+cycles`).
     pub start: Cycle,
@@ -102,6 +103,10 @@ pub struct RunParams {
     /// captures); 0 disables runtime event tracing. Flit-lifecycle tracing is
     /// per tile and enabled on the tiles themselves.
     pub trace_runtime: usize,
+    /// Live observation hub: every telemetry sample is *also* pushed here as
+    /// it is emitted (in addition to the per-run sample vector), feeding the
+    /// embedded HTTP status server. `None` keeps sampling purely end-of-run.
+    pub live: Option<Arc<ObsHub>>,
 }
 
 /// Result of one sharded run.
@@ -302,6 +307,24 @@ impl TransportPump for ThreadPump<'_> {
     }
 }
 
+/// Tees telemetry samples into the per-run sample vector (for the final
+/// report) and, when attached, the live observation hub — so enabling the
+/// HTTP server changes where copies of samples go, never what the driver
+/// computes.
+struct TeeSink<'a> {
+    samples: &'a mut Vec<TelemetrySample>,
+    live: Option<&'a ObsHub>,
+}
+
+impl TelemetrySink for TeeSink<'_> {
+    fn emit(&mut self, sample: &TelemetrySample) {
+        if let Some(hub) = self.live {
+            hub.ingest(sample);
+        }
+        self.samples.push(sample.clone());
+    }
+}
+
 /// The per-worker simulation loop for one shard: a thin host around the
 /// unified [`CycleDriver`] (the protocol itself lives in [`crate::driver`]).
 fn run_shard(job: Job) -> JobResult {
@@ -325,6 +348,10 @@ fn run_shard(job: Job) -> JobResult {
     };
     let mut samples: Vec<TelemetrySample> = Vec::new();
     let metrics = p.telemetry_every.map(|_| MetricsRegistry::default());
+    let mut sink = TeeSink {
+        samples: &mut samples,
+        live: p.live.as_deref(),
+    };
     let mut runtime_ring = (p.trace_runtime > 0).then(|| TraceRing::new(p.trace_runtime));
     let driver = CycleDriver {
         shard,
@@ -340,7 +367,7 @@ fn run_shard(job: Job) -> JobResult {
         // The thread backend restarts runs from returned tiles instead of
         // checkpoints (its workers cannot crash independently of the host).
         checkpoint: None,
-        telemetry: p.telemetry_every.is_some().then_some(&mut samples as _),
+        telemetry: p.telemetry_every.is_some().then_some(&mut sink as _),
         metrics: metrics.as_ref(),
         tracer: runtime_ring.as_mut(),
     };
@@ -541,7 +568,7 @@ impl ShardRuntime {
                 neighbors: std::mem::take(&mut neighbors[shard]),
                 phase_wait: wiring.phase_wait[shard],
                 sync: Arc::clone(&sync),
-                params,
+                params: params.clone(),
                 done: done_tx.clone(),
             };
             self.workers[shard].jobs.send(job).expect("worker alive");

@@ -139,6 +139,85 @@ fn report_text_and_json_expose_throughput_and_phase_times() {
     }
 }
 
+/// The live HTTP server is strictly read-only: a parallel run with the
+/// server enabled and *scraped concurrently* (status, metrics, trace,
+/// health — hammered in a loop for the whole run) produces bit-identical
+/// network statistics and an identical canonical flit trace to a plain run
+/// of the same seed, and the scrapes themselves return well-formed payloads.
+#[test]
+fn http_server_scraped_mid_run_keeps_results_bit_identical() {
+    let plain = observed_run(4, 77);
+    let plain_trace = canonical_flits(&plain, "plain");
+
+    let sim = SimulationBuilder::new()
+        .geometry(Geometry::mesh2d(4, 4))
+        .routing(RoutingKind::Xy)
+        .traffic(TrafficKind::pattern(SyntheticPattern::Transpose, 0.04))
+        .warmup_cycles(200)
+        .measured_cycles(1_500)
+        .threads(4)
+        .sync(SyncMode::CycleAccurate)
+        .seed(77)
+        .trace_events(1 << 15)
+        .profile_stalls(true)
+        .telemetry_every(Some(250))
+        .http_addr(Some("127.0.0.1:0".to_string()))
+        .build()
+        .expect("valid configuration");
+    let addr = sim
+        .http_local_addr()
+        .expect("server is up before the run")
+        .to_string();
+
+    // Scrape every endpoint in a tight loop until the run tears the server
+    // down; record how many full sweeps succeeded and that payloads were
+    // well-formed whenever they answered.
+    let scraper = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut sweeps = 0u64;
+            loop {
+                let mut ok = true;
+                for path in ["/healthz", "/status", "/metrics", "/trace?since_cycle=0"] {
+                    match hornet_obs::serve::http_get(&addr, path) {
+                        Ok((200, body)) => {
+                            if path == "/status" {
+                                hornet_obs::serve::Json::parse(&body).expect("status is JSON");
+                            } else if path == "/metrics" {
+                                hornet_obs::serve::lint_prometheus(&body)
+                                    .expect("exposition lints clean");
+                            }
+                        }
+                        Ok((code, _)) => panic!("{path} returned {code}"),
+                        Err(_) => {
+                            // Server gone: the run ended.
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    return sweeps;
+                }
+                sweeps += 1;
+            }
+        })
+    };
+
+    let scraped = sim.run().expect("runs with the server enabled");
+    let sweeps = scraper.join().expect("scraper thread");
+    assert!(sweeps > 0, "at least one full scrape sweep mid-run");
+    assert_eq!(
+        plain.network, scraped.network,
+        "stats must be bit-identical with the server scraped mid-run"
+    );
+    assert_eq!(
+        plain_trace,
+        canonical_flits(&scraped, "scraped"),
+        "canonical flit trace must be bit-identical under scraping"
+    );
+}
+
 /// With tracing off (the default), the report carries no trace and stats are
 /// unchanged relative to a traced run — observability is read-only.
 #[test]
