@@ -12,6 +12,7 @@ use hornet_net::agent::NodeAgent;
 use hornet_net::config::{ConfigError, NetworkConfig};
 use hornet_net::geometry::Geometry;
 use hornet_net::ids::{Cycle, NodeId};
+use hornet_net::kernel::KernelMode;
 use hornet_net::network::Network;
 use hornet_net::routing::{FlowSpec, RoutingKind};
 use hornet_net::stats::RouterActivity;
@@ -148,6 +149,7 @@ pub struct SimulationBuilder {
     sync: SyncMode,
     fast_forward: bool,
     pin_threads: bool,
+    kernel: KernelMode,
     power: Option<PowerOptions>,
     trace_events: usize,
     profile: bool,
@@ -183,6 +185,7 @@ impl SimulationBuilder {
             sync: SyncMode::CycleAccurate,
             fast_forward: false,
             pin_threads: false,
+            kernel: KernelMode::Auto,
             power: None,
             trace_events: 0,
             profile: false,
@@ -292,6 +295,16 @@ impl SimulationBuilder {
     /// a no-op elsewhere).
     pub fn pin_threads(mut self, enabled: bool) -> Self {
         self.pin_threads = enabled;
+        self
+    }
+
+    /// Selects whether tiles run through the compiled SoA cycle kernel
+    /// ([`hornet_net::kernel::MeshKernel`]) or the per-router interpreter.
+    /// The default, [`KernelMode::Auto`], uses the kernel whenever the
+    /// configuration is eligible (and honors the `HORNET_KERNEL` environment
+    /// variable); results are bit-identical either way.
+    pub fn kernel(mut self, mode: KernelMode) -> Self {
+        self.kernel = mode;
         self
     }
 
@@ -453,6 +466,7 @@ impl SimulationBuilder {
                 sync: self.sync,
                 fast_forward: self.fast_forward,
                 pin_threads: self.pin_threads,
+                kernel: self.kernel,
             },
         );
         if self.trace_events > 0 {

@@ -1,0 +1,245 @@
+//! Kernel-vs-interpreter equivalence: the compiled SoA cycle kernel
+//! ([`hornet_net::kernel::MeshKernel`]) must be *bit-identical* to the
+//! per-router interpreter — not just in aggregate statistics but in the
+//! canonical flit-lifecycle trace (every inject, route decision and eject,
+//! cycle-stamped per tile).
+//!
+//! Covered here:
+//! * property-tested equivalence over random mesh sizes, injection rates,
+//!   seeds, thread counts and (bit-exact) synchronization modes;
+//! * loose synchronization: same functional outcome (every offered packet
+//!   delivered once, same hop counts) with either execution path;
+//! * mid-run snapshot/restore: a kernel run cut at an arbitrary cycle and
+//!   resumed must still match an uninterrupted interpreter run;
+//! * fallback: configurations the kernel cannot specialize (adaptive
+//!   routing, bidirectional links) silently select the interpreter, even
+//!   under [`KernelMode::Force`], and still produce identical results.
+//!
+//! All comparisons pin the mode programmatically ([`KernelMode::Force`] /
+//! [`KernelMode::Off`]), which is immune to the `HORNET_KERNEL` environment
+//! override (that only applies to [`KernelMode::Auto`]).
+
+use hornet_core::engine::{EngineConfig, ParallelEngine, SyncMode};
+use hornet_net::config::NetworkConfig;
+use hornet_net::geometry::Geometry;
+use hornet_net::kernel::KernelMode;
+use hornet_net::network::Network;
+use hornet_net::routing::RoutingKind;
+use hornet_net::stats::NetworkStats;
+use hornet_net::vca::VcAllocKind;
+use hornet_obs::trace::TraceDump;
+use hornet_traffic::injector::{flows_for_pattern, SyntheticConfig, SyntheticInjector};
+use hornet_traffic::pattern::{InjectionProcess, SyntheticPattern};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Ring capacity large enough that no test run drops trace events (a drop
+/// would silently shrink the compared set).
+const TRACE_CAPACITY: usize = 1 << 15;
+
+struct Case {
+    width: usize,
+    height: usize,
+    routing: RoutingKind,
+    bidirectional: bool,
+    seed: u64,
+    rate: f64,
+    max_packets: Option<u64>,
+}
+
+impl Case {
+    fn mesh(width: usize, height: usize, seed: u64, rate: f64) -> Self {
+        Self {
+            width,
+            height,
+            routing: RoutingKind::Xy,
+            bidirectional: false,
+            seed,
+            rate,
+            max_packets: None,
+        }
+    }
+
+    fn network(&self) -> Network {
+        let geometry = Arc::new(Geometry::mesh2d(self.width, self.height));
+        let pattern = SyntheticPattern::Transpose;
+        let flows = flows_for_pattern(&pattern, &geometry);
+        let cfg = NetworkConfig::new((*geometry).clone())
+            .with_routing(self.routing)
+            .with_vca(VcAllocKind::Dynamic)
+            .with_bidirectional_links(self.bidirectional)
+            .with_flows(flows);
+        let mut network = Network::new(&cfg, self.seed).expect("valid config");
+        for node in geometry.nodes() {
+            network.attach_agent(
+                node,
+                Box::new(SyntheticInjector::new(
+                    Arc::clone(&geometry),
+                    SyntheticConfig {
+                        pattern: pattern.clone(),
+                        process: InjectionProcess::Bernoulli { rate: self.rate },
+                        packet_len: 4,
+                        stop_after: None,
+                        max_packets: self.max_packets,
+                    },
+                )),
+            );
+        }
+        network
+    }
+
+    fn engine(&self, threads: usize, sync: SyncMode, kernel: KernelMode) -> ParallelEngine {
+        let mut engine = ParallelEngine::from_network(
+            self.network(),
+            EngineConfig {
+                threads,
+                sync,
+                fast_forward: false,
+                pin_threads: false,
+                kernel,
+            },
+        );
+        engine.enable_tracing(TRACE_CAPACITY);
+        engine
+    }
+
+    /// Runs `cycles` with the given backend and kernel selection; returns
+    /// the stats and the canonical flit trace.
+    fn run(
+        &self,
+        threads: usize,
+        sync: SyncMode,
+        kernel: KernelMode,
+        cycles: u64,
+    ) -> (NetworkStats, TraceDump) {
+        let mut engine = self.engine(threads, sync, kernel);
+        engine.run(cycles);
+        let trace = engine.drain_trace().flit_events();
+        (engine.stats(), trace)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The headline property: over random mesh shapes, loads, seeds, thread
+    /// counts and bit-exact sync modes, forcing the kernel and forcing the
+    /// interpreter produce identical `NetworkStats` *and* identical
+    /// canonical flit traces.
+    #[test]
+    fn kernel_is_bit_identical_to_interpreter(
+        width in 2usize..6,
+        height in 2usize..6,
+        seed in 1u64..10_000,
+        rate_pct in 1u32..12,
+        threads in 1usize..5,
+        sync_sel in 0u8..3,
+    ) {
+        let sync = match sync_sel {
+            0 => SyncMode::CycleAccurate,
+            1 => SyncMode::Slack(0),
+            _ => SyncMode::Periodic(1),
+        };
+        let case = Case::mesh(width, height, seed, f64::from(rate_pct) / 100.0);
+        let cycles = 1_200;
+        let (ks, kt) = case.run(threads, sync, KernelMode::Force, cycles);
+        let (is, it) = case.run(threads, sync, KernelMode::Off, cycles);
+        prop_assert_eq!(&ks, &is, "stats diverge ({threads} threads, {sync:?})");
+        prop_assert_eq!(kt.events.len(), it.events.len(), "trace length diverges");
+        prop_assert_eq!(kt.dropped, 0, "trace ring overflowed; grow TRACE_CAPACITY");
+        prop_assert_eq!(kt, it, "canonical flit traces diverge");
+        // Sanity: the workload actually exercised the network.
+        prop_assert!(ks.injected_flits > 0, "case offered no traffic");
+    }
+}
+
+/// Loose synchronization modes are not cycle-deterministic, so the traces
+/// may legitimately differ — but the functional outcome may not: with a
+/// bounded offered load run to completion, both execution paths deliver
+/// every packet exactly once over identical routes.
+#[test]
+fn loose_sync_kernel_matches_interpreter_functionally() {
+    let mut case = Case::mesh(4, 4, 77, 0.05);
+    case.max_packets = Some(40);
+    for sync in [SyncMode::Periodic(5), SyncMode::Slack(3)] {
+        let mut kernel = case.engine(4, sync, KernelMode::Force);
+        let mut interp = case.engine(4, sync, KernelMode::Off);
+        assert!(kernel.run_to_completion(200_000), "kernel run must drain");
+        assert!(interp.run_to_completion(200_000), "interp run must drain");
+        let (k, i) = (kernel.stats(), interp.stats());
+        assert_eq!(k.injected_packets, i.injected_packets, "{sync:?}");
+        assert_eq!(k.delivered_packets, i.delivered_packets, "{sync:?}");
+        assert_eq!(k.delivered_flits, i.delivered_flits, "{sync:?}");
+        assert_eq!(k.total_hops, i.total_hops, "{sync:?}");
+    }
+}
+
+/// A kernel run snapshotted at an arbitrary cycle and resumed (still on the
+/// kernel) must match an *uninterrupted interpreter* run bit-for-bit — the
+/// kernel keeps no authoritative state, so a snapshot taken between cycles
+/// is exactly the interpreter's snapshot.
+#[test]
+fn kernel_snapshot_roundtrip_matches_uninterrupted_interpreter() {
+    let case = Case::mesh(5, 4, 913, 0.06);
+    let total = 1_500;
+    for cut in [1, 239, 1_499] {
+        let mut reference = case.network();
+        reference.set_kernel_mode(KernelMode::Off);
+        reference.run(total);
+
+        let mut first = case.network();
+        first.set_kernel_mode(KernelMode::Force);
+        assert!(first.kernel_active(), "eligible config must compile");
+        first.run(cut);
+        let snap = first.snapshot();
+
+        let mut resumed = case.network();
+        resumed.set_kernel_mode(KernelMode::Force);
+        resumed.restore(&snap).expect("snapshot restores");
+        assert_eq!(resumed.cycle(), cut);
+        resumed.run(total - cut);
+
+        assert_eq!(
+            resumed.stats(),
+            reference.stats(),
+            "cut {cut}: kernel snapshot/resume must match uninterrupted interpreter"
+        );
+    }
+}
+
+/// Configurations the kernel cannot specialize fall back to the interpreter
+/// even under `Force` — silently, and with identical results.
+#[test]
+fn exotic_configs_fall_back_to_the_interpreter() {
+    let exotic = [
+        Case {
+            routing: RoutingKind::AdaptiveMinimal,
+            ..Case::mesh(4, 4, 31, 0.06)
+        },
+        Case {
+            bidirectional: true,
+            ..Case::mesh(4, 4, 32, 0.06)
+        },
+    ];
+    for case in exotic {
+        let mut forced = case.network();
+        forced.set_kernel_mode(KernelMode::Force);
+        assert!(
+            !forced.kernel_active(),
+            "ineligible config must not compile a kernel"
+        );
+        forced.run(1_000);
+
+        let mut interp = case.network();
+        interp.set_kernel_mode(KernelMode::Off);
+        interp.run(1_000);
+
+        assert_eq!(forced.stats(), interp.stats(), "fallback must be exact");
+        assert!(forced.stats().injected_flits > 0, "case offered no traffic");
+    }
+    // And the plain mesh really does compile, so the negative assertions
+    // above are meaningful.
+    let mut plain = Case::mesh(4, 4, 33, 0.06).network();
+    plain.set_kernel_mode(KernelMode::Force);
+    assert!(plain.kernel_active(), "plain DOR mesh must compile");
+}

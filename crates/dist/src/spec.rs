@@ -15,6 +15,7 @@ use hornet_cpu::programs::{token_ring_program, vector_sum_program};
 use hornet_net::config::{ConfigError, NetworkConfig};
 use hornet_net::geometry::Geometry;
 use hornet_net::ids::NodeId;
+use hornet_net::kernel::KernelMode;
 use hornet_net::network::Network;
 use hornet_net::routing::{FlowSpec, RoutingKind};
 use hornet_net::stats::NetworkStats;
@@ -163,6 +164,9 @@ pub struct DistSpec {
     pub telemetry_every: Option<u64>,
     /// Per-tile event-trace ring capacity (tracing off when `None`).
     pub trace_capacity: Option<u32>,
+    /// Compiled-kernel selection for the shard hot loop (bit-identical to
+    /// the interpreter either way; ineligible configurations fall back).
+    pub kernel: KernelMode,
 }
 
 impl Default for DistSpec {
@@ -191,6 +195,7 @@ impl Default for DistSpec {
             checkpoint_every: None,
             telemetry_every: None,
             trace_capacity: None,
+            kernel: KernelMode::Auto,
         }
     }
 }
@@ -422,6 +427,11 @@ impl DistSpec {
             .u64(self.telemetry_every.unwrap_or(0));
         e.u8(u8::from(self.trace_capacity.is_some()))
             .u32(self.trace_capacity.unwrap_or(0));
+        e.u8(match self.kernel {
+            KernelMode::Auto => 0,
+            KernelMode::Off => 1,
+            KernelMode::Force => 2,
+        });
     }
 
     /// Decodes a spec written by [`encode`](Self::encode).
@@ -538,6 +548,12 @@ impl DistSpec {
             let v = d.u32()?;
             some.then_some(v)
         };
+        let kernel = match d.u8()? {
+            0 => KernelMode::Auto,
+            1 => KernelMode::Off,
+            2 => KernelMode::Force,
+            _ => return Err(bad("kernel mode")),
+        };
         Ok(Self {
             width,
             height,
@@ -562,6 +578,7 @@ impl DistSpec {
             checkpoint_every,
             telemetry_every,
             trace_capacity,
+            kernel,
         })
     }
 }
@@ -594,6 +611,7 @@ mod tests {
             checkpoint_every: Some(256),
             telemetry_every: Some(1_000),
             trace_capacity: Some(4_096),
+            kernel: KernelMode::Force,
             ..DistSpec::default()
         };
         let mut e = Enc::new();

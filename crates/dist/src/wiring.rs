@@ -158,7 +158,10 @@ pub fn build_shards(
         }
         let group = &channels[i..j];
         let (s_src, s_dst) = (group[0].src_shard, group[0].dst_shard);
-        let targets = nodes[dst.index()].router().ingress_buffers_from(src);
+        let targets = nodes[dst.index()]
+            .router()
+            .ingress_buffers_from(src)
+            .to_vec();
         assert_eq!(targets.len(), group.len(), "VC count mismatch on cut link");
         let links: Vec<Arc<BoundaryLink>> = targets
             .iter()

@@ -50,6 +50,7 @@ pub mod flit;
 pub mod geometry;
 pub mod ideal;
 pub mod ids;
+pub mod kernel;
 pub mod link;
 pub mod network;
 pub mod payload;
@@ -65,6 +66,7 @@ pub use config::NetworkConfig;
 pub use flit::{DeliveredPacket, Flit, Packet};
 pub use geometry::Geometry;
 pub use ids::{Cycle, FlowId, NodeId, PacketId, PortId, VcId};
+pub use kernel::{KernelMode, MeshKernel, StageTimes};
 pub use network::{Network, NetworkNode};
 pub use routing::{FlowSpec, RoutingKind};
 pub use stats::NetworkStats;

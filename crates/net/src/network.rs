@@ -14,6 +14,7 @@ use crate::config::{ConfigError, NetworkConfig};
 use crate::flit::{DeliveredPacket, Packet};
 use crate::geometry::Geometry;
 use crate::ids::{Cycle, NodeId, PacketId};
+use crate::kernel::{KernelMode, MeshKernel, StageTimes};
 use crate::link::BidirLink;
 use crate::payload::PayloadStore;
 use crate::router::{Router, RouterConfig};
@@ -61,15 +62,15 @@ impl NodeIo for TileIo<'_> {
 /// One tile of the simulated system: a router, its bridge, the locally
 /// attached agents, and the tile-private PRNG.
 pub struct NetworkNode {
-    router: Router,
-    bridge: Bridge,
-    agents: Vec<Box<dyn NodeAgent>>,
-    rng: ChaCha12Rng,
-    node: NodeId,
+    pub(crate) router: Router,
+    pub(crate) bridge: Bridge,
+    pub(crate) agents: Vec<Box<dyn NodeAgent>>,
+    pub(crate) rng: ChaCha12Rng,
+    pub(crate) node: NodeId,
     /// Flit-lifecycle event ring; boxed so untraced tiles pay one pointer.
     /// Deliberately excluded from snapshots: the trace observes a run, it is
     /// not part of the simulated state.
-    tracer: Option<Box<TraceRing>>,
+    pub(crate) tracer: Option<Box<TraceRing>>,
 }
 
 impl std::fmt::Debug for NetworkNode {
@@ -143,6 +144,12 @@ impl NetworkNode {
     pub fn posedge(&mut self, now: Cycle) {
         self.router
             .posedge_traced(now, &mut self.rng, self.tracer.as_deref_mut());
+        self.tick_agents(now);
+    }
+
+    /// Steps the tile's agents (the non-router half of the positive edge; the
+    /// compiled kernel runs the router pipeline itself and then calls this).
+    pub(crate) fn tick_agents(&mut self, now: Cycle) {
         for agent in &mut self.agents {
             let mut io = TileIo {
                 bridge: &mut self.bridge,
@@ -156,6 +163,14 @@ impl NetworkNode {
     /// the bridge, and inject queued flits into the network.
     pub fn negedge(&mut self, now: Cycle) {
         self.router.negedge(now);
+        self.negedge_bridge(now);
+    }
+
+    /// The bridge half of the negative edge: hand ejected flits to the bridge
+    /// and inject queued flits into the network. Split out so the compiled
+    /// kernel can apply the router's staged moves itself and still share this
+    /// code path (FlitEject tracing included).
+    pub(crate) fn negedge_bridge(&mut self, now: Cycle) {
         // Drain the delivery queue in place so its allocation is reused every
         // cycle (the router hot path never gives up scratch capacity).
         let (delivered, stats) = self.router.delivered_and_stats_mut();
@@ -279,6 +294,16 @@ impl NetworkNode {
     }
 }
 
+/// Compiled-kernel slot: lazily built, invalidated on structural mutation.
+enum KernelSlot {
+    /// Needs a (re)compile attempt before the next cycle.
+    Stale,
+    /// Kernel compiled and driving the cycle loop.
+    Active(Box<MeshKernel>),
+    /// Kernel disabled or config ineligible; interpreter drives the loop.
+    Fallback,
+}
+
 /// The assembled network plus the sequential reference simulator.
 pub struct Network {
     nodes: Vec<NetworkNode>,
@@ -286,6 +311,9 @@ pub struct Network {
     geometry: Geometry,
     cycle: Cycle,
     fast_forward: bool,
+    kernel_mode: KernelMode,
+    kernel_timing: bool,
+    kernel: KernelSlot,
 }
 
 impl std::fmt::Debug for Network {
@@ -349,8 +377,8 @@ impl Network {
         // Wire every egress port to the downstream ingress buffers.
         for conn in geometry.connections() {
             let (a, b) = (conn.a, conn.b);
-            let a_to_b = routers[b.index()].ingress_buffers_from(a);
-            let b_to_a = routers[a.index()].ingress_buffers_from(b);
+            let a_to_b = routers[b.index()].ingress_buffers_from(a).to_vec();
+            let b_to_a = routers[a.index()].ingress_buffers_from(b).to_vec();
             routers[a.index()].connect_egress(b, a_to_b);
             routers[b.index()].connect_egress(a, b_to_a);
             if config.bidirectional_links {
@@ -364,8 +392,11 @@ impl Network {
             .into_iter()
             .map(|router| {
                 let node = router.node();
-                let mut bridge =
-                    Bridge::new(node, router.injection_buffers(), config.link_bandwidth);
+                let mut bridge = Bridge::new(
+                    node,
+                    router.injection_buffers().to_vec(),
+                    config.link_bandwidth,
+                );
                 bridge.attach_payload_store(Arc::clone(&payload_store));
                 let rng = ChaCha12Rng::seed_from_u64(
                     seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node.raw() as u64 + 1)),
@@ -387,7 +418,59 @@ impl Network {
             geometry: config.geometry.clone(),
             cycle: 0,
             fast_forward: false,
+            kernel_mode: KernelMode::default(),
+            kernel_timing: false,
+            kernel: KernelSlot::Stale,
         })
+    }
+
+    /// Selects how the sequential simulator executes cycles: interpreter,
+    /// compiled kernel, or auto-detection (the default). Takes effect on the
+    /// next [`step`](Self::step).
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.kernel_mode = mode;
+        self.kernel = KernelSlot::Stale;
+    }
+
+    /// The configured kernel mode (before auto-detection).
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel_mode
+    }
+
+    /// Enables per-stage wall-clock timing inside the compiled kernel (for
+    /// benchmarking; adds a few `Instant` reads per cycle).
+    pub fn set_kernel_timing(&mut self, enabled: bool) {
+        self.kernel_timing = enabled;
+        self.kernel = KernelSlot::Stale;
+    }
+
+    /// True if the compiled kernel will drive the next cycle (compiling it
+    /// now if the decision is still pending).
+    pub fn kernel_active(&mut self) -> bool {
+        self.ensure_kernel();
+        matches!(self.kernel, KernelSlot::Active(_))
+    }
+
+    /// Accumulated per-stage kernel timings (zero unless
+    /// [`set_kernel_timing`](Self::set_kernel_timing) was enabled).
+    pub fn kernel_stage_times(&self) -> Option<StageTimes> {
+        match &self.kernel {
+            KernelSlot::Active(k) => Some(k.stage_times()),
+            _ => None,
+        }
+    }
+
+    fn ensure_kernel(&mut self) {
+        if matches!(self.kernel, KernelSlot::Stale) {
+            self.kernel = if self.kernel_mode.enabled() {
+                match MeshKernel::compile(&self.nodes, self.kernel_timing) {
+                    Some(k) => KernelSlot::Active(Box::new(k)),
+                    None => KernelSlot::Fallback,
+                }
+            } else {
+                KernelSlot::Fallback
+            };
+        }
     }
 
     /// The geometry this network was assembled from (used by the sharded
@@ -416,8 +499,10 @@ impl Network {
         &self.nodes[id.index()]
     }
 
-    /// Mutable access to one tile.
+    /// Mutable access to one tile. Invalidates the compiled kernel's derived
+    /// state (it is rebuilt — cheaply — before the next cycle).
     pub fn node_mut(&mut self, id: NodeId) -> &mut NetworkNode {
+        self.kernel = KernelSlot::Stale;
         &mut self.nodes[id.index()]
     }
 
@@ -474,11 +559,17 @@ impl Network {
     /// Advances the simulation by exactly one cycle.
     pub fn step(&mut self) {
         let now = self.cycle + 1;
-        for node in &mut self.nodes {
-            node.posedge(now);
-        }
-        for node in &mut self.nodes {
-            node.negedge(now);
+        self.ensure_kernel();
+        if let KernelSlot::Active(kernel) = &mut self.kernel {
+            kernel.posedge(&mut self.nodes, now);
+            kernel.negedge(&mut self.nodes, now);
+        } else {
+            for node in &mut self.nodes {
+                node.posedge(now);
+            }
+            for node in &mut self.nodes {
+                node.negedge(now);
+            }
         }
         self.cycle = now;
     }
@@ -582,6 +673,7 @@ impl Network {
     /// Fails with `InvalidData` if the checkpoint does not match this
     /// network's shape or is corrupt.
     pub fn restore(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.kernel = KernelSlot::Stale;
         let mut d = Dec::new(bytes);
         self.cycle = d.u64()?;
         if d.u32()? as usize != self.nodes.len() {

@@ -19,13 +19,14 @@
 //!
 //! # Hot-path discipline
 //!
-//! A steady-state simulated cycle performs **no heap allocation** and **at
-//! most one lock acquisition per non-empty ingress VC** (plus one per flit
-//! actually moved at the negative edge):
+//! A steady-state simulated cycle performs **no heap allocation** and **no
+//! lock acquisitions**: every VC buffer is a lock-free single-producer /
+//! single-consumer ring ([`VcBuffer`]), so absorbing, peeking and popping
+//! are a handful of atomic loads and stores:
 //!
 //! * the head flit of every VC is snapshotted once per positive edge via
 //!   [`VcBuffer::absorb_and_peek`]; the RC/VA/SA stages read the snapshot
-//!   instead of re-locking `peek` once per stage;
+//!   instead of re-running `peek` once per stage;
 //! * empty VCs are skipped with a single lock-free occupancy load, and the
 //!   router-wide idle check reads one aggregate atomic ([`buffered_flits`] is
 //!   O(1), feeding the engine's idle / fast-forward boundary checks);
@@ -82,8 +83,8 @@ impl Default for RouterConfig {
 }
 
 /// Receiver-side state of one ingress virtual channel.
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum VcState {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum VcState {
     /// No packet is being routed through this VC.
     Idle,
     /// Route computed; waiting for a next-hop VC.
@@ -101,73 +102,73 @@ enum VcState {
 /// One ingress port: the VC buffers (shared with the upstream router) plus the
 /// receiver-side VC state.
 #[derive(Debug)]
-struct IngressPort {
-    upstream: NodeId,
-    vcs: Vec<Arc<VcBuffer>>,
-    state: Vec<VcState>,
+pub(crate) struct IngressPort {
+    pub(crate) upstream: NodeId,
+    pub(crate) vcs: Vec<Arc<VcBuffer>>,
+    pub(crate) state: Vec<VcState>,
 }
 
 /// Sender-side record of one downstream virtual channel.
 #[derive(Clone, Debug, Default)]
-struct OutVcState {
+pub(crate) struct OutVcState {
     /// Packet currently allocated to the downstream VC, if any.
-    owner: Option<PacketId>,
+    pub(crate) owner: Option<PacketId>,
     /// Flow whose flits were last sent into the downstream VC (consulted by
     /// EDVCA / FAA).
-    resident_flow: Option<FlowId>,
+    pub(crate) resident_flow: Option<FlowId>,
 }
 
 /// One egress port: the downstream channels (shared ingress buffers, or
 /// boundary mailboxes when the link is cut between two shards) plus
 /// sender-side allocation state.
 #[derive(Debug)]
-struct EgressPort {
-    downstream: NodeId,
-    buffers: Vec<EgressChannel>,
-    out_state: Vec<OutVcState>,
+pub(crate) struct EgressPort {
+    pub(crate) downstream: NodeId,
+    pub(crate) buffers: Vec<EgressChannel>,
+    pub(crate) out_state: Vec<OutVcState>,
     /// Bandwidth-adaptive link shared with the neighbour, if enabled.
-    bidir: Option<(Arc<BidirLink>, usize)>,
+    pub(crate) bidir: Option<(Arc<BidirLink>, usize)>,
 }
 
 /// A flit movement decided at the positive edge and applied at the negative
 /// edge.
 #[derive(Clone, Copy, Debug)]
-struct StagedMove {
-    ingress: usize,
-    vc: usize,
-    egress: usize,
-    out_vc: usize,
-    next_flow: FlowId,
+pub(crate) struct StagedMove {
+    pub(crate) ingress: usize,
+    pub(crate) vc: usize,
+    pub(crate) egress: usize,
+    pub(crate) out_vc: usize,
+    pub(crate) next_flow: FlowId,
 }
 
 /// A VC ready to move a flit this cycle (switch-arbitration scratch entry).
 #[derive(Clone, Copy, Debug)]
-struct SaCandidate {
-    ingress: usize,
-    vc: usize,
-    egress: usize,
-    out_vc: usize,
-    next_flow: FlowId,
+pub(crate) struct SaCandidate {
+    pub(crate) ingress: usize,
+    pub(crate) vc: usize,
+    pub(crate) egress: usize,
+    pub(crate) out_vc: usize,
+    pub(crate) next_flow: FlowId,
 }
 
 /// The cycle-level router model for one node.
 #[derive(Debug)]
 pub struct Router {
-    node: NodeId,
-    cfg: RouterConfig,
-    routing: RoutingPolicy,
-    vca: VcaPolicy,
-    ingress: Vec<IngressPort>,
-    egress: Vec<EgressPort>,
+    pub(crate) node: NodeId,
+    pub(crate) cfg: RouterConfig,
+    pub(crate) routing: RoutingPolicy,
+    pub(crate) vca: VcaPolicy,
+    pub(crate) ingress: Vec<IngressPort>,
+    pub(crate) egress: Vec<EgressPort>,
     /// Downstream node of each egress port, packed flat for the egress
     /// lookup: routers have at most a handful of ports, so a linear scan of
     /// this compact array beats both a HashMap (hashing, allocation) and a
     /// node-indexed dense table (O(network size) memory per router).
     egress_nodes: Vec<NodeId>,
     /// Index of the local injection ingress port.
-    injection_port: usize,
+    pub(crate) injection_port: usize,
     /// Index of the local ejection egress port.
-    ejection_port: usize,
+    pub(crate) ejection_port: usize,
     /// Total flits resident in this router's ingress buffers; every ingress
     /// `VcBuffer` reports into it, making [`buffered_flits`](Self::buffered_flits)
     /// and the engine's idle checks O(1).
@@ -175,12 +176,12 @@ pub struct Router {
     /// Per-posedge snapshot of each ingress VC's head flit, indexed by
     /// `ingress_offsets[port] + vc`; refreshed once per cycle so RC/VA/SA
     /// never re-lock the buffer.
-    head_cache: Vec<Option<Flit>>,
+    pub(crate) head_cache: Vec<Option<Flit>>,
     /// Start of each ingress port's slice in `head_cache`.
-    ingress_offsets: Vec<usize>,
-    staged: Vec<StagedMove>,
-    staged_drops: Vec<(usize, usize)>,
-    delivered: Vec<Flit>,
+    pub(crate) ingress_offsets: Vec<usize>,
+    pub(crate) staged: Vec<StagedMove>,
+    pub(crate) staged_drops: Vec<(usize, usize)>,
+    pub(crate) delivered: Vec<Flit>,
     // --- reusable arbitration scratch (see module docs) ---
     sa_candidates: Vec<SaCandidate>,
     ingress_granted: Vec<u32>,
@@ -195,8 +196,8 @@ pub struct Router {
     route_scratch: Vec<NextHop>,
     downstream_scratch: Vec<DownstreamVc>,
     vca_scratch: Vec<(VcId, f64)>,
-    stats: NetworkStats,
-    cycle: Cycle,
+    pub(crate) stats: NetworkStats,
+    pub(crate) cycle: Cycle,
 }
 
 impl Router {
@@ -317,7 +318,7 @@ impl Router {
     ///
     /// Panics if `to` is not a neighbour of this router.
     #[inline]
-    fn egress_of(&self, to: NodeId) -> usize {
+    pub(crate) fn egress_of(&self, to: NodeId) -> usize {
         self.egress_nodes
             .iter()
             .position(|&n| n == to)
@@ -327,21 +328,26 @@ impl Router {
     /// The ingress VC buffers facing upstream node `from`; the network builder
     /// hands these to `from`'s router via [`connect_egress`](Self::connect_egress).
     ///
+    /// Returns a borrowed slice — build and partition paths that only inspect
+    /// the buffers pay no allocation; callers that need owned handles clone
+    /// the individual `Arc`s (or `.to_vec()` the slice).
+    ///
     /// # Panics
     ///
     /// Panics if `from` is not a neighbour of this router.
-    pub fn ingress_buffers_from(&self, from: NodeId) -> Vec<Arc<VcBuffer>> {
+    pub fn ingress_buffers_from(&self, from: NodeId) -> &[Arc<VcBuffer>] {
         let port = self
             .ingress
             .iter()
             .find(|p| p.upstream == from && p.upstream != self.node)
             .unwrap_or_else(|| panic!("{from} is not upstream of {}", self.node));
-        port.vcs.clone()
+        &port.vcs
     }
 
     /// The local injection VC buffers (used by the bridge to inject flits).
-    pub fn injection_buffers(&self) -> Vec<Arc<VcBuffer>> {
-        self.ingress[self.injection_port].vcs.clone()
+    /// Borrowed; clone the `Arc`s for owned handles.
+    pub fn injection_buffers(&self) -> &[Arc<VcBuffer>] {
+        &self.ingress[self.injection_port].vcs
     }
 
     /// Wires the egress port toward `to` with the downstream ingress buffers
@@ -455,7 +461,7 @@ impl Router {
         (&mut self.delivered, &mut self.stats)
     }
 
-    fn egress_bandwidth(&self, egress: usize) -> u32 {
+    pub(crate) fn egress_bandwidth(&self, egress: usize) -> u32 {
         if egress == self.ejection_port {
             return self.cfg.ejection_bandwidth;
         }
@@ -502,8 +508,8 @@ impl Router {
         self.ensure_staging_tables();
 
         // Absorb flits deposited by upstream routers / the local bridge and
-        // snapshot each VC's head flit: one lock per non-empty VC, none for
-        // empty VCs (a lock-free occupancy load skips them).
+        // snapshot each VC's head flit: a few atomic ops per non-empty VC,
+        // none for empty VCs (a lock-free occupancy load skips them).
         let mut absorbed = 0u64;
         for (p, port) in self.ingress.iter().enumerate() {
             let off = self.ingress_offsets[p];
@@ -541,7 +547,7 @@ impl Router {
     /// The cached head-flit snapshot for `(ingress port, vc)`, filtered by the
     /// visibility timestamp exactly like `VcBuffer::peek(now)`.
     #[inline]
-    fn cached_head(&self, port: usize, vc: usize, now: Cycle) -> Option<Flit> {
+    pub(crate) fn cached_head(&self, port: usize, vc: usize, now: Cycle) -> Option<Flit> {
         self.head_cache[self.ingress_offsets[port] + vc].filter(|f| f.visible_at <= now)
     }
 
@@ -1023,7 +1029,11 @@ impl Router {
 
 /// Picks one item from a weighted list using the provided RNG. Falls back to
 /// the first item if all weights are zero or non-finite.
-fn pick_weighted<R: Rng, T: Copy>(rng: &mut R, items: &[T], weight: impl Fn(&T) -> f64) -> T {
+pub(crate) fn pick_weighted<R: Rng, T: Copy>(
+    rng: &mut R,
+    items: &[T],
+    weight: impl Fn(&T) -> f64,
+) -> T {
     assert!(!items.is_empty(), "cannot pick from an empty candidate set");
     if items.len() == 1 {
         return items[0];
@@ -1074,7 +1084,10 @@ mod tests {
             policies[1].clone(),
             VcaPolicy::from_kind(VcAllocKind::Dynamic),
         );
-        r0.connect_egress(NodeId::new(1), r1.ingress_buffers_from(NodeId::new(0)));
+        r0.connect_egress(
+            NodeId::new(1),
+            r1.ingress_buffers_from(NodeId::new(0)).to_vec(),
+        );
         (r0, r1)
     }
 
@@ -1168,7 +1181,10 @@ mod tests {
             policies[1].clone(),
             VcaPolicy::from_kind(VcAllocKind::Dynamic),
         );
-        r0.connect_egress(NodeId::new(1), r1.ingress_buffers_from(NodeId::new(0)));
+        r0.connect_egress(
+            NodeId::new(1),
+            r1.ingress_buffers_from(NodeId::new(0)).to_vec(),
+        );
         inject_packet(&r0, 4, 0);
         let mut rng = StdRng::seed_from_u64(5);
         for cycle in 1..30 {
@@ -1231,7 +1247,7 @@ mod tests {
         let (mut r0, mut r1) = two_node_routers(RouterConfig::default());
         let mut rng0 = StdRng::seed_from_u64(21);
         let mut rng1 = StdRng::seed_from_u64(22);
-        let bufs = r0.injection_buffers();
+        let bufs = r0.injection_buffers().to_vec();
         let mut next_packet = 0u64;
         let mut inject_more = |now: Cycle| {
             for vc in &bufs {

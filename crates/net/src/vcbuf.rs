@@ -8,23 +8,29 @@
 //! no flit is lost or reordered regardless of the relative progress of the
 //! two threads.
 //!
-//! # Storage and locking
+//! # Storage and synchronization
 //!
 //! Flits live in a fixed-capacity ring allocated once at construction —
 //! steady-state operation never touches the heap. Three cursors index the
 //! ring, each counting flits monotonically (slot = cursor % capacity):
 //!
-//! * `write_pos` — flits deposited by the producer. Producers serialize on the
-//!   tail lock and publish each deposit with a release store *after* writing
-//!   the slot.
+//! * `write_pos` — flits deposited by the producer. Written only by the
+//!   producer endpoint; each deposit is published with a release store
+//!   *after* writing the slot.
 //! * `visible` — the absorb boundary: flits at `read_pos..visible` are visible
 //!   to the consumer's pipeline stages. Advanced by [`absorb_tail`] /
-//!   [`absorb_and_peek`] with a single acquire load of `write_pos` — the
-//!   consumer never takes the tail lock (this is the lock elision that removes
-//!   one of the two per-cycle cross-thread lock acquisitions the original
-//!   dual-`VecDeque` design paid).
-//! * `read_pos` — flits consumed by the owner. `read_pos` and `visible` are
-//!   protected by the head lock.
+//!   [`absorb_and_peek`] with a single acquire load of `write_pos`.
+//! * `read_pos` — flits consumed by the owner. Written only by the consumer.
+//!
+//! The buffer is a single-producer/single-consumer ring, so no cursor needs a
+//! lock: every buffer has exactly one producer endpoint (the upstream
+//! router's negative edge, the local bridge, or the shard's boundary
+//! receiver) and one consumer endpoint (the owning router), and the sharded
+//! runtimes rewire every cut link onto boundary mailboxes so both endpoints
+//! of an in-shard buffer are driven by the owning shard. This is the same
+//! discipline [`crate::spsc`] relies on; dropping the former tail/head mutex
+//! pair removes two uncontended-but-hot lock round-trips per flit from the
+//! router hot path.
 //!
 //! Occupancy (`write`-side reservations minus completed pops) is kept in an
 //! atomic counter so upstream credit checks stay lock-free, exactly like a
@@ -36,35 +42,24 @@
 //!
 //! # Safety argument
 //!
-//! A slot is written only by a producer holding the tail lock at index
-//! `write_pos`, and read only by the consumer holding the head lock at indices
-//! `read_pos..visible`. Since `visible ≤ write_pos` (published with
-//! release/acquire on `write_pos`) the two index sets never overlap. Slot
-//! *reuse* (writing index `r + capacity` while the consumer pops index `r`)
-//! cannot collide either: a push first reserves space in `occupancy` and pops
-//! release it only *after* advancing `read_pos`, so `occupancy ≥ write_pos −
-//! read_pos` at all times and a successful reservation (`occupancy <
-//! capacity`) proves `write_pos − read_pos < capacity`. The release half of
-//! the pop's `occupancy` RMW and the acquire half of the push's reservation
-//! RMW order the consumer's final read of a slot before the producer's reuse
-//! of it.
+//! A slot is written only by the producer at index `write_pos`, and read only
+//! by the consumer at indices `read_pos..visible`. Since `visible ≤
+//! write_pos` (published with release/acquire on `write_pos`) the two index
+//! sets never overlap. Slot *reuse* (writing index `r + capacity` while the
+//! consumer pops index `r`) cannot collide either: a push first reserves
+//! space in `occupancy` and pops release it only *after* advancing
+//! `read_pos`, so `occupancy ≥ write_pos − read_pos` at all times and a
+//! successful reservation (`occupancy < capacity`) proves `write_pos −
+//! read_pos < capacity`. The release half of the pop's `occupancy` RMW and
+//! the acquire half of the push's reservation RMW order the consumer's final
+//! read of a slot before the producer's reuse of it.
 
 use crate::flit::Flit;
 use crate::ids::Cycle;
-use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-
-/// Consumer-side cursors, protected by the head lock.
-#[derive(Debug, Clone, Copy)]
-struct HeadCursors {
-    /// Flits consumed so far.
-    read_pos: u64,
-    /// Absorb boundary: flits below this are visible to the pipeline stages.
-    visible: u64,
-}
 
 /// A bounded FIFO of flits with an independently synchronized producer (tail)
 /// and consumer (head) end, backed by a fixed ring allocated at construction.
@@ -72,14 +67,13 @@ pub struct VcBuffer {
     capacity: usize,
     /// Ring storage; see the module-level safety argument.
     slots: Box<[UnsafeCell<MaybeUninit<Flit>>]>,
-    /// Producer cursor: flits deposited so far. Written under the tail lock,
+    /// Producer cursor: flits deposited so far. Written only by the producer,
     /// published with `Release`, read by the consumer with `Acquire`.
     write_pos: AtomicU64,
-    /// Serializes producers (the upstream router and, for injection buffers,
-    /// the local bridge).
-    tail: Mutex<()>,
-    /// Protects the consumer cursors.
-    head: Mutex<HeadCursors>,
+    /// Absorb boundary; written only by the consumer.
+    visible: AtomicU64,
+    /// Flits consumed so far; written only by the consumer.
+    read_pos: AtomicU64,
     /// Reserved-minus-released flit count; the credit-check value. Lags pops
     /// by up to one cycle, exactly like a hardware credit loop.
     occupancy: AtomicUsize,
@@ -131,11 +125,8 @@ impl VcBuffer {
             capacity,
             slots,
             write_pos: AtomicU64::new(0),
-            tail: Mutex::new(()),
-            head: Mutex::new(HeadCursors {
-                read_pos: 0,
-                visible: 0,
-            }),
+            visible: AtomicU64::new(0),
+            read_pos: AtomicU64::new(0),
             occupancy: AtomicUsize::new(0),
             aggregate,
         }
@@ -162,7 +153,7 @@ impl VcBuffer {
     ///
     /// # Safety
     ///
-    /// The caller must hold the head lock and ensure `read_pos ≤ pos <
+    /// The caller must be the consumer endpoint and ensure `read_pos ≤ pos <
     /// visible` (the slot holds an initialized flit the producer published
     /// before the acquire load that advanced `visible`).
     #[inline]
@@ -170,15 +161,18 @@ impl VcBuffer {
         (*self.slots[(pos % self.capacity as u64) as usize].get()).assume_init()
     }
 
-    /// Deposits a flit at the tail end. Called by the upstream router (or the
-    /// local bridge) during its negative clock edge.
+    /// Deposits a flit at the tail end. Called by the producer endpoint (the
+    /// upstream router, the local bridge, or the boundary receiver) during
+    /// the tile's negative clock edge; the single-producer discipline in the
+    /// module docs is what makes the lock-free deposit sound.
     ///
     /// Returns `false` (and does not enqueue) if the buffer is full; callers
     /// are expected to have performed a credit check first, so a `false`
     /// return indicates a flow-control bug and is counted by the router.
     #[must_use]
     pub fn push(&self, flit: Flit) -> bool {
-        // Reserve space first so concurrent pushes can never overflow.
+        // Reserve space first so a push racing the consumer's credit release
+        // can never overflow the ring.
         let prev = self.occupancy.fetch_add(1, Ordering::AcqRel);
         if prev >= self.capacity {
             self.occupancy.fetch_sub(1, Ordering::AcqRel);
@@ -187,11 +181,10 @@ impl VcBuffer {
         if let Some(agg) = &self.aggregate {
             agg.fetch_add(1, Ordering::AcqRel);
         }
-        let _tail = self.tail.lock();
         let pos = self.write_pos.load(Ordering::Relaxed);
         // SAFETY: the successful reservation above proves this slot is not in
-        // `read_pos..write_pos` (module-level safety argument), and the tail
-        // lock excludes concurrent producers.
+        // `read_pos..write_pos` (module-level safety argument), and the
+        // single-producer discipline excludes concurrent producers.
         unsafe {
             (*self.slots[(pos % self.capacity as u64) as usize].get()).write(flit);
         }
@@ -199,46 +192,58 @@ impl VcBuffer {
         true
     }
 
-    /// Makes flits deposited at the tail end visible to the head end, without
-    /// taking the tail lock. Called by the owning router at the start of its
-    /// cycle; after this, [`peek`](Self::peek) and [`pop_if`](Self::pop_if)
-    /// observe them. Returns the number of flits absorbed.
+    /// Makes flits deposited at the tail end visible to the head end. Called
+    /// by the owning router at the start of its cycle; after this,
+    /// [`peek`](Self::peek) and [`pop_if`](Self::pop_if) observe them.
+    /// Returns the number of flits absorbed.
     pub fn absorb_tail(&self) -> usize {
-        let mut head = self.head.lock();
         let published = self.write_pos.load(Ordering::Acquire);
-        let absorbed = published - head.visible;
-        head.visible = published;
+        let absorbed = published - self.visible.load(Ordering::Relaxed);
+        self.visible.store(published, Ordering::Relaxed);
         absorbed as usize
     }
 
-    /// [`absorb_tail`](Self::absorb_tail) plus a snapshot of the head flit, in
-    /// one lock acquisition. This is the router hot path: one call per
-    /// non-empty VC per cycle replaces the absorb + repeated-`peek` sequence
-    /// (which cost up to five lock acquisitions per VC per cycle).
+    /// [`absorb_tail`](Self::absorb_tail) plus a snapshot of the head flit.
+    /// This is the router hot path: one call per touched VC per cycle
+    /// replaces the absorb + repeated-`peek` sequence.
     ///
     /// The returned flit, if any, ignores the visibility timestamp — callers
     /// check `visible_at` against their own clock on the (copied) snapshot.
     pub fn absorb_and_peek(&self) -> (usize, Option<Flit>) {
-        let mut head = self.head.lock();
         let published = self.write_pos.load(Ordering::Acquire);
-        let absorbed = (published - head.visible) as usize;
-        head.visible = published;
-        let flit = if head.read_pos < head.visible {
-            // SAFETY: head lock held, read_pos < visible.
-            Some(unsafe { self.read_slot(head.read_pos) })
+        let absorbed = (published - self.visible.load(Ordering::Relaxed)) as usize;
+        self.visible.store(published, Ordering::Relaxed);
+        let read_pos = self.read_pos.load(Ordering::Relaxed);
+        let flit = if read_pos < published {
+            // SAFETY: consumer endpoint, read_pos < visible.
+            Some(unsafe { self.read_slot(read_pos) })
         } else {
             None
         };
         (absorbed, flit)
     }
 
+    /// A snapshot of the head flit among the already-absorbed run, without
+    /// advancing the absorb boundary and ignoring the visibility timestamp
+    /// (callers check `visible_at` on the copy). Used by the compiled kernel
+    /// to refresh its head cache after a pop without re-absorbing.
+    pub fn head_snapshot(&self) -> Option<Flit> {
+        let read_pos = self.read_pos.load(Ordering::Relaxed);
+        if read_pos < self.visible.load(Ordering::Relaxed) {
+            // SAFETY: consumer endpoint, read_pos < visible.
+            Some(unsafe { self.read_slot(read_pos) })
+        } else {
+            None
+        }
+    }
+
     /// Returns a copy of the flit at the head of the buffer, if any, provided
     /// it has become visible by `now` (its `visible_at` stamp has passed).
     pub fn peek(&self, now: Cycle) -> Option<Flit> {
-        let head = self.head.lock();
-        if head.read_pos < head.visible {
-            // SAFETY: head lock held, read_pos < visible.
-            let flit = unsafe { self.read_slot(head.read_pos) };
+        let read_pos = self.read_pos.load(Ordering::Relaxed);
+        if read_pos < self.visible.load(Ordering::Relaxed) {
+            // SAFETY: consumer endpoint, read_pos < visible.
+            let flit = unsafe { self.read_slot(read_pos) };
             (flit.visible_at <= now).then_some(flit)
         } else {
             None
@@ -247,15 +252,14 @@ impl VcBuffer {
 
     /// Pops the head flit if it is visible by `now` and `pred` accepts it.
     pub fn pop_if(&self, now: Cycle, pred: impl FnOnce(&Flit) -> bool) -> Option<Flit> {
-        let mut head = self.head.lock();
-        if head.read_pos >= head.visible {
+        let read_pos = self.read_pos.load(Ordering::Relaxed);
+        if read_pos >= self.visible.load(Ordering::Relaxed) {
             return None;
         }
-        // SAFETY: head lock held, read_pos < visible.
-        let flit = unsafe { self.read_slot(head.read_pos) };
+        // SAFETY: consumer endpoint, read_pos < visible.
+        let flit = unsafe { self.read_slot(read_pos) };
         if flit.visible_at <= now && pred(&flit) {
-            head.read_pos += 1;
-            drop(head);
+            self.read_pos.store(read_pos + 1, Ordering::Relaxed);
             // Release the slot only after the read completed (see the
             // module-level safety argument for why this ordering matters).
             self.occupancy.fetch_sub(1, Ordering::AcqRel);
@@ -271,8 +275,7 @@ impl VcBuffer {
     /// Number of flits currently visible at the head end (ignores the
     /// visibility timestamp; used for statistics).
     pub fn head_len(&self) -> usize {
-        let head = self.head.lock();
-        (head.visible - head.read_pos) as usize
+        (self.visible.load(Ordering::Relaxed) - self.read_pos.load(Ordering::Relaxed)) as usize
     }
 
     /// True if the buffer holds no flits at all.
@@ -289,19 +292,19 @@ impl VcBuffer {
     /// cursors land exactly where the snapshot's were. Callers must be
     /// quiescent (no concurrent producer).
     pub fn snapshot_split(&self) -> (Vec<Flit>, Vec<Flit>) {
-        let head = self.head.lock();
-        let _tail = self.tail.lock();
+        let read_pos = self.read_pos.load(Ordering::Relaxed);
+        let visible = self.visible.load(Ordering::Relaxed);
         let published = self.write_pos.load(Ordering::Acquire);
-        let visible = (head.read_pos..head.visible)
-            // SAFETY: head lock held, read_pos ≤ pos < visible.
+        let visible_run = (read_pos..visible)
+            // SAFETY: quiescent caller, read_pos ≤ pos < visible.
             .map(|pos| unsafe { self.read_slot(pos) })
             .collect();
-        let pending = (head.visible..published)
-            // SAFETY: tail lock held (no producer mid-deposit) and every slot
-            // below `write_pos` was initialized by a completed push.
+        let pending = (visible..published)
+            // SAFETY: quiescent caller (no producer mid-deposit) and every
+            // slot below `write_pos` was initialized by a completed push.
             .map(|pos| unsafe { self.read_slot(pos) })
             .collect();
-        (visible, pending)
+        (visible_run, pending)
     }
 
     /// Restores the contents captured by [`snapshot_split`](Self::snapshot_split)
@@ -322,20 +325,19 @@ impl VcBuffer {
         }
     }
 
-    /// Drains every flit out of the buffer (test / teardown helper).
+    /// Drains every flit out of the buffer (test / teardown helper). The
+    /// caller must be quiescent (no concurrent producer).
     pub fn drain_all(&self) -> Vec<Flit> {
-        let mut head = self.head.lock();
-        // Hold the tail lock so no producer is mid-deposit while we read up
-        // to `write_pos`.
-        let _tail = self.tail.lock();
-        head.visible = self.write_pos.load(Ordering::Acquire);
-        let mut out = Vec::with_capacity((head.visible - head.read_pos) as usize);
-        while head.read_pos < head.visible {
-            // SAFETY: head lock held, read_pos < visible.
-            out.push(unsafe { self.read_slot(head.read_pos) });
-            head.read_pos += 1;
+        let published = self.write_pos.load(Ordering::Acquire);
+        self.visible.store(published, Ordering::Relaxed);
+        let mut read_pos = self.read_pos.load(Ordering::Relaxed);
+        let mut out = Vec::with_capacity((published - read_pos) as usize);
+        while read_pos < published {
+            // SAFETY: quiescent caller, read_pos < visible.
+            out.push(unsafe { self.read_slot(read_pos) });
+            read_pos += 1;
         }
-        drop(head);
+        self.read_pos.store(read_pos, Ordering::Relaxed);
         self.occupancy.fetch_sub(out.len(), Ordering::AcqRel);
         if let Some(agg) = &self.aggregate {
             agg.fetch_sub(out.len(), Ordering::AcqRel);
@@ -442,6 +444,19 @@ mod tests {
         let (absorbed, head) = buf.absorb_and_peek();
         assert_eq!(absorbed, 0);
         assert_eq!(head.unwrap().seq, 0);
+    }
+
+    #[test]
+    fn head_snapshot_respects_absorb_boundary() {
+        let buf = VcBuffer::new(8);
+        assert!(buf.push(flit(0, 7)));
+        // Deposited but not absorbed: no head yet.
+        assert!(buf.head_snapshot().is_none());
+        buf.absorb_tail();
+        // Absorbed: visible regardless of the `visible_at` stamp.
+        assert_eq!(buf.head_snapshot().unwrap().seq, 0);
+        assert!(buf.pop_if(7, |_| true).is_some());
+        assert!(buf.head_snapshot().is_none());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::termination::{LedgerState, ShardLedger};
 use hornet_net::boundary::{BoundaryLink, BoundaryRx};
 use hornet_net::flit::Packet;
 use hornet_net::ids::{Cycle, PacketId};
+use hornet_net::kernel::{KernelMode, MeshKernel};
 use hornet_net::network::NetworkNode;
 use hornet_net::payload::PayloadStore;
 use hornet_net::stats::NetworkStats;
@@ -264,6 +265,11 @@ pub struct DriverParams {
     /// roughly every this many cycles (checked at batch boundaries, so the
     /// actual period is rounded up to the quantum). `None` disables sampling.
     pub telemetry_every: Option<u64>,
+    /// Cycle-execution strategy: interpreter, compiled kernel, or
+    /// auto-detection. The kernel is compiled per run (after boundary wiring,
+    /// so cut links are seen as boundary channels) and is bit-identical to
+    /// the interpreter; ineligible configurations silently interpret.
+    pub kernel: KernelMode,
 }
 
 /// What one driven run reports back to its host.
@@ -415,6 +421,14 @@ impl<T: TransportPump + ?Sized> CycleDriver<'_, '_, T> {
     /// mailbox flits and merges statistics afterwards.
     pub fn run(mut self, p: &DriverParams) -> io::Result<DriveOutcome> {
         let end = p.start + p.cycles;
+        // Compiled per run: boundary wiring is done by now, and dropping the
+        // kernel at the end keeps it strictly derived state (the next run —
+        // possibly after a restore — recompiles from the tiles, all-dirty).
+        let mut kernel = if p.kernel.enabled() {
+            MeshKernel::compile(self.tiles, false)
+        } else {
+            None
+        };
         let quantum = p.quantum.max(1);
         let mut now = p.start;
         let mut recv_total = p.received_start;
@@ -545,10 +559,20 @@ impl<T: TransportPump + ?Sized> CycleDriver<'_, '_, T> {
                     link.apply_credits(credit_limit);
                 }
                 for rx in self.inbound.iter_mut() {
-                    recv_total += rx.deliver(flit_limit) as u64;
+                    let delivered = rx.deliver(flit_limit);
+                    recv_total += delivered as u64;
+                    if delivered > 0 {
+                        if let Some(k) = kernel.as_mut() {
+                            k.note_external_push(rx.target());
+                        }
+                    }
                 }
-                for tile in self.tiles.iter_mut() {
-                    tile.posedge(next);
+                if let Some(k) = kernel.as_mut() {
+                    k.posedge(self.tiles, next);
+                } else {
+                    for tile in self.tiles.iter_mut() {
+                        tile.posedge(next);
+                    }
                 }
                 // Bandwidth-adaptive links publish demand at the negative
                 // edge into a single shared slot; backends whose cut links
@@ -563,8 +587,12 @@ impl<T: TransportPump + ?Sized> CycleDriver<'_, '_, T> {
                 if p.profile {
                     profile.wait_ns += lap(&mut mark);
                 }
-                for tile in self.tiles.iter_mut() {
-                    tile.negedge(next);
+                if let Some(k) = kernel.as_mut() {
+                    k.negedge(self.tiles, next);
+                } else {
+                    for tile in self.tiles.iter_mut() {
+                        tile.negedge(next);
+                    }
                 }
                 for rx in self.inbound.iter_mut() {
                     rx.emit_credits(next);

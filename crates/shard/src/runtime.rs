@@ -59,6 +59,7 @@ use crate::sys;
 use crate::termination::{scan_ledgers, Quiescence, ShardLedger};
 use hornet_net::boundary::{BoundaryLink, BoundaryRx, EgressChannel};
 use hornet_net::ids::Cycle;
+use hornet_net::kernel::KernelMode;
 use hornet_net::network::NetworkNode;
 use hornet_net::stats::NetworkStats;
 use hornet_obs::metrics::{MetricsRegistry, TelemetrySample};
@@ -107,6 +108,9 @@ pub struct RunParams {
     /// it is emitted (in addition to the per-run sample vector), feeding the
     /// embedded HTTP status server. `None` keeps sampling purely end-of-run.
     pub live: Option<Arc<ObsHub>>,
+    /// Cycle-execution strategy per shard: interpreter, compiled kernel, or
+    /// auto-detection (bit-identical either way).
+    pub kernel: KernelMode,
 }
 
 /// Result of one sharded run.
@@ -385,6 +389,7 @@ fn run_shard(job: Job) -> JobResult {
             received_start: 0,
             profile: p.profile,
             telemetry_every: p.telemetry_every,
+            kernel: p.kernel,
         })
         .expect("thread transport cannot fail");
 
@@ -777,7 +782,7 @@ fn wire_boundaries(nodes: &mut [NetworkNode], partition: &Partition) -> Wiring {
             let src_id = nodes[src].node();
             let dst_id = nodes[dst].node();
             let (s_src, s_dst) = (partition.shard_of(src_id), partition.shard_of(dst_id));
-            let targets = nodes[dst].router().ingress_buffers_from(src_id);
+            let targets = nodes[dst].router().ingress_buffers_from(src_id).to_vec();
             // Seed the sender's credit view with the buffer's current
             // occupancy: wiring may happen mid-simulation, with flits from a
             // previous run still resident downstream.
@@ -819,7 +824,8 @@ fn unwire_boundaries(nodes: &mut [NetworkNode], directed: &[(usize, usize)]) {
         let channels: Vec<EgressChannel> = nodes[dst]
             .router()
             .ingress_buffers_from(src_id)
-            .into_iter()
+            .iter()
+            .cloned()
             .map(EgressChannel::Local)
             .collect();
         nodes[src]
